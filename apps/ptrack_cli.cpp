@@ -1,0 +1,138 @@
+// ptrack_cli — run the PTrack pipeline over a recorded trace.
+//
+//   ptrack_cli --input trace.csv --arm 0.72 --leg 0.93 [--json out.json]
+//              [--events out.csv] [--self-train-distance 140]
+//
+// The input is the CSV interchange format of imu::save_csv (header
+// t,ax,ay,az,gx,gy,gz with a leading metadata row carrying the sample
+// rate). With --self-train-distance the arm/leg options are ignored and
+// the profile is learned from the trace itself (which must contain gait
+// and is treated as a calibration walk of the given length in metres).
+
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "core/ptrack.hpp"
+#include "core/self_training.hpp"
+#include "imu/trace_io.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+int run(int argc, char** argv) {
+  cli::Args args(argc, argv,
+                 {{"input", "trace CSV (imu::save_csv format)", "", false},
+                  {"arm", "arm length m in metres", "0.70", false},
+                  {"leg", "leg length l in metres", "0.90", false},
+                  {"k", "Eq. (2) calibration factor", "2.0", false},
+                  {"self-train-distance",
+                   "treat the trace as a calibration walk of this many "
+                   "metres and learn arm/leg from it",
+                   "", false},
+                  {"json", "write the full result as JSON to this file", "",
+                   false},
+                  {"events", "write per-step events as CSV to this file", "",
+                   false},
+                  {"quiet", "suppress the console summary", "", true}});
+  if (args.help_requested()) {
+    std::cout << args.usage("ptrack_cli");
+    return 0;
+  }
+
+  const imu::Trace trace = imu::load_csv(args.get_string("input"));
+
+  core::PTrackConfig config;
+  config.stride.profile.arm_length = args.get_double("arm");
+  config.stride.profile.leg_length = args.get_double("leg");
+  config.stride.profile.k = args.get_double("k");
+
+  core::SelfTrainingResult trained{};
+  const bool self_trained = args.has("self-train-distance");
+  if (self_trained) {
+    trained = core::self_train(trace, args.get_double("self-train-distance"));
+    config.stride.profile.arm_length = trained.arm_length;
+    config.stride.profile.leg_length = trained.leg_length;
+  }
+
+  core::PTrack tracker(config);
+  const core::TrackResult result = tracker.process(trace);
+
+  if (!args.get_bool("quiet")) {
+    std::cout << "trace:    " << trace.duration() << " s @ " << trace.fs()
+              << " Hz (" << trace.size() << " samples)\n";
+    if (self_trained) {
+      std::cout << "profile:  self-trained arm=" << trained.arm_length
+                << " m leg=" << trained.leg_length << " m\n";
+    } else {
+      std::cout << "profile:  arm=" << config.stride.profile.arm_length
+                << " m leg=" << config.stride.profile.leg_length << " m\n";
+    }
+    std::cout << "steps:    " << result.steps << "\n";
+    std::cout << "distance: " << result.distance() << " m\n";
+    std::size_t walking = 0;
+    std::size_t stepping = 0;
+    std::size_t others = 0;
+    for (const core::CycleRecord& c : result.cycles) {
+      switch (c.type) {
+        case core::GaitType::Walking: ++walking; break;
+        case core::GaitType::Stepping: ++stepping; break;
+        case core::GaitType::Interference: ++others; break;
+      }
+    }
+    std::cout << "cycles:   " << walking << " walking, " << stepping
+              << " stepping, " << others << " excluded\n";
+  }
+
+  if (args.has("events")) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(result.events.size());
+    for (const core::StepEvent& e : result.events) {
+      rows.push_back({e.t, e.stride,
+                      static_cast<double>(static_cast<int>(e.type))});
+    }
+    csv::write(args.get_string("events"), {"t", "stride", "type"}, rows);
+  }
+
+  if (args.has("json")) {
+    std::ofstream out(args.get_string("json"));
+    if (!out) throw Error("cannot open " + args.get_string("json"));
+    json::Writer w(out);
+    w.begin_object();
+    w.key("steps").value(result.steps);
+    w.key("distance_m").value(result.distance());
+    w.key("profile").begin_object();
+    w.key("arm_length").value(config.stride.profile.arm_length);
+    w.key("leg_length").value(config.stride.profile.leg_length);
+    w.key("self_trained").value(self_trained);
+    w.end_object();
+    w.key("events").begin_array();
+    for (const core::StepEvent& e : result.events) {
+      w.begin_object();
+      w.key("t").value(e.t);
+      w.key("stride").value(e.stride);
+      w.key("type").value(std::string(core::to_string(e.type)));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    check(w.complete(), "ptrack_cli: complete JSON document");
+    out << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << "ptrack_cli: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,137 @@
+// Ablation: PTrack's design components.
+//
+// Toggles each DESIGN.md-flagged mechanism and reports walking / stepping
+// counting accuracy plus interference and spoofing robustness:
+//   * Eq. (1) weighting w(nv)
+//   * the quarter-period phase gate
+//   * the stepping confirmation streak depth
+//   * the walking hysteresis
+//   * the symmetric offset variant
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/ptrack.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+struct Corpus {
+  std::vector<std::pair<imu::Trace, std::size_t>> walking;
+  std::vector<std::pair<imu::Trace, std::size_t>> stepping;
+  std::vector<imu::Trace> interference;
+  std::vector<imu::Trace> spoof;
+};
+
+Corpus build(const std::vector<synth::UserProfile>& users) {
+  Corpus c;
+  Rng rng(bench::kBenchSeed ^ 0xab);
+  for (const auto& user : users) {
+    const synth::SynthResult w = synth::synthesize(
+        synth::Scenario::pure_walking(60.0), user, bench::standard_options(),
+        rng);
+    c.walking.emplace_back(w.trace, w.truth.step_count());
+    const synth::SynthResult s = synth::synthesize(
+        synth::Scenario::pure_stepping(60.0), user, bench::standard_options(),
+        rng);
+    c.stepping.emplace_back(s.trace, s.truth.step_count());
+    for (synth::ActivityKind kind :
+         {synth::ActivityKind::Photo, synth::ActivityKind::Poker}) {
+      c.interference.push_back(
+          synth::synthesize(synth::Scenario::interference(
+                                kind, 60.0, synth::Posture::Standing),
+                            user, bench::standard_options(), rng)
+              .trace);
+    }
+    c.spoof.push_back(
+        synth::synthesize(synth::Scenario::interference(
+                              synth::ActivityKind::Spoofer, 60.0,
+                              synth::Posture::Standing),
+                          user, bench::standard_options(), rng)
+            .trace);
+  }
+  return c;
+}
+
+struct Score {
+  double walk_acc = 0.0;
+  double step_acc = 0.0;
+  double interference = 0.0;
+  double spoof = 0.0;
+};
+
+Score evaluate(const Corpus& corpus, const core::PTrackConfig& cfg) {
+  core::PTrackCounterAdapter tracker(cfg);
+  Score s;
+  for (const auto& [trace, truth] : corpus.walking) {
+    s.walk_acc += bench::count_accuracy(tracker.count_steps(trace).count, truth);
+  }
+  s.walk_acc /= static_cast<double>(corpus.walking.size());
+  for (const auto& [trace, truth] : corpus.stepping) {
+    s.step_acc += bench::count_accuracy(tracker.count_steps(trace).count, truth);
+  }
+  s.step_acc /= static_cast<double>(corpus.stepping.size());
+  for (const imu::Trace& trace : corpus.interference) {
+    s.interference += static_cast<double>(tracker.count_steps(trace).count);
+  }
+  s.interference /= static_cast<double>(corpus.interference.size());
+  for (const imu::Trace& trace : corpus.spoof) {
+    s.spoof += static_cast<double>(tracker.count_steps(trace).count);
+  }
+  s.spoof /= static_cast<double>(corpus.spoof.size());
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation: PTrack component toggles");
+  const Corpus corpus = build(bench::make_users(5));
+
+  Table table({"variant", "walk acc", "step acc", "interf / 60 s",
+               "spoof / 60 s"});
+  const auto add = [&](const std::string& name, const core::PTrackConfig& cfg) {
+    const Score s = evaluate(corpus, cfg);
+    table.add_row({name, Table::num(s.walk_acc, 3), Table::num(s.step_acc, 3),
+                   Table::num(s.interference, 1), Table::num(s.spoof, 1)});
+  };
+
+  add("full design", {});
+
+  {
+    core::PTrackConfig cfg;
+    cfg.counter.use_weighting = false;
+    add("no w(nv) weighting", cfg);
+  }
+  {
+    core::PTrackConfig cfg;
+    cfg.counter.use_phase_gate = false;
+    add("no phase gate", cfg);
+  }
+  {
+    core::PTrackConfig cfg;
+    cfg.counter.walking_hysteresis = false;
+    add("no walking hysteresis", cfg);
+  }
+  {
+    core::PTrackConfig cfg;
+    cfg.counter.symmetric_offset = true;
+    add("symmetric offset", cfg);
+  }
+  {
+    core::PTrackConfig cfg;
+    cfg.counter.min_anterior_rms = 0.0;
+    add("no anterior-energy gate", cfg);
+  }
+  for (std::size_t streak : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    core::PTrackConfig cfg;
+    cfg.counter.streak = streak;
+    add("stepping streak = " + std::to_string(streak), cfg);
+  }
+  table.print(std::cout);
+  std::cout << "paper design: weighting on, phase gate on, streak = 3.\n";
+  return 0;
+}

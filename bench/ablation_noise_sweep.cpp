@@ -1,0 +1,59 @@
+// Ablation: sensor quality.
+//
+// Scales the sensor error model (bias + white noise + quantization) and
+// reports counting accuracy and per-step stride error — how much sensor
+// does PTrack actually need?
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/ptrack.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+int main() {
+  print_banner(std::cout, "Ablation: sensor noise scale");
+  const auto users = bench::make_users(4);
+
+  Table table({"noise scale", "walk accuracy", "stride err mean (cm)"});
+  for (double scale : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    Rng rng(bench::kBenchSeed ^ 0x45);
+    double acc = 0.0;
+    std::vector<double> errs;
+    for (const auto& user : users) {
+      synth::SynthOptions opt = bench::standard_options();
+      opt.noise.accel_bias_stddev *= scale;
+      opt.noise.accel_noise_stddev *= scale;
+      opt.noise.accel_quantization *= scale;
+      const synth::SynthResult r = synth::synthesize(
+          synth::Scenario::pure_walking(60.0), user, opt, rng);
+
+      core::PTrackConfig cfg;
+      cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+      core::PTrack tracker(cfg);
+      const core::TrackResult res = tracker.process(r.trace);
+      acc += bench::count_accuracy(res.steps, r.truth.step_count());
+      for (const core::StepEvent& e : res.events) {
+        if (e.stride <= 0.0) continue;
+        double best = 1e9;
+        double s_true = 0.0;
+        for (const synth::StepTruth& st : r.truth.steps) {
+          if (std::abs(st.t - e.t) < best) {
+            best = std::abs(st.t - e.t);
+            s_true = st.stride;
+          }
+        }
+        if (best < 0.6) errs.push_back(std::abs(e.stride - s_true) * 100.0);
+      }
+    }
+    acc /= static_cast<double>(users.size());
+    table.add_row({Table::num(scale, 1) + (scale == 1.0 ? " (consumer)" : ""),
+                   Table::num(acc, 3),
+                   errs.empty() ? "-" : Table::num(stats::mean(errs), 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: sensitivity to user-profile errors.
+//
+// The paper's motivation for self-training: "measurement errors made by
+// inexperienced users could lead to continuous performance deterioration."
+// This bench quantifies exactly that — per-step stride error as a function
+// of the error in the arm and leg lengths fed to the estimator.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/ptrack.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+double stride_error_cm(const std::vector<synth::SynthResult>& corpus,
+                       const std::vector<synth::UserProfile>& users,
+                       double arm_error_m, double leg_error_m) {
+  std::vector<double> errs;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    core::PTrackConfig cfg;
+    cfg.stride.profile = {users[i].arm_length + arm_error_m,
+                          users[i].leg_length + leg_error_m, 2.0};
+    core::PTrack tracker(cfg);
+    const auto res = tracker.process(corpus[i].trace);
+    for (const core::StepEvent& e : res.events) {
+      if (e.stride <= 0.0) continue;
+      double best = 1e9;
+      double s_true = 0.0;
+      for (const auto& st : corpus[i].truth.steps) {
+        if (std::abs(st.t - e.t) < best) {
+          best = std::abs(st.t - e.t);
+          s_true = st.stride;
+        }
+      }
+      if (best < 0.6) errs.push_back(std::abs(e.stride - s_true) * 100.0);
+    }
+  }
+  return errs.empty() ? -1.0 : stats::mean(errs);
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Ablation: profile-error sensitivity (stride err, cm)");
+  const auto users = bench::make_users(4);
+  Rng rng(bench::kBenchSeed ^ 0x9e);
+  std::vector<synth::SynthResult> corpus;
+  for (const auto& user : users) {
+    corpus.push_back(synth::synthesize(synth::Scenario::pure_walking(60.0),
+                                       user, bench::standard_options(), rng));
+  }
+
+  Table arm({"arm error (cm)", "stride err (cm)"});
+  for (double err_cm : {-10.0, -5.0, -2.0, 0.0, 2.0, 5.0, 10.0}) {
+    arm.add_row({Table::num(err_cm, 0),
+                 Table::num(stride_error_cm(corpus, users, err_cm / 100.0, 0.0), 1)});
+  }
+  arm.print(std::cout);
+
+  std::cout << "\n";
+  Table leg({"leg error (cm)", "stride err (cm)"});
+  for (double err_cm : {-10.0, -5.0, -2.0, 0.0, 2.0, 5.0, 10.0}) {
+    leg.add_row({Table::num(err_cm, 0),
+                 Table::num(stride_error_cm(corpus, users, 0.0, err_cm / 100.0), 1)});
+  }
+  leg.print(std::cout);
+  std::cout << "the paper's self-training exists to avoid exactly these"
+               " curves (tape-measure errors of a few cm are typical).\n";
+  return 0;
+}

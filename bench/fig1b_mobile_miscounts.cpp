@@ -1,0 +1,47 @@
+// Fig. 1(b): phone pedometer apps (with and without the motion
+// coprocessor) mis-triggered by taking photos and playing phone games,
+// standing and seated. Paper: 27-56 false steps in 2 minutes.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "models/gfit.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+int main() {
+  print_banner(std::cout, "Fig. 1(b): phone pedometers mis-triggered in 2 min");
+  const auto users = bench::make_users(6);
+  Rng rng(bench::kBenchSeed ^ 0x1b);
+
+  Table table({"activity", "posture", "Coprocessor", "Software", "paper"});
+  for (synth::ActivityKind kind :
+       {synth::ActivityKind::Photo, synth::ActivityKind::Gaming}) {
+    for (synth::Posture posture :
+         {synth::Posture::Standing, synth::Posture::Seated}) {
+      double copro = 0;
+      double soft = 0;
+      for (const auto& user : users) {
+        const synth::SynthResult r = synth::synthesize(
+            synth::Scenario::interference(kind, 120.0, posture), user,
+            bench::standard_options(), rng);
+        models::PeakCounter c(models::phone_coprocessor_config());
+        models::PeakCounter s(models::phone_software_config());
+        copro += static_cast<double>(c.count_steps(r.trace).count);
+        soft += static_cast<double>(s.count_steps(r.trace).count);
+      }
+      const double n = static_cast<double>(users.size());
+      table.add_row({std::string(to_string(kind)),
+                     posture == synth::Posture::Standing ? "standing (1)"
+                                                         : "seated (2)",
+                     Table::num(copro / n, 1), Table::num(soft / n, 1),
+                     "27-56"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "mean false steps per 2 min over " << users.size()
+            << " users; the counter should stay at 0.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 7(b): vulnerability to the spoofing rig over 60 s. Paper:
+// GFit/Mtage/SCAR tick 79/78/61 times; PTrack ticks 0, making its count
+// trustworthy for insurance/finance-grade uses.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/ptrack.hpp"
+#include "models/gfit.hpp"
+#include "models/montage.hpp"
+#include "models/scar.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+int main() {
+  print_banner(std::cout, "Fig. 7(b): spoofed step counts in 60 s");
+  const auto users = bench::make_users(6);
+  Rng rng(bench::kBenchSeed ^ 0x7b);
+
+  double gfit = 0;
+  double mtage = 0;
+  double scar = 0;
+  double ptrack = 0;
+  for (const auto& user : users) {
+    const synth::SynthResult r = synth::synthesize(
+        synth::Scenario::interference(synth::ActivityKind::Spoofer, 60.0,
+                                      synth::Posture::Standing),
+        user, bench::standard_options(), rng);
+    models::PeakCounter g(models::gfit_watch_config());
+    models::MontageCounter m;
+    Rng scar_rng = rng.fork();
+    models::ScarCounter s(
+        bench::train_scar(user,
+                          {synth::ActivityKind::Walking,
+                           synth::ActivityKind::Stepping,
+                           synth::ActivityKind::Eating,
+                           synth::ActivityKind::Poker,
+                           synth::ActivityKind::Gaming},
+                          40.0, scar_rng),
+        bench::scar_gait_labels());
+    core::PTrackCounterAdapter p;
+    gfit += static_cast<double>(g.count_steps(r.trace).count);
+    mtage += static_cast<double>(m.count_steps(r.trace).count);
+    scar += static_cast<double>(s.count_steps(r.trace).count);
+    ptrack += static_cast<double>(p.count_steps(r.trace).count);
+  }
+  const double n = static_cast<double>(users.size());
+  Table table({"counter", "spoofed steps / 60 s", "paper"});
+  table.add_row({"GFit", Table::num(gfit / n, 1), "79"});
+  table.add_row({"Mtage", Table::num(mtage / n, 1), "78"});
+  table.add_row({"SCAR", Table::num(scar / n, 1), "61"});
+  table.add_row({"PTrack", Table::num(ptrack / n, 1), "0"});
+  table.print(std::cout);
+  std::cout << "the spoofer's two projections are perfectly synchronized\n"
+               "(rigid single-DOF), so PTrack's offset test rejects every\n"
+               "cycle; its clean periodicity still passes C > 0, but the\n"
+               "quarter-period phase gate fails (lag = 0).\n";
+  return 0;
+}

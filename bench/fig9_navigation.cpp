@@ -1,0 +1,101 @@
+// Fig. 9: indoor navigation case study. The user walks the 141.5 m
+// shopping-center route A -> B -> ... -> G (with the deliberate 4 m
+// corridor double-crossing between B and D); PTrack's step/stride events
+// are dead-reckoned along the route headings. Paper: tracked distance
+// 136.4 m vs 141.5 m, mean per-step error 5.1 cm.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/ptrack.hpp"
+#include "nav/dead_reckoning.hpp"
+#include "nav/route.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+int main() {
+  print_banner(std::cout, "Fig. 9: indoor navigation case study");
+  const nav::Route route = nav::shopping_center_route();
+  const auto users = bench::make_users(3);
+  Rng rng(bench::kBenchSeed ^ 0x99);
+
+  Table table({"user", "route (m)", "tracked (m)", "per-step err (cm)",
+               "end error (m)", "mean xtrack (m)"});
+  std::size_t idx = 0;
+  for (const auto& user : users) {
+    // Script the walk leg by leg at the user's preferred speed.
+    synth::Scenario scenario;
+    for (std::size_t leg = 0; leg < route.legs(); ++leg) {
+      const double duration = route.leg_length(leg) / user.speed;
+      scenario.walk(duration, 0.0, route.leg_heading(leg));
+    }
+    const synth::SynthResult r =
+        synth::synthesize(scenario, user, bench::standard_options(), rng);
+
+    core::PTrackConfig cfg;
+    cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+    // A turning route: refit the anterior axis per 10 s window.
+    cfg.counter.anterior_window_s = 10.0;
+    core::PTrack tracker(cfg);
+    const core::TrackResult res = tracker.process(r.trace);
+
+    // Dead-reckon with the scripted headings (as the navigation app that
+    // follows the suggested route would) plus compass-grade noise.
+    double walked = 0.0;
+    std::vector<double> leg_end_time(route.legs());
+    {
+      double t_acc = 0.0;
+      for (std::size_t leg = 0; leg < route.legs(); ++leg) {
+        t_acc += route.leg_length(leg) / user.speed;
+        leg_end_time[leg] = t_acc;
+      }
+    }
+    const auto heading_at = [&](double t) {
+      for (std::size_t leg = 0; leg < route.legs(); ++leg) {
+        if (t <= leg_end_time[leg]) return route.leg_heading(leg);
+      }
+      return route.leg_heading(route.legs() - 1);
+    };
+    Rng hrng = rng.fork();
+    nav::DeadReckoner dr({0.0, 0.0}, [&](double t) {
+      return heading_at(t) + hrng.normal(0.0, 0.03);
+    });
+    for (const core::StepEvent& e : res.events) dr.advance(e);
+    walked = dr.traveled();
+
+    // Per-step stride error along the route.
+    double err_acc = 0.0;
+    std::size_t err_n = 0;
+    for (const core::StepEvent& e : res.events) {
+      if (e.stride <= 0.0) continue;
+      double best = 1e9;
+      double s_true = 0.0;
+      for (const synth::StepTruth& st : r.truth.steps) {
+        const double dist = std::abs(st.t - e.t);
+        if (dist < best) {
+          best = dist;
+          s_true = st.stride;
+        }
+      }
+      if (best < 0.6) {
+        err_acc += std::abs(e.stride - s_true) * 100.0;
+        ++err_n;
+      }
+    }
+
+    const nav::RouteErrorStats stats =
+        nav::score_trajectory(route, dr.trajectory());
+    table.add_row({"user " + std::to_string(++idx),
+                   Table::num(route.length(), 1), Table::num(walked, 1),
+                   Table::num(err_n ? err_acc / static_cast<double>(err_n) : 0.0, 1),
+                   Table::num(stats.end_error, 1),
+                   Table::num(stats.mean_cross_track, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "paper: route 141.5 m, PTrack-tracked 136.4 m, per-step error "
+               "5.1 cm.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark): throughput of the DSP kernels and of
+// the full PTrack pipeline. A smartwatch streams 100 samples/s, so a
+// pipeline that processes minutes of trace in milliseconds leaves orders
+// of magnitude of headroom for wearable-class CPUs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/ptrack.hpp"
+#include "dsp/butterworth.hpp"
+#include "dsp/correlate.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/filtfilt.hpp"
+#include "dsp/integrate.hpp"
+#include "dsp/projection.hpp"
+#include "models/gfit.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+const synth::SynthResult& walking_minute() {
+  static const synth::SynthResult r = [] {
+    Rng rng(bench::kBenchSeed ^ 0xbeef);
+    const auto user = bench::make_users(1).front();
+    return synth::synthesize(synth::Scenario::pure_walking(60.0), user,
+                             bench::standard_options(), rng);
+  }();
+  return r;
+}
+
+void BM_ButterworthFiltfilt(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const auto cascade = dsp::butterworth_lowpass(4, 3.0, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::filtfilt(cascade, xs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xs.size()));
+}
+BENCHMARK(BM_ButterworthFiltfilt);
+
+void BM_Projection(benchmark::State& state) {
+  const auto vectors = walking_minute().trace.accel_vectors();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::project(vectors, 100.0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(vectors.size()));
+}
+BENCHMARK(BM_Projection);
+
+void BM_Fft4096(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::span<const double> head(xs.data(), 4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::magnitude_spectrum(head));
+  }
+}
+BENCHMARK(BM_Fft4096);
+
+void BM_AutocorrCycle(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::span<const double> cycle(xs.data(), 110);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::autocorr_at(cycle, 55));
+  }
+}
+BENCHMARK(BM_AutocorrCycle);
+
+void BM_MeanRemovalIntegration(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::span<const double> seg(xs.data(), 55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::net_displacement(seg, 0.01));
+  }
+}
+BENCHMARK(BM_MeanRemovalIntegration);
+
+void BM_GfitCounterMinute(benchmark::State& state) {
+  const imu::Trace& trace = walking_minute().trace;
+  for (auto _ : state) {
+    models::PeakCounter counter(models::gfit_watch_config());
+    benchmark::DoNotOptimize(counter.count_steps(trace));
+  }
+}
+BENCHMARK(BM_GfitCounterMinute);
+
+void BM_PTrackPipelineMinute(benchmark::State& state) {
+  const imu::Trace& trace = walking_minute().trace;
+  for (auto _ : state) {
+    core::PTrack tracker;
+    benchmark::DoNotOptimize(tracker.process(trace));
+  }
+}
+BENCHMARK(BM_PTrackPipelineMinute);
+
+void BM_SynthesizeMinute(benchmark::State& state) {
+  const auto user = bench::make_users(1).front();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(synth::synthesize(
+        synth::Scenario::pure_walking(60.0), user, bench::standard_options(),
+        rng));
+  }
+}
+BENCHMARK(BM_SynthesizeMinute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Quickstart: synthesize one minute of walking, run the full PTrack
+// pipeline, and print what a downstream application sees.
+//
+//   $ ./examples/quickstart
+//
+// In a real deployment the trace would come from a wearable's accelerometer
+// (see imu::load_csv for the interchange format); here the bundled
+// synthesizer stands in for the hardware so the example is self-contained.
+
+#include <iostream>
+
+#include "core/ptrack.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+int main() {
+  // 1. A user. In production you'd take these from the profile store or
+  //    let core::self_train() discover them (see the selftraining example).
+  synth::UserProfile user;
+  user.arm_length = 0.72;   // shoulder-to-wrist, metres
+  user.leg_length = 0.93;   // hip-to-ground, metres
+
+  // 2. One minute of walking, recorded by the (simulated) watch.
+  Rng rng(2024);
+  const synth::SynthResult recording =
+      synth::synthesize(synth::Scenario::pure_walking(60.0), user, rng);
+
+  // 3. Configure PTrack with the user's profile and process the trace.
+  core::PTrackConfig config;
+  config.stride.profile.arm_length = user.arm_length;
+  config.stride.profile.leg_length = user.leg_length;
+  core::PTrack tracker(config);
+  const core::TrackResult result = tracker.process(recording.trace);
+
+  // 4. Consume the results.
+  std::cout << "steps counted:   " << result.steps << "  (truth "
+            << recording.truth.step_count() << ")\n";
+  std::cout << "distance walked: " << result.distance() << " m  (truth "
+            << recording.truth.total_distance() << " m)\n";
+
+  std::cout << "\nfirst five steps:\n";
+  for (std::size_t i = 0; i < result.events.size() && i < 5; ++i) {
+    const core::StepEvent& e = result.events[i];
+    std::cout << "  t=" << e.t << " s  stride=" << e.stride << " m  ("
+              << to_string(e.type) << ")\n";
+  }
+
+  std::cout << "\ncycle classification: ";
+  std::size_t walking = 0;
+  std::size_t others = 0;
+  for (const core::CycleRecord& c : result.cycles) {
+    (c.type == core::GaitType::Interference ? others : walking) += 1;
+  }
+  std::cout << walking << " gait cycles, " << others
+            << " excluded as interference\n";
+  return 0;
+}

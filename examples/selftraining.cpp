@@ -1,0 +1,60 @@
+// Self-training scenario: onboarding a new user with no manual
+// measurements (the paper's SIII-C2 usability contribution). A calibration
+// trace of everyday mixed gait plus one known distance (a GPS-measured
+// outdoor stretch) yields the arm and leg lengths; PTrack then tracks a
+// fresh walk with the learned profile.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/ptrack.hpp"
+#include "core/self_training.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+int main() {
+  Rng rng(42424);
+  const synth::UserProfile user = synth::random_user(rng);
+
+  std::cout << "new user (true profile hidden from the tracker): arm "
+            << user.arm_length << " m, leg " << user.leg_length << " m\n\n";
+
+  // Calibration: two minutes of everyday mixed gait with a known total
+  // distance (in deployment: any GPS-covered outdoor walk).
+  const synth::SynthResult calibration =
+      synth::synthesize(synth::Scenario::mixed_gait(120.0), user, rng);
+  const double known_distance = calibration.truth.total_distance();
+  std::cout << "calibration trace: " << calibration.trace.duration()
+            << " s, known distance " << known_distance << " m\n";
+
+  const core::SelfTrainingResult trained =
+      core::self_train(calibration.trace, known_distance);
+
+  Table profile({"parameter", "self-trained", "true", "error"});
+  profile.add_row({"arm length m", Table::num(trained.arm_length, 3),
+                   Table::num(user.arm_length, 3),
+                   Table::num(std::abs(trained.arm_length - user.arm_length) *
+                                  100.0, 1) + " cm"});
+  profile.add_row({"leg length l", Table::num(trained.leg_length, 3),
+                   Table::num(user.leg_length, 3),
+                   Table::num(std::abs(trained.leg_length - user.leg_length) *
+                                  100.0, 1) + " cm"});
+  profile.print(std::cout);
+
+  // Evaluation: a fresh walk with the learned profile.
+  const synth::SynthResult walk =
+      synth::synthesize(synth::Scenario::pure_walking(90.0), user, rng);
+  core::PTrackConfig cfg;
+  cfg.stride.profile.arm_length = trained.arm_length;
+  cfg.stride.profile.leg_length = trained.leg_length;
+  core::PTrack tracker(cfg);
+  const core::TrackResult result = tracker.process(walk.trace);
+
+  std::cout << "\nfresh 90 s walk with the learned profile:\n";
+  std::cout << "  steps:    " << result.steps << " (truth "
+            << walk.truth.step_count() << ")\n";
+  std::cout << "  distance: " << result.distance() << " m (truth "
+            << walk.truth.total_distance() << " m)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Trustworthy-counting scenario: an insurance/fitness-rewards audit.
+// A motorized rocker ("unfitbits"-style) tries to farm steps; the audit
+// compares how many fake steps each counter design credits — the paper's
+// argument for why only an interference-robust counter is usable where
+// money rides on the count.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/ptrack.hpp"
+#include "models/gfit.hpp"
+#include "models/montage.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+int main() {
+  synth::UserProfile user;
+  Rng rng(303);
+
+  // Ten minutes "in the rocker", then a genuine five-minute walk: the
+  // honest walk must still be credited.
+  synth::Scenario session;
+  session.activity(synth::ActivityKind::Spoofer, 600.0).walk(300.0);
+  const synth::SynthResult recording = synth::synthesize(session, user, rng);
+
+  models::PeakCounter watch(models::gfit_watch_config());
+  models::MontageCounter montage;
+  core::PTrackConfig cfg;
+  cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+  core::PTrack ptrack(cfg);
+
+  const double t_walk_begin = 600.0;
+  const auto split_counts = [&](const std::vector<double>& times) {
+    std::pair<std::size_t, std::size_t> counts{0, 0};
+    for (double t : times) {
+      (t < t_walk_begin ? counts.first : counts.second) += 1;
+    }
+    return counts;
+  };
+
+  const auto watch_det = watch.count_steps(recording.trace);
+  const auto montage_det = montage.count_steps(recording.trace);
+  const core::TrackResult ptrack_res = ptrack.process(recording.trace);
+  std::vector<double> ptrack_times;
+  for (const core::StepEvent& e : ptrack_res.events) {
+    ptrack_times.push_back(e.t);
+  }
+
+  const auto [watch_fake, watch_real] = split_counts(watch_det.step_times);
+  const auto [mtage_fake, mtage_real] = split_counts(montage_det.step_times);
+  const auto [ptrack_fake, ptrack_real] = split_counts(ptrack_times);
+
+  const std::size_t true_steps = recording.truth.step_count();
+  std::cout << "10 min on the spoofing rig + 5 min genuine walk ("
+            << true_steps << " true steps):\n\n";
+  Table table({"counter", "fake steps credited", "real steps credited",
+               "verdict"});
+  const auto verdict = [&](std::size_t fake) {
+    return fake > 20 ? "spoofable" : "trustworthy";
+  };
+  table.add_row({"Watch (peak detection)",
+                 Table::num(static_cast<long long>(watch_fake)),
+                 Table::num(static_cast<long long>(watch_real)),
+                 verdict(watch_fake)});
+  table.add_row({"Montage",
+                 Table::num(static_cast<long long>(mtage_fake)),
+                 Table::num(static_cast<long long>(mtage_real)),
+                 verdict(mtage_fake)});
+  table.add_row({"PTrack",
+                 Table::num(static_cast<long long>(ptrack_fake)),
+                 Table::num(static_cast<long long>(ptrack_real)),
+                 verdict(ptrack_fake)});
+  table.print(std::cout);
+
+  std::cout << "\nwhy PTrack rejects the rig: a rigid single-DOF motion\n"
+               "keeps its two projected acceleration channels synchronized\n"
+               "(offset << delta), and its in-phase channels fail the\n"
+               "quarter-period phase gate of the stepping test.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Angle helpers: conversions and wrapping.
+
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace ptrack {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Degrees -> radians.
+constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+
+/// Radians -> degrees.
+constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_pi(double a) {
+  a = std::fmod(a + kPi, kTwoPi);
+  if (a <= 0.0) a += kTwoPi;
+  return a - kPi;
+}
+
+/// Wrap an angle to [0, 2*pi).
+inline double wrap_2pi(double a) {
+  a = std::fmod(a, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+/// Smallest signed difference a-b wrapped to (-pi, pi].
+inline double angle_diff(double a, double b) { return wrap_pi(a - b); }
+
+}  // namespace ptrack

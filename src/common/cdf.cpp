@@ -1,0 +1,53 @@
+#include "common/cdf.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace ptrack {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  expects(!sorted_.empty(), "EmpiricalCdf: non-empty samples");
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = stats::mean(sorted_);
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "quantile: q in [0,1]");
+  return stats::percentile(sorted_, q * 100.0);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::series(
+    std::size_t points) const {
+  expects(points >= 2, "series: points >= 2");
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+std::string EmpiricalCdf::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f (n=%zu)",
+                mean(), quantile(0.5), quantile(0.9), quantile(0.99), max(),
+                size());
+  return buf;
+}
+
+}  // namespace ptrack

@@ -1,0 +1,43 @@
+// Empirical CDF utility used to reproduce the paper's CDF figures
+// (Fig. 1(d), Fig. 8(a), Fig. 8(b)).
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ptrack {
+
+/// Empirical cumulative distribution built from a sample set.
+class EmpiricalCdf {
+ public:
+  /// Builds the CDF from a non-empty sample set (copied and sorted).
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// P(X <= x) under the empirical distribution.
+  [[nodiscard]] double at(double x) const;
+
+  /// Value v such that P(X <= v) ~= q, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return sorted_.front(); }
+  [[nodiscard]] double max() const { return sorted_.back(); }
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+
+  /// Evenly spaced (value, cumulative-probability) pairs, e.g. for plotting
+  /// or printing a figure series. `points` >= 2.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(
+      std::size_t points = 20) const;
+
+  /// Renders a fixed-width textual summary line:
+  /// "mean=... p50=... p90=... max=..." — used by the bench binaries.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+}  // namespace ptrack

@@ -1,0 +1,106 @@
+#include "common/cli.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptrack::cli {
+
+Args::Args(int argc, const char* const* argv, std::vector<OptionSpec> specs)
+    : specs_(std::move(specs)) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw InvalidArgument("unexpected argument '" + arg +
+                            "' (options start with --)");
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const OptionSpec* spec = find_spec(arg);
+    if (spec == nullptr) throw InvalidArgument("unknown option --" + arg);
+    if (spec->boolean) {
+      if (has_value) {
+        throw InvalidArgument("option --" + arg + " takes no value");
+      }
+      values_[arg] = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        throw InvalidArgument("option --" + arg + " needs a value");
+      }
+      value = argv[++i];
+    }
+    values_[arg] = value;
+  }
+}
+
+const OptionSpec* Args::find_spec(const std::string& name) const {
+  for (const OptionSpec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool Args::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Args::get_string(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  const OptionSpec* spec = find_spec(name);
+  expects(spec != nullptr, "get_string: option is declared");
+  if (!spec->default_value.empty()) return spec->default_value;
+  throw InvalidArgument("missing required option --" + name);
+}
+
+double Args::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + name + ": '" + v + "' is not a number");
+  }
+}
+
+long Args::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  try {
+    return std::stol(v);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + name + ": '" + v +
+                          "' is not an integer");
+  }
+}
+
+bool Args::get_bool(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Args::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [options]\n\noptions:\n";
+  for (const OptionSpec& s : specs_) {
+    os << "  --" << s.name;
+    if (!s.boolean) os << " <value>";
+    os << "\n      " << s.help;
+    if (!s.default_value.empty()) os << " (default: " << s.default_value << ")";
+    os << "\n";
+  }
+  os << "  --help\n      show this text\n";
+  return os.str();
+}
+
+}  // namespace ptrack::cli

@@ -1,0 +1,54 @@
+// Minimal command-line argument parser for the PTrack tools.
+//
+// Supports --flag value, --flag=value and boolean --flag forms, typed
+// accessors with defaults, required-argument checks and an auto-generated
+// usage text. Deliberately tiny: no subcommands, no positional arguments.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ptrack::cli {
+
+/// Declarative description of one option (for the usage text).
+struct OptionSpec {
+  std::string name;     ///< without the leading "--"
+  std::string help;
+  std::string default_value;  ///< shown in usage; empty = required/bool
+  bool boolean = false;
+};
+
+/// Parsed arguments.
+class Args {
+ public:
+  /// Parses argv; throws ptrack::InvalidArgument on malformed input or
+  /// unknown options (specs define the accepted set).
+  Args(int argc, const char* const* argv, std::vector<OptionSpec> specs);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed accessors; throw InvalidArgument when absent and no default was
+  /// declared, or when conversion fails.
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Usage text assembled from the specs.
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+  /// True when --help was passed.
+  [[nodiscard]] bool help_requested() const { return help_; }
+
+ private:
+  [[nodiscard]] const OptionSpec* find_spec(const std::string& name) const;
+
+  std::vector<OptionSpec> specs_;
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+}  // namespace ptrack::cli

@@ -1,0 +1,62 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ptrack::csv {
+
+void write(const std::string& path, const std::vector<std::string>& header,
+           const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) throw Error("csv::write: cannot open " + path);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out << ',';
+    out << header[i];
+  }
+  out << '\n';
+  out.precision(12);
+  for (const auto& row : rows) {
+    expects(row.size() == header.size(), "csv::write: row width == header");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) throw Error("csv::write: write failed for " + path);
+}
+
+Document read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("csv::read: cannot open " + path);
+  Document doc;
+  std::string line;
+  if (!std::getline(in, line)) throw Error("csv::read: empty file " + path);
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) doc.header.push_back(cell);
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    row.reserve(doc.header.size());
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw Error("csv::read: non-numeric cell '" + cell + "' in " + path);
+      }
+    }
+    if (row.size() != doc.header.size())
+      throw Error("csv::read: ragged row in " + path);
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+}  // namespace ptrack::csv

@@ -1,0 +1,26 @@
+// Minimal CSV reader/writer used for trace I/O and bench exports.
+// Handles plain numeric CSV (no quoting/escapes — traces never need them).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ptrack::csv {
+
+/// One parsed CSV document: a header row plus data rows of doubles.
+struct Document {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Writes rows of doubles with a header line. Throws ptrack::Error on I/O
+/// failure.
+void write(const std::string& path, const std::vector<std::string>& header,
+           const std::vector<std::vector<double>>& rows);
+
+/// Reads a CSV written by write(); throws ptrack::Error on I/O or parse
+/// failure (including ragged rows).
+Document read(const std::string& path);
+
+}  // namespace ptrack::csv

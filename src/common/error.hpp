@@ -1,0 +1,59 @@
+// Error-handling primitives shared across all PTrack modules.
+//
+// Policy (per C++ Core Guidelines E.2 / I.5): invalid *configuration* or
+// *arguments* supplied by a caller throw an exception derived from
+// ptrack::Error; internal invariant violations use PT_CHECK which also throws
+// so failures are observable in release builds (we never silently continue
+// with corrupted state in a tracking system).
+
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace ptrack {
+
+/// Base class of every exception thrown by the PTrack library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a caller supplies an invalid parameter or configuration.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an internal invariant does not hold (a bug, or numerically
+/// impossible sensor input such as NaN accelerations).
+class InvariantViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* what, std::string_view msg,
+                                    const std::source_location& loc) {
+  throw InvariantViolation(std::string(what) + " failed at " +
+                           loc.file_name() + ":" + std::to_string(loc.line()) +
+                           " (" + loc.function_name() + "): " +
+                           std::string(msg));
+}
+
+}  // namespace detail
+
+/// Precondition check for caller-supplied values. Throws InvalidArgument.
+inline void expects(bool cond, std::string_view msg) {
+  if (!cond) throw InvalidArgument("precondition violated: " + std::string(msg));
+}
+
+/// Internal invariant check. Throws InvariantViolation with location info.
+inline void check(bool cond, std::string_view msg,
+                  const std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail_check("invariant", msg, loc);
+}
+
+}  // namespace ptrack

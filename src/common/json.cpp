@@ -1,0 +1,148 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace ptrack::json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Writer::Writer(std::ostream& os) : os_(os) {}
+
+void Writer::before_value() {
+  if (expecting_value_) {
+    expecting_value_ = false;
+    return;
+  }
+  check(stack_.empty() || stack_.back() == Ctx::Array,
+        "json: value without key inside an object");
+  check(!stack_.empty() || !root_written_, "json: multiple root values");
+  if (!stack_.empty()) {
+    if (!first_.back()) os_ << ',';
+    first_.back() = false;
+  } else {
+    root_written_ = true;
+  }
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Ctx::Object);
+  first_.push_back(true);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  check(!stack_.empty() && stack_.back() == Ctx::Object,
+        "json: end_object outside an object");
+  check(!expecting_value_, "json: dangling key");
+  os_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Ctx::Array);
+  first_.push_back(true);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  check(!stack_.empty() && stack_.back() == Ctx::Array,
+        "json: end_array outside an array");
+  os_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+Writer& Writer::key(const std::string& name) {
+  check(!stack_.empty() && stack_.back() == Ctx::Object,
+        "json: key outside an object");
+  check(!expecting_value_, "json: key after key");
+  if (!first_.back()) os_ << ',';
+  first_.back() = false;
+  write_string(name);
+  os_ << ':';
+  expecting_value_ = true;
+  return *this;
+}
+
+void Writer::write_string(const std::string& s) {
+  os_ << '"' << escape(s) << '"';
+}
+
+Writer& Writer::value(const std::string& v) {
+  before_value();
+  write_string(v);
+  return *this;
+}
+
+Writer& Writer::value(const char* v) { return value(std::string(v)); }
+
+Writer& Writer::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    os_ << buf;
+  } else {
+    os_ << "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+Writer& Writer::value(long long v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(std::size_t v) {
+  return value(static_cast<long long>(v));
+}
+
+Writer& Writer::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+bool Writer::complete() const {
+  return stack_.empty() && root_written_ && !expecting_value_;
+}
+
+}  // namespace ptrack::json

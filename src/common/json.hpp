@@ -1,0 +1,61 @@
+// Minimal streaming JSON writer for the CLI tools' machine-readable
+// output. Write-only by design (the library never needs to parse JSON).
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ptrack::json {
+
+/// Streaming writer producing compact, valid JSON. Usage:
+///
+///   Writer w(os);
+///   w.begin_object();
+///   w.key("steps").value(42);
+///   w.key("events").begin_array();
+///   w.begin_object().key("t").value(1.5).end_object();
+///   w.end_array().end_object();
+///
+/// Structural misuse (e.g. a key outside an object) throws
+/// ptrack::InvariantViolation.
+class Writer {
+ public:
+  explicit Writer(std::ostream& os);
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Emits an object key; must be inside an object and followed by a value.
+  Writer& key(const std::string& name);
+
+  Writer& value(const std::string& v);
+  Writer& value(const char* v);
+  Writer& value(double v);
+  Writer& value(long long v);
+  Writer& value(std::size_t v);
+  Writer& value(bool v);
+  Writer& null();
+
+  /// True when all containers are closed (the document is complete).
+  [[nodiscard]] bool complete() const;
+
+ private:
+  enum class Ctx { Object, Array };
+  void before_value();
+  void write_string(const std::string& s);
+
+  std::ostream& os_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_;  ///< parallel to stack_: no comma yet?
+  bool expecting_value_ = false;  ///< a key was just written
+  bool root_written_ = false;
+};
+
+/// Escapes a string per JSON rules (exposed for tests).
+std::string escape(const std::string& s);
+
+}  // namespace ptrack::json

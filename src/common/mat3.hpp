@@ -1,0 +1,91 @@
+// Minimal 3x3 rotation-matrix type used for device mounting orientation and
+// heading rotations. Row-major, value semantics.
+
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/vec3.hpp"
+
+namespace ptrack {
+
+/// 3x3 matrix, row-major. Only the operations PTrack needs.
+struct Mat3 {
+  std::array<std::array<double, 3>, 3> m{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+
+  static constexpr Mat3 identity() { return {}; }
+
+  /// Rotation about the world Z axis by yaw radians (right-handed).
+  static Mat3 rot_z(double yaw) {
+    const double c = std::cos(yaw);
+    const double s = std::sin(yaw);
+    Mat3 r;
+    r.m = {{{c, -s, 0}, {s, c, 0}, {0, 0, 1}}};
+    return r;
+  }
+
+  /// Rotation about the world Y axis by pitch radians.
+  static Mat3 rot_y(double pitch) {
+    const double c = std::cos(pitch);
+    const double s = std::sin(pitch);
+    Mat3 r;
+    r.m = {{{c, 0, s}, {0, 1, 0}, {-s, 0, c}}};
+    return r;
+  }
+
+  /// Rotation about the world X axis by roll radians.
+  static Mat3 rot_x(double roll) {
+    const double c = std::cos(roll);
+    const double s = std::sin(roll);
+    Mat3 r;
+    r.m = {{{1, 0, 0}, {0, c, -s}, {0, s, c}}};
+    return r;
+  }
+
+  /// Intrinsic Z-Y-X (yaw, pitch, roll) composition.
+  static Mat3 from_euler(double roll, double pitch, double yaw) {
+    return rot_z(yaw) * rot_y(pitch) * rot_x(roll);
+  }
+
+  /// Rodrigues rotation about a unit axis by `angle` radians.
+  static Mat3 axis_angle(const Vec3& axis, double angle) {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    const double t = 1.0 - c;
+    const double x = axis.x;
+    const double y = axis.y;
+    const double z = axis.z;
+    Mat3 r;
+    r.m = {{{t * x * x + c, t * x * y - s * z, t * x * z + s * y},
+            {t * x * y + s * z, t * y * y + c, t * y * z - s * x},
+            {t * x * z - s * y, t * y * z + s * x, t * z * z + c}}};
+    return r;
+  }
+
+  friend Mat3 operator*(const Mat3& a, const Mat3& b) {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        double acc = 0.0;
+        for (int k = 0; k < 3; ++k) acc += a.m[i][k] * b.m[k][j];
+        r.m[i][j] = acc;
+      }
+    return r;
+  }
+
+  [[nodiscard]] Vec3 apply(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  [[nodiscard]] Mat3 transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+};
+
+}  // namespace ptrack

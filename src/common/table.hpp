@@ -1,0 +1,44 @@
+// Fixed-width console table used by the bench binaries to print
+// paper-figure reproductions as aligned rows.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ptrack {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+/// Cells are strings; helpers format numbers consistently.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Formats an integer.
+  static std::string num(long long v);
+
+  /// Formats a percentage (0.937 -> "93.7%").
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the table to the stream with a separator under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used by bench binaries.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace ptrack

@@ -1,0 +1,73 @@
+// A small 3-vector used for accelerations, angular rates and positions.
+// Value type, constexpr-friendly, no dynamic allocation.
+
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace ptrack {
+
+/// 3-component double vector. Components follow the *world* convention used
+/// throughout PTrack: x = anterior (walking direction), y = lateral (left),
+/// z = vertical (up). Device-frame vectors use the same type; the frame is
+/// documented at each use site.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) {
+    x /= s; y /= s; z /= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] double norm() const { return std::sqrt(dot(*this)); }
+  [[nodiscard]] constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector in the same direction; returns the zero vector unchanged.
+  [[nodiscard]] Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+/// Standard gravity used across the library (m/s^2).
+inline constexpr double kGravity = 9.80665;
+
+/// World-frame unit vectors.
+inline constexpr Vec3 kAnterior{1.0, 0.0, 0.0};
+inline constexpr Vec3 kLateral{0.0, 1.0, 0.0};
+inline constexpr Vec3 kVertical{0.0, 0.0, 1.0};
+
+}  // namespace ptrack

@@ -1,0 +1,38 @@
+// Body-bounce solver (paper Eqs. 3-5).
+//
+// Within one arm sweep (one step) the device's measured vertical
+// displacements h1 (backmost -> vertical, downward positive) and h2
+// (vertical -> foremost, upward positive) mix the arm's vertical travel
+// r1/r2 with the body's bounce b:
+//
+//   h1 = r1 - b,   h2 = r2 - b                                  (3),(4)
+//   d  = sqrt(m^2 - (m-r1)^2) + sqrt(m^2 - (m-r2)^2)            (5)
+//
+// with m the arm length and d the arm's anterior travel over the sweep.
+// Substituting r_i = h_i + b into (5) gives one monotone equation in b,
+// which we solve by bisection (the paper omits its closed form). On the
+// physical branch r_i in [0, m], the left side of (5) is strictly
+// increasing in b, so the root is unique when it exists.
+
+#pragma once
+
+namespace ptrack::core {
+
+/// Result of a bounce solve.
+struct BounceSolution {
+  double bounce = 0.0;  ///< solved b (m); clamped into the valid range
+  bool valid = false;   ///< root found inside the physical branch
+};
+
+/// Solves Eqs. (3)-(5) for b given measured h1, h2 (signed, metres), the
+/// arm's anterior travel d (> 0) and the arm length m (> 0).
+BounceSolution solve_bounce(double h1, double h2, double d, double m);
+
+/// Eq. (5)'s left-hand side with r_i = h_i + b; exposed for tests.
+double sweep_width(double b, double h1, double h2, double m);
+
+/// Eq. (2): stride from bounce, with leg length l and calibration k.
+/// The bounce is clamped into [0, l].
+double stride_from_bounce(double bounce, double leg_length, double k);
+
+}  // namespace ptrack::core

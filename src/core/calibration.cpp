@@ -1,0 +1,31 @@
+#include "core/calibration.hpp"
+
+#include "common/error.hpp"
+#include "core/ptrack.hpp"
+
+namespace ptrack::core {
+
+CalibrationResult calibrate_k(const imu::Trace& calibration_walk,
+                              double known_distance,
+                              const StrideProfile& profile,
+                              const StepCounterConfig& counter) {
+  expects(known_distance > 0.0, "calibrate_k: known_distance > 0");
+
+  PTrackConfig config;
+  config.counter = counter;
+  config.stride.profile = profile;
+  PTrack tracker(config);
+  const TrackResult result = tracker.process(calibration_walk);
+  if (result.steps == 0 || result.distance() <= 0.0) {
+    throw Error("calibrate_k: the calibration walk produced no counted steps");
+  }
+
+  CalibrationResult out;
+  out.steps = result.steps;
+  out.distance_ratio = known_distance / result.distance();
+  // Stride is linear in k, so the modeled distance rescales directly.
+  out.k = profile.k * out.distance_ratio;
+  return out;
+}
+
+}  // namespace ptrack::core

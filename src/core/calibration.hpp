@@ -1,0 +1,31 @@
+// Per-user calibration of the Eq. (2) factor k (the paper's
+// "initialization phase": k is trained for each user against a walk of
+// known length). Complements self_training: self_train() learns m and l,
+// calibrate_k() refines the multiplicative scale for users whose gait
+// deviates from the default inverted-pendulum factor of 2.
+
+#pragma once
+
+#include "core/types.hpp"
+#include "imu/trace.hpp"
+
+namespace ptrack::core {
+
+/// Result of a k calibration pass.
+struct CalibrationResult {
+  double k = 2.0;                ///< calibrated Eq. (2) factor
+  double distance_ratio = 1.0;   ///< known / modeled distance at k = base_k
+  std::size_t steps = 0;         ///< steps counted in the calibration walk
+};
+
+/// Calibrates k so the modeled distance of the calibration walk matches
+/// `known_distance` (> 0). The profile's arm and leg lengths are taken
+/// from `profile`; its k field is the starting value. Eq. (2) is linear in
+/// k, so the calibration is a single closed-form rescale. Throws
+/// ptrack::Error when the walk yields no counted steps.
+CalibrationResult calibrate_k(const imu::Trace& calibration_walk,
+                              double known_distance,
+                              const StrideProfile& profile,
+                              const StepCounterConfig& counter = {});
+
+}  // namespace ptrack::core

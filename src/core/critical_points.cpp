@@ -1,0 +1,40 @@
+#include "core/critical_points.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "dsp/peaks.hpp"
+
+namespace ptrack::core {
+
+std::vector<CriticalPoint> critical_points(std::span<const double> cycle,
+                                           const CriticalPointOptions& opt,
+                                           bool include_zeros) {
+  std::vector<CriticalPoint> out;
+  if (cycle.size() < 5) return out;
+
+  const std::vector<double> centered = stats::demeaned(cycle);
+  const double span = stats::max(centered) - stats::min(centered);
+  const double rms = stats::rms(centered);
+
+  dsp::PeakOptions popt;
+  popt.min_prominence =
+      std::max(opt.prominence_fraction * span, opt.min_abs_prominence);
+  for (const dsp::Extremum& e : dsp::find_extrema(centered, popt)) {
+    out.push_back({e.index,
+                   e.is_max ? CriticalKind::Maximum : CriticalKind::Minimum});
+  }
+  if (include_zeros) {
+    for (std::size_t z :
+         dsp::zero_crossings(centered, opt.hysteresis_fraction * rms)) {
+      out.push_back({z, CriticalKind::Zero});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CriticalPoint& a, const CriticalPoint& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace ptrack::core

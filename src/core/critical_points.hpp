@@ -1,0 +1,54 @@
+// Critical-point extraction (paper SIII-B1).
+//
+// Within a candidate gait cycle, the critical points of each projected
+// channel are its *turning points* (local extrema) and its *zero crossings*
+// (a turning point on one axis coinciding with a zero on the other is the
+// paper's "crossing point"; representing zeros as first-class points on
+// each axis lets one nearest-neighbor match capture both coincidence
+// types).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ptrack::core {
+
+/// Kind of a critical point.
+enum class CriticalKind {
+  Maximum,
+  Minimum,
+  Zero,
+};
+
+/// One critical point of one channel.
+struct CriticalPoint {
+  std::size_t index = 0;  ///< sample index within the cycle
+  CriticalKind kind = CriticalKind::Maximum;
+};
+
+/// Extraction options.
+struct CriticalPointOptions {
+  /// Extremum prominence as a fraction of the cycle's peak-to-peak span.
+  double prominence_fraction = 0.12;
+  /// Zero-crossing hysteresis as a fraction of the cycle RMS.
+  double hysteresis_fraction = 0.20;
+  /// Absolute prominence floor (m/s^2): extrema weaker than this are sensor
+  /// noise or postural sway, not activity, regardless of the cycle span.
+  double min_abs_prominence = 0.0;
+};
+
+/// Extracts critical points of one channel within a cycle, sorted by index.
+/// The signal is demeaned internally before zero crossings are computed (a
+/// cycle-long DC offset is posture, not motion).
+///
+/// `include_zeros` selects the role of the channel in the Eq. (1) match:
+/// the *query* channel (vertical) uses turning points only; the *match*
+/// channel (anterior) additionally exposes its zeros, so that a vertical
+/// turning point aligned with an anterior zero — the paper's "crossing
+/// point" — scores as a perfect match.
+std::vector<CriticalPoint> critical_points(
+    std::span<const double> cycle, const CriticalPointOptions& opt = {},
+    bool include_zeros = true);
+
+}  // namespace ptrack::core

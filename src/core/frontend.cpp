@@ -1,0 +1,112 @@
+#include "core/frontend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/attitude.hpp"
+#include "dsp/filtfilt.hpp"
+
+namespace ptrack::core {
+
+namespace {
+
+/// Decomposes pre-computed vertical/anterior raw channels into the final
+/// band-limited ProjectedTrace.
+ProjectedTrace finish(std::vector<double> vertical,
+                      std::vector<double> anterior, double fs,
+                      double lowpass_hz) {
+  ProjectedTrace out;
+  out.fs = fs;
+  const double fc = std::min(lowpass_hz, 0.45 * fs);
+  out.vertical = dsp::zero_phase_lowpass(vertical, fc, fs, 4);
+  out.anterior = dsp::zero_phase_lowpass(anterior, fc, fs, 4);
+  return out;
+}
+
+/// Anterior projection of gravity-removed residuals, either with one global
+/// principal direction or re-fit per window with sign continuity.
+std::vector<double> anterior_channel(const std::vector<Vec3>& forces,
+                                     const std::vector<Vec3>& ups, double fs,
+                                     double anterior_window_s) {
+  const std::size_t n = forces.size();
+  std::vector<double> anterior(n, 0.0);
+
+  const auto project_range = [&](std::size_t begin, std::size_t end,
+                                 Vec3& prev_dir) {
+    const std::span<const Vec3> window(forces.data() + begin, end - begin);
+    // Representative up for the window (they vary slowly).
+    Vec3 up{};
+    for (std::size_t i = begin; i < end; ++i) up += ups[i];
+    up = up.normalized();
+    Vec3 dir = dsp::principal_horizontal_direction(window, up);
+    // Sign continuity: PCA is sign-ambiguous; align with the previous
+    // window so the channel doesn't flip mid-trace.
+    if (prev_dir.norm2() > 0.0 && dir.dot(prev_dir) < 0.0) dir = -dir;
+    prev_dir = dir;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vec3 residual = forces[i] - ups[i] * forces[i].dot(ups[i]);
+      anterior[i] = residual.dot(dir);
+    }
+  };
+
+  Vec3 prev_dir{};
+  if (anterior_window_s <= 0.0) {
+    project_range(0, n, prev_dir);
+    return anterior;
+  }
+  const auto window =
+      std::max<std::size_t>(32, static_cast<std::size_t>(anterior_window_s * fs));
+  std::size_t begin = 0;
+  while (begin < n) {
+    std::size_t end = std::min(begin + window, n);
+    // Avoid a tiny tail window: merge it into the previous one.
+    if (n - end < window / 2) end = n;
+    project_range(begin, end, prev_dir);
+    begin = end;
+  }
+  return anterior;
+}
+
+ProjectedTrace project_common(const imu::Trace& trace, double lowpass_hz,
+                              double anterior_window_s,
+                              const std::vector<Vec3>& ups) {
+  const double fs = trace.fs();
+  const auto forces = trace.accel_vectors();
+
+  std::vector<double> vertical(forces.size());
+  for (std::size_t i = 0; i < forces.size(); ++i) {
+    vertical[i] = forces[i].dot(ups[i]) - kGravity;
+  }
+  std::vector<double> anterior =
+      anterior_channel(forces, ups, fs, anterior_window_s);
+  return finish(std::move(vertical), std::move(anterior), fs, lowpass_hz);
+}
+
+}  // namespace
+
+ProjectedTrace project_trace(const imu::Trace& trace, double lowpass_hz,
+                             double anterior_window_s) {
+  expects(trace.size() >= 16, "project_trace: >= 16 samples");
+  expects(lowpass_hz > 0.0, "project_trace: lowpass_hz > 0");
+  const Vec3 up = dsp::estimate_up(trace.accel_vectors(), trace.fs());
+  const std::vector<Vec3> ups(trace.size(), up);
+  return project_common(trace, lowpass_hz, anterior_window_s, ups);
+}
+
+ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
+                                           double lowpass_hz,
+                                           double anterior_window_s) {
+  expects(trace.size() >= 16, "project_trace_with_attitude: >= 16 samples");
+  expects(lowpass_hz > 0.0, "project_trace_with_attitude: lowpass_hz > 0");
+  dsp::AttitudeEstimator estimator;
+  const double dt = trace.dt();
+  std::vector<Vec3> ups;
+  ups.reserve(trace.size());
+  for (const imu::Sample& s : trace.samples()) {
+    ups.push_back(estimator.update(s.gyro, s.accel, dt));
+  }
+  return project_common(trace, lowpass_hz, anterior_window_s, ups);
+}
+
+}  // namespace ptrack::core

@@ -1,0 +1,39 @@
+// Projection frontend: raw wrist trace -> band-limited vertical + anterior
+// acceleration channels (paper SIII-B2).
+
+#pragma once
+
+#include "dsp/projection.hpp"
+#include "imu/trace.hpp"
+
+namespace ptrack::core {
+
+/// Projected and band-limited signals ready for cycle analysis.
+struct ProjectedTrace {
+  std::vector<double> vertical;  ///< low-passed linear vertical accel
+  std::vector<double> anterior;  ///< low-passed anterior accel
+  double fs = 0.0;
+};
+
+/// Projects a trace onto vertical/anterior axes and low-passes both channels
+/// with a zero-phase Butterworth at `lowpass_hz` (zero-phase so critical
+/// point *positions* are preserved). Requires >= 16 samples.
+///
+/// `anterior_window_s` selects how the forward axis is estimated: 0 fits
+/// one principal horizontal direction over the whole trace (fine for
+/// straight walks); > 0 re-fits it per window of that many seconds with
+/// sign continuity across windows, which keeps the anterior channel
+/// faithful on routes with turns.
+ProjectedTrace project_trace(const imu::Trace& trace, double lowpass_hz,
+                             double anterior_window_s = 0.0);
+
+/// Projection for *raw device-frame* streams: tracks the up direction per
+/// sample with a gyro/accel complementary filter (dsp::AttitudeEstimator)
+/// instead of the batch gravity low-pass, then projects as project_trace
+/// does. Use when the trace carries raw sensor data rather than a
+/// platform's gravity-referenced output.
+ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
+                                           double lowpass_hz,
+                                           double anterior_window_s = 0.0);
+
+}  // namespace ptrack::core

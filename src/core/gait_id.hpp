@@ -1,0 +1,63 @@
+// Gait-type identification: the Fig. 4 decision flow.
+//
+// Per candidate cycle:
+//   1. offset > delta            -> Walking (count +2)
+//   2. else, half-cycle autocorrelation C of the anterior channel must be
+//      positive AND the vertical/anterior phase difference must sit at a
+//      quarter of the step period; when both hold for `streak` consecutive
+//      cycles the pending cycles are confirmed as Stepping (count +2 each,
+//      i.e. +6 on the third confirmation with the default streak of 3).
+//   3. else                      -> Interference (count +0)
+
+#pragma once
+
+#include <span>
+
+#include "core/types.hpp"
+
+namespace ptrack::core {
+
+/// Per-cycle analysis results (before streak logic).
+struct CycleAnalysis {
+  double offset = 0.0;
+  double half_cycle_corr = 0.0;
+  bool phase_ok = false;
+};
+
+/// Computes offset, half-cycle autocorrelation and the phase gate for one
+/// cycle. `vertical` and `anterior` are the cycle's projected channels
+/// (equal sizes, >= 8 samples).
+CycleAnalysis analyze_cycle(std::span<const double> vertical,
+                            std::span<const double> anterior,
+                            const StepCounterConfig& cfg);
+
+/// Stateful classifier implementing the streak confirmation. Feed cycles in
+/// order; classify() returns the decision for the current cycle and, via
+/// `confirmed_backlog`, how many *previous* pending cycles were just
+/// confirmed as stepping (0 except at the streak-completion cycle, where it
+/// is streak-1).
+class GaitIdentifier {
+ public:
+  explicit GaitIdentifier(StepCounterConfig cfg);
+
+  struct Decision {
+    GaitType type = GaitType::Interference;
+    std::size_t confirmed_backlog = 0;  ///< earlier cycles confirmed now
+  };
+
+  Decision classify(const CycleAnalysis& analysis);
+
+  /// Resets the stepping streak (e.g. after a gap in candidates).
+  void reset();
+
+  [[nodiscard]] const StepCounterConfig& config() const { return cfg_; }
+
+ private:
+  StepCounterConfig cfg_;
+  std::size_t streak_count_ = 0;
+  bool streak_active_ = false;
+  std::size_t walking_streak_ = 0;  ///< consecutive strict walking cycles
+  std::size_t walking_credit_ = 0;  ///< borderline acceptances remaining
+};
+
+}  // namespace ptrack::core

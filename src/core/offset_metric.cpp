@@ -1,0 +1,39 @@
+#include "core/offset_metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptrack::core {
+
+double cycle_offset(std::span<const CriticalPoint> vertical_points,
+                    std::span<const CriticalPoint> anterior_points,
+                    std::size_t n, bool use_weighting, double weight_cap) {
+  expects(n >= 1, "cycle_offset: n >= 1");
+  if (vertical_points.empty()) return 0.0;
+  if (anterior_points.empty()) return 1.0;
+
+  const double nd = static_cast<double>(n);
+  double offset = 0.0;
+  std::size_t prev_index = 0;  // cycle start anchors the first weight
+  for (const CriticalPoint& nv : vertical_points) {
+    // Closest anterior critical point (anterior_points sorted by index).
+    double best = nd;
+    for (const CriticalPoint& na : anterior_points) {
+      const double dist = std::abs(static_cast<double>(na.index) -
+                                   static_cast<double>(nv.index));
+      best = std::min(best, dist);
+    }
+    const double w =
+        use_weighting
+            ? std::min(static_cast<double>(nv.index - prev_index) / nd,
+                       weight_cap)
+            : 1.0;
+    offset += w * best / nd;
+    prev_index = nv.index;
+  }
+  return offset;
+}
+
+}  // namespace ptrack::core

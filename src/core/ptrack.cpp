@@ -1,0 +1,94 @@
+#include "core/ptrack.hpp"
+
+#include "common/error.hpp"
+#include "dsp/moving.hpp"
+
+namespace ptrack::core {
+
+PTrack::PTrack(PTrackConfig cfg)
+    : cfg_(cfg), counter_(cfg.counter), estimator_(cfg.stride) {}
+
+void PTrack::set_profile(const StrideProfile& profile) {
+  cfg_.stride.profile = profile;
+  estimator_.set_profile(profile);
+}
+
+TrackResult PTrack::process(const imu::Trace& trace) const {
+  if (trace.size() < 16) return {};
+  const ProjectedTrace projected =
+      cfg_.counter.use_attitude_filter
+          ? project_trace_with_attitude(trace, cfg_.counter.lowpass_hz,
+                                        cfg_.counter.anterior_window_s)
+          : project_trace(trace, cfg_.counter.lowpass_hz,
+                          cfg_.counter.anterior_window_s);
+  TrackResult result = counter_.process_projected(projected);
+
+  // Events were emitted two per counted cycle, chronologically, and
+  // result.cycles is ordered by cycle start — walk both in lockstep and
+  // fill the stride fields.
+  std::size_t event_idx = 0;
+  for (const CycleRecord& cycle : result.cycles) {
+    if (cycle.type == GaitType::Interference) continue;
+    check(event_idx + 2 <= result.events.size(),
+          "PTrack::process: events align with counted cycles");
+    const auto estimates = estimator_.estimate_cycle(projected, cycle);
+    for (std::size_t j = 0; j < 2; ++j) {
+      if (j < estimates.size() && estimates[j].valid) {
+        result.events[event_idx + j].stride = estimates[j].stride;
+      }
+    }
+    event_idx += 2;
+  }
+
+  // Failed or invalid geometry solves leave stride 0; carry the most recent
+  // estimate across them — a walker's stride is strongly autocorrelated
+  // step to step — then backfill leading zeros from the first good one.
+  double last_stride = 0.0;
+  for (StepEvent& e : result.events) {
+    if (e.stride > 0.0) {
+      last_stride = e.stride;
+    } else if (last_stride > 0.0) {
+      e.stride = last_stride;
+    }
+  }
+  double first_stride = 0.0;
+  for (const StepEvent& e : result.events) {
+    if (e.stride > 0.0) {
+      first_stride = e.stride;
+      break;
+    }
+  }
+  for (StepEvent& e : result.events) {
+    if (e.stride > 0.0) break;
+    e.stride = first_stride;
+  }
+
+  // Median-smooth the filled stride sequence: strides evolve slowly step to
+  // step, so a short median removes per-cycle geometry outliers.
+  if (cfg_.stride.smooth_window > 1 && result.events.size() >= 3) {
+    std::vector<double> strides;
+    strides.reserve(result.events.size());
+    for (const StepEvent& e : result.events) strides.push_back(e.stride);
+    const std::vector<double> smoothed =
+        dsp::moving_median(strides, cfg_.stride.smooth_window);
+    for (std::size_t i = 0; i < result.events.size(); ++i) {
+      result.events[i].stride = smoothed[i];
+    }
+  }
+  return result;
+}
+
+PTrackCounterAdapter::PTrackCounterAdapter(PTrackConfig cfg)
+    : tracker_(cfg) {}
+
+models::StepDetection PTrackCounterAdapter::count_steps(
+    const imu::Trace& trace) {
+  const TrackResult result = tracker_.process(trace);
+  models::StepDetection out;
+  out.count = result.steps;
+  out.step_times.reserve(result.events.size());
+  for (const StepEvent& e : result.events) out.step_times.push_back(e.t);
+  return out;
+}
+
+}  // namespace ptrack::core

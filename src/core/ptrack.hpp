@@ -1,0 +1,58 @@
+// PTrack public facade: the full pipeline of Fig. 2 behind one call.
+//
+//   PTrack tracker(config);
+//   core::TrackResult r = tracker.process(trace);
+//   r.steps, r.events[i].stride, r.distance() ...
+//
+// The facade also adapts PTrack to the models::IStepCounter interface so
+// the figure benches can treat all counters uniformly.
+
+#pragma once
+
+#include <memory>
+
+#include "core/step_counter.hpp"
+#include "core/stride_estimator.hpp"
+#include "core/types.hpp"
+#include "imu/trace.hpp"
+#include "models/step_counter.hpp"
+
+namespace ptrack::core {
+
+/// Facade configuration.
+struct PTrackConfig {
+  StepCounterConfig counter{};
+  StrideConfig stride{};
+};
+
+/// The full PTrack pipeline: projection -> segmentation -> gait
+/// identification -> step counting -> per-step stride estimation.
+class PTrack {
+ public:
+  explicit PTrack(PTrackConfig cfg = {});
+
+  /// Runs the full pipeline over a trace. Every counted step's event gets
+  /// its stride filled in (0 when the geometry solve degenerates).
+  [[nodiscard]] TrackResult process(const imu::Trace& trace) const;
+
+  [[nodiscard]] const PTrackConfig& config() const { return cfg_; }
+  void set_profile(const StrideProfile& profile);
+
+ private:
+  PTrackConfig cfg_;
+  StepCounter counter_;
+  StrideEstimator estimator_;
+};
+
+/// models::IStepCounter adapter over the PTrack pipeline.
+class PTrackCounterAdapter final : public models::IStepCounter {
+ public:
+  explicit PTrackCounterAdapter(PTrackConfig cfg = {});
+  [[nodiscard]] std::string_view name() const override { return "PTrack"; }
+  models::StepDetection count_steps(const imu::Trace& trace) override;
+
+ private:
+  PTrack tracker_;
+};
+
+}  // namespace ptrack::core

@@ -1,0 +1,47 @@
+#include "core/segmentation.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+#include "dsp/peaks.hpp"
+
+namespace ptrack::core {
+
+std::vector<std::size_t> step_peaks(std::span<const double> vertical,
+                                    double fs, const StepCounterConfig& cfg) {
+  dsp::PeakOptions opt;
+  opt.min_distance = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.min_step_interval_s * fs));
+  opt.min_prominence = cfg.min_cycle_prominence;
+
+  return dsp::find_peaks(vertical, opt);
+}
+
+std::vector<CycleCandidate> segment_cycles(std::span<const double> vertical,
+                                           double fs,
+                                           const StepCounterConfig& cfg) {
+  const auto peaks = step_peaks(vertical, fs, cfg);
+  std::vector<CycleCandidate> out;
+  if (peaks.size() < 3) return out;
+
+  const auto max_gap =
+      static_cast<std::size_t>(cfg.max_step_interval_s * fs);
+
+  std::size_t i = 0;
+  while (i + 2 < peaks.size()) {
+    const std::size_t p0 = peaks[i];
+    const std::size_t p1 = peaks[i + 1];
+    const std::size_t p2 = peaks[i + 2];
+    const bool gaps_ok = (p1 - p0) <= max_gap && (p2 - p1) <= max_gap;
+    if (gaps_ok) {
+      out.push_back({p0, p1, p2});
+      i += 2;  // non-overlapping cycles
+    } else {
+      ++i;  // skip the stale peak and retry
+    }
+  }
+  return out;
+}
+
+}  // namespace ptrack::core

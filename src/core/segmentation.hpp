@@ -1,0 +1,35 @@
+// Gait-cycle candidate segmentation (the "existing modules" stage of
+// Fig. 2: low-pass filter -> peak detection -> acceleration segmentation).
+//
+// Vertical-acceleration peaks are step candidates; a candidate gait cycle
+// spans two consecutive step intervals (one full left+right cycle). Cycles
+// are non-overlapping: [p0,p2), [p2,p4), ...
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace ptrack::core {
+
+/// One candidate gait cycle.
+struct CycleCandidate {
+  std::size_t begin = 0;  ///< sample index of the opening step peak
+  std::size_t mid = 0;    ///< middle step peak (half-cycle boundary)
+  std::size_t end = 0;    ///< closing step peak (exclusive bound)
+};
+
+/// Step-candidate peak indices of the vertical channel.
+std::vector<std::size_t> step_peaks(std::span<const double> vertical,
+                                    double fs, const StepCounterConfig& cfg);
+
+/// Pairs step peaks into non-overlapping candidate cycles, dropping pairs
+/// whose step intervals fall outside [min_step_interval_s,
+/// max_step_interval_s].
+std::vector<CycleCandidate> segment_cycles(std::span<const double> vertical,
+                                           double fs,
+                                           const StepCounterConfig& cfg);
+
+}  // namespace ptrack::core

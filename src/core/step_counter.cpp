@@ -1,0 +1,86 @@
+#include "core/step_counter.hpp"
+
+#include "common/error.hpp"
+#include "core/gait_id.hpp"
+#include "core/segmentation.hpp"
+
+namespace ptrack::core {
+
+StepCounter::StepCounter(StepCounterConfig cfg) : cfg_(cfg) {}
+
+TrackResult StepCounter::process(const imu::Trace& trace) const {
+  if (trace.size() < 16) return {};
+  const ProjectedTrace projected =
+      cfg_.use_attitude_filter
+          ? project_trace_with_attitude(trace, cfg_.lowpass_hz,
+                                        cfg_.anterior_window_s)
+          : project_trace(trace, cfg_.lowpass_hz, cfg_.anterior_window_s);
+  return process_projected(projected);
+}
+
+TrackResult StepCounter::process_projected(
+    const ProjectedTrace& projected) const {
+  TrackResult result;
+  const double fs = projected.fs;
+  expects(fs > 0.0, "process_projected: fs > 0");
+
+  const auto candidates = segment_cycles(projected.vertical, fs, cfg_);
+  GaitIdentifier identifier(cfg_);
+
+  std::size_t prev_end = 0;
+  bool have_prev = false;
+  for (const CycleCandidate& c : candidates) {
+    // A gap between candidates breaks any stepping streak.
+    if (have_prev && c.begin != prev_end) identifier.reset();
+    prev_end = c.end;
+    have_prev = true;
+
+    const std::size_t n = c.end - c.begin;
+    if (n < 8) continue;
+    const std::span<const double> vert(projected.vertical.data() + c.begin, n);
+    const std::span<const double> ant(projected.anterior.data() + c.begin, n);
+
+    const CycleAnalysis analysis = analyze_cycle(vert, ant, cfg_);
+    const GaitIdentifier::Decision decision = identifier.classify(analysis);
+
+    CycleRecord record;
+    record.begin = c.begin;
+    record.mid = c.mid;
+    record.end = c.end;
+    record.type = decision.type;
+    record.offset = analysis.offset;
+    record.half_cycle_corr = analysis.half_cycle_corr;
+    record.phase_ok = analysis.phase_ok;
+    result.cycles.push_back(record);
+
+    const auto emit_steps = [&](const CycleRecord& cycle) {
+      // The two steps of the cycle complete at its mid and end peaks; the
+      // cycle's begin/mid/end indices are step-peak positions.
+      StepEvent mid_event;
+      mid_event.t = static_cast<double>(cycle.mid) / fs;
+      mid_event.type = cycle.type;
+      result.events.push_back(mid_event);
+      StepEvent end_event;
+      end_event.t = static_cast<double>(cycle.end) / fs;
+      end_event.type = cycle.type;
+      result.events.push_back(end_event);
+      result.steps += 2;
+    };
+
+    if (decision.type != GaitType::Interference) {
+      // Retro-confirm withheld cycles first so event times stay ordered.
+      if (decision.confirmed_backlog > 0) {
+        const std::size_t first =
+            result.cycles.size() - 1 - decision.confirmed_backlog;
+        for (std::size_t i = first; i + 1 < result.cycles.size(); ++i) {
+          result.cycles[i].type = GaitType::Stepping;
+          emit_steps(result.cycles[i]);
+        }
+      }
+      emit_steps(record);
+    }
+  }
+  return result;
+}
+
+}  // namespace ptrack::core

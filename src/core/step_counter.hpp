@@ -1,0 +1,33 @@
+// The PTrack step counter: segmentation + gait identification + counting
+// (Figs. 2 and 4), producing per-cycle diagnostics for Fig. 6(b).
+
+#pragma once
+
+#include "core/frontend.hpp"
+#include "core/types.hpp"
+#include "imu/trace.hpp"
+
+namespace ptrack::core {
+
+/// Batch step counter over a full trace. Stride fields of the emitted
+/// events are 0; the stride estimator fills them (see PTrack facade).
+class StepCounter {
+ public:
+  explicit StepCounter(StepCounterConfig cfg = {});
+
+  /// Processes a raw trace (projection + low-pass + segmentation +
+  /// identification). Traces shorter than 16 samples yield an empty result.
+  [[nodiscard]] TrackResult process(const imu::Trace& trace) const;
+
+  /// Processes already projected channels (used by the facade to share the
+  /// projection with the stride estimator).
+  [[nodiscard]] TrackResult process_projected(
+      const ProjectedTrace& projected) const;
+
+  [[nodiscard]] const StepCounterConfig& config() const { return cfg_; }
+
+ private:
+  StepCounterConfig cfg_;
+};
+
+}  // namespace ptrack::core

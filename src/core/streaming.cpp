@@ -1,0 +1,80 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ptrack::core {
+
+StreamingTracker::StreamingTracker(double fs, StreamingConfig config)
+    : fs_(fs), config_(config), pipeline_(config.pipeline) {
+  expects(fs > 0.0, "StreamingTracker: fs > 0");
+  expects(config_.hop_s > 0.0, "StreamingTracker: hop_s > 0");
+  expects(config_.guard_s > 0.0, "StreamingTracker: guard_s > 0");
+  expects(config_.window_s > 2.0 * config_.guard_s,
+          "StreamingTracker: window_s > 2 * guard_s");
+}
+
+void StreamingTracker::push(const imu::Sample& sample) {
+  imu::Sample s = sample;
+  s.t = next_t_;
+  next_t_ += 1.0 / fs_;
+  window_.push_back(s);
+
+  // Trim the sliding window.
+  const double min_keep = next_t_ - config_.window_s;
+  while (!window_.empty() && window_.front().t < min_keep &&
+         window_.front().t < emit_frontier_ - config_.guard_s) {
+    window_start_t_ = window_.front().t + 1.0 / fs_;
+    window_.pop_front();
+  }
+
+  if (next_t_ - last_processed_t_ >= config_.hop_s) {
+    process_window(next_t_ - config_.guard_s);
+    last_processed_t_ = next_t_;
+  }
+}
+
+void StreamingTracker::push(const imu::Trace& trace) {
+  for (const imu::Sample& s : trace.samples()) push(s);
+}
+
+void StreamingTracker::process_window(double horizon) {
+  if (window_.size() < 32) return;
+
+  // Materialize the window as a trace with window-relative timestamps.
+  std::vector<imu::Sample> samples(window_.begin(), window_.end());
+  const double t0 = samples.front().t;
+  for (imu::Sample& s : samples) s.t -= t0;
+  const imu::Trace trace(fs_, std::move(samples));
+
+  const TrackResult result = pipeline_.process(trace);
+  for (const StepEvent& e : result.events) {
+    const double t_abs = e.t + t0;
+    if (t_abs <= emit_frontier_ || t_abs > horizon) continue;
+    StepEvent out = e;
+    out.t = t_abs;
+    ready_.push_back(out);
+  }
+  // Advance the frontier even when no events landed, so a re-run over the
+  // same region cannot re-emit older events with slightly shifted stamps.
+  if (horizon > emit_frontier_) emit_frontier_ = horizon;
+  std::sort(ready_.begin(), ready_.end(),
+            [](const StepEvent& a, const StepEvent& b) { return a.t < b.t; });
+}
+
+std::vector<StepEvent> StreamingTracker::poll() {
+  std::vector<StepEvent> out;
+  out.swap(ready_);
+  emitted_steps_ += out.size();
+  for (const StepEvent& e : out) emitted_distance_ += e.stride;
+  return out;
+}
+
+std::vector<StepEvent> StreamingTracker::finish() {
+  process_window(next_t_ + 1.0);  // flush: no guard
+  last_processed_t_ = next_t_;
+  return poll();
+}
+
+}  // namespace ptrack::core

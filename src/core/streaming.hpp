@@ -1,0 +1,91 @@
+// Streaming (online) PTrack: push IMU samples as they arrive, poll step
+// events as they are confirmed — the operating mode of the paper's
+// smartwatch prototype, with bounded memory.
+//
+// Design: the batch pipeline is already causal at cycle granularity (a
+// cycle is classified when its closing peak lands; the stepping streak
+// defers confirmation by at most `streak` cycles). The streaming wrapper
+// therefore keeps a sliding window of recent samples, re-runs the batch
+// pipeline on it when enough new data has accumulated, and emits exactly
+// the events whose timestamps lie beyond the already-emitted frontier.
+// A trailing guard region (the unconfirmed tail: up to `streak` cycles
+// plus one segmentation margin) is withheld until more data arrives, so
+// emitted events never have to be retracted.
+//
+// Consistency: over the same trace, the streaming event stream matches the
+// batch result up to (a) events inside the final guard region, which are
+// flushed by finish(), and (b) small stride differences near chunk seams
+// where the median smoother sees a truncated neighborhood.
+
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/ptrack.hpp"
+#include "imu/sample.hpp"
+#include "imu/trace.hpp"
+
+namespace ptrack::core {
+
+/// Streaming configuration on top of the batch PTrackConfig.
+struct StreamingConfig {
+  PTrackConfig pipeline{};
+  /// Re-run the pipeline after this many seconds of new samples.
+  double hop_s = 2.0;
+  /// Sliding analysis window (s). Must comfortably exceed the guard.
+  double window_s = 20.0;
+  /// Events younger than this are withheld as unconfirmed (s): covers the
+  /// stepping streak (3 cycles ~ 3.6 s) plus a segmentation margin.
+  double guard_s = 5.0;
+};
+
+/// Online tracker. Not thread-safe; drive it from one thread.
+class StreamingTracker {
+ public:
+  /// `fs` is the sample rate of the pushed stream (Hz, > 0).
+  explicit StreamingTracker(double fs, StreamingConfig config = {});
+
+  /// Pushes one sample (timestamps are assigned internally from the sample
+  /// count, so the caller may pass raw sensor readings).
+  void push(const imu::Sample& sample);
+
+  /// Pushes a whole batch.
+  void push(const imu::Trace& trace);
+
+  /// Events confirmed since the last poll (chronological). Each event is
+  /// emitted exactly once.
+  std::vector<StepEvent> poll();
+
+  /// Flushes the guard region at end of stream and returns the final
+  /// events. The tracker can keep streaming afterwards.
+  std::vector<StepEvent> finish();
+
+  /// Steps emitted so far (confirmed only).
+  [[nodiscard]] std::size_t steps() const { return emitted_steps_; }
+
+  /// Distance walked so far (sum of emitted strides, m).
+  [[nodiscard]] double distance() const { return emitted_distance_; }
+
+  [[nodiscard]] double fs() const { return fs_; }
+
+ private:
+  /// Runs the batch pipeline over the window and moves newly confirmed
+  /// events (t <= horizon) into the pending queue.
+  void process_window(double horizon);
+
+  double fs_;
+  StreamingConfig config_;
+  PTrack pipeline_;
+
+  std::deque<imu::Sample> window_;   ///< sliding sample window
+  double window_start_t_ = 0.0;      ///< absolute time of window_.front()
+  double next_t_ = 0.0;              ///< absolute time of the next sample
+  double last_processed_t_ = 0.0;    ///< stream time at last pipeline run
+  double emit_frontier_ = 0.0;       ///< events up to here were emitted
+  std::vector<StepEvent> ready_;     ///< confirmed, not yet polled
+  std::size_t emitted_steps_ = 0;
+  double emitted_distance_ = 0.0;
+};
+
+}  // namespace ptrack::core

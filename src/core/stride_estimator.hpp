@@ -1,0 +1,53 @@
+// The PTrack stride estimator (paper SIII-C).
+//
+// For a *walking* cycle, the arm's anterior velocity (mean-removal integral
+// of the anterior acceleration) crosses zero at the arm reversals; each
+// sweep between reversals spans one step and passes the three key moments
+// of Fig. 5(b): (i) one extreme, (ii) arm vertical — located at the peak
+// arm speed — and (iii) the other extreme. The measured vertical
+// displacements h1, h2 over the two half-sweeps and the anterior travel d
+// over the sweep feed the Eq. (3)-(5) bounce solver; Eq. (2) maps bounce to
+// stride. All three displacement integrals are bounded by zero-velocity
+// instants, so the mean-removal technique applies (paper SIII-C1).
+//
+// For a *stepping* cycle, the device rides the body, so the bounce is read
+// off directly as the peak-to-peak vertical displacement within each step.
+
+#pragma once
+
+#include "core/frontend.hpp"
+#include "core/types.hpp"
+
+namespace ptrack::core {
+
+/// One per-step stride estimate produced from a cycle.
+struct SweepEstimate {
+  double t = 0.0;       ///< step completion time (s)
+  double stride = 0.0;  ///< estimated stride (m)
+  double bounce = 0.0;  ///< estimated bounce (m)
+  bool valid = false;   ///< geometry solve succeeded
+};
+
+/// Per-cycle stride estimation.
+class StrideEstimator {
+ public:
+  explicit StrideEstimator(StrideConfig cfg = {});
+
+  /// Estimates the (up to two) per-step strides of one classified cycle.
+  /// Interference cycles yield an empty result.
+  [[nodiscard]] std::vector<SweepEstimate> estimate_cycle(
+      const ProjectedTrace& projected, const CycleRecord& cycle) const;
+
+  [[nodiscard]] const StrideConfig& config() const { return cfg_; }
+  void set_profile(const StrideProfile& profile) { cfg_.profile = profile; }
+
+ private:
+  [[nodiscard]] std::vector<SweepEstimate> walking_cycle(
+      const ProjectedTrace& projected, const CycleRecord& cycle) const;
+  [[nodiscard]] std::vector<SweepEstimate> stepping_cycle(
+      const ProjectedTrace& projected, const CycleRecord& cycle) const;
+
+  StrideConfig cfg_;
+};
+
+}  // namespace ptrack::core

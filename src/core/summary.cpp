@@ -1,0 +1,48 @@
+#include "core/summary.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ptrack::core {
+
+ActivitySummary summarize(const TrackResult& result, double fs) {
+  expects(fs > 0.0, "summarize: fs > 0");
+  ActivitySummary s;
+  s.steps = result.steps;
+  s.distance_m = result.distance();
+
+  for (const CycleRecord& c : result.cycles) {
+    const double seconds =
+        static_cast<double>(c.end - c.begin) / fs;
+    switch (c.type) {
+      case GaitType::Walking:
+        s.walking_s += seconds;
+        break;
+      case GaitType::Stepping:
+        s.stepping_s += seconds;
+        break;
+      case GaitType::Interference:
+        s.excluded_s += seconds;
+        break;
+    }
+  }
+  s.active_s = s.walking_s + s.stepping_s;
+  if (s.active_s > 0.0) {
+    s.mean_cadence_hz = static_cast<double>(s.steps) / s.active_s;
+  }
+
+  std::size_t with_stride = 0;
+  for (const StepEvent& e : result.events) {
+    if (e.stride <= 0.0) continue;
+    ++with_stride;
+    s.mean_stride_m += e.stride;
+    s.max_stride_m = std::max(s.max_stride_m, e.stride);
+  }
+  if (with_stride > 0) {
+    s.mean_stride_m /= static_cast<double>(with_stride);
+  }
+  return s;
+}
+
+}  // namespace ptrack::core

@@ -1,0 +1,28 @@
+// Activity summary: turns a TrackResult into the aggregate report a
+// fitness application shows (the paper's healthcare motivation — truthful
+// activity levels, not raw counts).
+
+#pragma once
+
+#include "core/types.hpp"
+
+namespace ptrack::core {
+
+/// Aggregate statistics over one tracked trace.
+struct ActivitySummary {
+  std::size_t steps = 0;          ///< counted steps
+  double distance_m = 0.0;        ///< walked distance
+  double active_s = 0.0;          ///< time spent in counted gait cycles
+  double walking_s = 0.0;         ///< ... of which arm-swing walking
+  double stepping_s = 0.0;        ///< ... of which rigid-arm stepping
+  double excluded_s = 0.0;        ///< candidate time excluded as interference
+  double mean_cadence_hz = 0.0;   ///< steps per active second (0 if none)
+  double mean_stride_m = 0.0;     ///< mean per-step stride (0 if none)
+  double max_stride_m = 0.0;
+};
+
+/// Builds the summary. `fs` is the trace's sample rate (used to convert the
+/// cycle sample indices to seconds; must be > 0).
+ActivitySummary summarize(const TrackResult& result, double fs);
+
+}  // namespace ptrack::core

@@ -1,0 +1,46 @@
+#include "dsp/attitude.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptrack::dsp {
+
+AttitudeEstimator::AttitudeEstimator(AttitudeConfig config)
+    : config_(config) {
+  expects(config_.tau > 0.0, "AttitudeEstimator: tau > 0");
+  expects(config_.accel_gate > 0.0, "AttitudeEstimator: accel_gate > 0");
+}
+
+void AttitudeEstimator::reset(const Vec3& accel) {
+  const double norm = accel.norm();
+  if (norm > 1e-6) {
+    up_ = accel / norm;
+    initialized_ = true;
+  }
+}
+
+Vec3 AttitudeEstimator::update(const Vec3& gyro, const Vec3& accel,
+                               double dt) {
+  expects(dt > 0.0, "AttitudeEstimator::update: dt > 0");
+  if (!initialized_) reset(accel);
+
+  // Gyro propagation: a device-frame vector fixed in the world evolves as
+  // v' = -omega x v under device rotation omega.
+  up_ += (-gyro.cross(up_)) * dt;
+  const double n = up_.norm();
+  if (n > 1e-9) up_ /= n;
+
+  // Complementary correction from the accelerometer, gated on magnitude:
+  // only near-1g samples carry a clean gravity reference.
+  const double mag = accel.norm();
+  if (std::abs(mag - kGravity) < config_.accel_gate * kGravity &&
+      mag > 1e-6) {
+    const double alpha = std::clamp(dt / config_.tau, 0.0, 1.0);
+    up_ = (up_ * (1.0 - alpha) + (accel / mag) * alpha).normalized();
+  }
+  return up_;
+}
+
+}  // namespace ptrack::dsp

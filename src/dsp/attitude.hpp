@@ -1,0 +1,49 @@
+// Complementary attitude filter: fuses gyroscope rates with the
+// accelerometer's gravity reference to track the device's "up" direction
+// in real time.
+//
+// This is the streaming counterpart of dsp::estimate_up (which needs a
+// whole window to low-pass): the gyro propagates the up vector between
+// samples (immune to linear acceleration), and a small complementary gain
+// leaks the accelerometer direction back in to cancel gyro drift. The
+// same structure runs inside every commodity wearable's gravity virtual
+// sensor; PTrack's streaming mode uses it for the projection frontend.
+
+#pragma once
+
+#include "common/vec3.hpp"
+
+namespace ptrack::dsp {
+
+/// Complementary filter configuration.
+struct AttitudeConfig {
+  /// Complementary time constant (s): how quickly the accel reference
+  /// corrects gyro drift. Larger = trust the gyro longer.
+  double tau = 2.0;
+  /// Accel magnitudes outside [1 - gate, 1 + gate] * g are dynamic motion,
+  /// not gravity, and are not used for correction.
+  double accel_gate = 0.35;
+};
+
+/// Tracks the unit "up" vector in the device frame.
+class AttitudeEstimator {
+ public:
+  explicit AttitudeEstimator(AttitudeConfig config = {});
+
+  /// Feeds one IMU sample (device-frame gyro rad/s, specific force m/s^2,
+  /// sample period s > 0) and returns the updated unit up estimate.
+  Vec3 update(const Vec3& gyro, const Vec3& accel, double dt);
+
+  /// Current estimate (unit). Before the first update: +z.
+  [[nodiscard]] const Vec3& up() const { return up_; }
+
+  /// Re-initializes from an accelerometer snapshot (e.g. at rest).
+  void reset(const Vec3& accel);
+
+ private:
+  AttitudeConfig config_;
+  Vec3 up_{0.0, 0.0, 1.0};
+  bool initialized_ = false;
+};
+
+}  // namespace ptrack::dsp

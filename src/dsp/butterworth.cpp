@@ -1,0 +1,73 @@
+#include "dsp/butterworth.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::dsp {
+
+namespace {
+
+// Section quality factors of an order-n Butterworth: one section per
+// conjugate pole pair, Q_k = 1 / (2 sin((2k+1)pi/(2n))). An odd order adds a
+// real pole, realized as a degenerate (first-order) biquad.
+std::vector<double> butterworth_qs(int order) {
+  std::vector<double> qs;
+  for (int k = 0; k < order / 2; ++k) {
+    const double theta = (2.0 * k + 1.0) * kPi / (2.0 * order);
+    qs.push_back(1.0 / (2.0 * std::sin(theta)));
+  }
+  return qs;
+}
+
+BiquadCoeffs first_order_lowpass(double cutoff_hz, double fs) {
+  const double k = std::tan(kPi * cutoff_hz / fs);
+  BiquadCoeffs c;
+  c.b0 = k / (k + 1.0);
+  c.b1 = c.b0;
+  c.b2 = 0.0;
+  c.a1 = (k - 1.0) / (k + 1.0);
+  c.a2 = 0.0;
+  return c;
+}
+
+BiquadCoeffs first_order_highpass(double cutoff_hz, double fs) {
+  const double k = std::tan(kPi * cutoff_hz / fs);
+  BiquadCoeffs c;
+  c.b0 = 1.0 / (k + 1.0);
+  c.b1 = -c.b0;
+  c.b2 = 0.0;
+  c.a1 = (k - 1.0) / (k + 1.0);
+  c.a2 = 0.0;
+  return c;
+}
+
+void check_design(int order, double cutoff_hz, double fs) {
+  expects(order >= 1 && order <= 12, "butterworth: order in [1,12]");
+  expects(fs > 0.0, "butterworth: fs > 0");
+  expects(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0,
+          "butterworth: 0 < cutoff < fs/2");
+}
+
+}  // namespace
+
+BiquadCascade butterworth_lowpass(int order, double cutoff_hz, double fs) {
+  check_design(order, cutoff_hz, fs);
+  std::vector<BiquadCoeffs> sections;
+  for (double q : butterworth_qs(order))
+    sections.push_back(lowpass(cutoff_hz, fs, q));
+  if (order % 2 == 1) sections.push_back(first_order_lowpass(cutoff_hz, fs));
+  return BiquadCascade(std::move(sections));
+}
+
+BiquadCascade butterworth_highpass(int order, double cutoff_hz, double fs) {
+  check_design(order, cutoff_hz, fs);
+  std::vector<BiquadCoeffs> sections;
+  for (double q : butterworth_qs(order))
+    sections.push_back(highpass(cutoff_hz, fs, q));
+  if (order % 2 == 1) sections.push_back(first_order_highpass(cutoff_hz, fs));
+  return BiquadCascade(std::move(sections));
+}
+
+}  // namespace ptrack::dsp

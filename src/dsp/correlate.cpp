@@ -1,0 +1,99 @@
+#include "dsp/correlate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/peaks.hpp"
+
+namespace ptrack::dsp {
+
+double autocorr_at(std::span<const double> xs, std::size_t lag) {
+  expects(lag < xs.size(), "autocorr_at: lag < size");
+  const std::size_t n = xs.size();
+  const double m = stats::mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = xs[i] - m;
+    den += d * d;
+  }
+  if (den == 0.0) return 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  // Unbiased normalization: the sum covers n-lag terms, the variance n, so
+  // rescale — a perfectly periodic signal then scores ~1 at its period even
+  // for large lags (PTrack evaluates C at the half-cycle lag, where the
+  // biased estimator would cap at 0.5).
+  const double scale = static_cast<double>(n) / static_cast<double>(n - lag);
+  return std::clamp(num * scale / den, -1.0, 1.0);
+}
+
+std::vector<double> autocorr(std::span<const double> xs, std::size_t max_lag) {
+  expects(max_lag < xs.size(), "autocorr: max_lag < size");
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag)
+    out.push_back(autocorr_at(xs, lag));
+  return out;
+}
+
+std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
+                          std::size_t max_lag) {
+  expects(a.size() == b.size(), "xcorr: equal sizes");
+  expects(!a.empty(), "xcorr: non-empty");
+  expects(max_lag < a.size(), "xcorr: max_lag < size");
+  const std::size_t n = a.size();
+  const double ma = stats::mean(a);
+  const double mb = stats::mean(b);
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  const double norm = std::sqrt(da * db);
+  std::vector<double> out(2 * max_lag + 1, 0.0);
+  if (norm == 0.0) return out;
+  for (std::size_t li = 0; li < out.size(); ++li) {
+    const int lag = static_cast<int>(li) - static_cast<int>(max_lag);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int j = static_cast<int>(i) + lag;
+      if (j < 0 || j >= static_cast<int>(n)) continue;
+      acc += (a[i] - ma) * (b[static_cast<std::size_t>(j)] - mb);
+    }
+    out[li] = acc / norm;
+  }
+  return out;
+}
+
+int best_lag(std::span<const double> a, std::span<const double> b,
+             std::size_t max_lag) {
+  const auto c = xcorr(a, b, max_lag);
+  const auto it = std::max_element(c.begin(), c.end());
+  return static_cast<int>(it - c.begin()) - static_cast<int>(max_lag);
+}
+
+std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
+                            std::size_t max_lag) {
+  if (xs.size() < 4 || min_lag >= xs.size()) return 0;
+  max_lag = std::min(max_lag, xs.size() - 1);
+  if (min_lag > max_lag) return 0;
+  const auto ac = autocorr(xs, max_lag);
+  const auto peaks = find_peaks(ac);
+  std::size_t best = 0;
+  double best_val = 0.0;
+  for (std::size_t p : peaks) {
+    if (p < min_lag || p > max_lag) continue;
+    if (ac[p] > best_val) {
+      best_val = ac[p];
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace ptrack::dsp

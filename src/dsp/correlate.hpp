@@ -1,0 +1,40 @@
+// Correlation utilities.
+//
+// PTrack's stepping test uses the *half-cycle autocorrelation* of anterior
+// acceleration (large positive value confirms the twice-per-gait-cycle
+// (co)sine pattern of stepping; arm gestures are not guaranteed positive)
+// and a cross-correlation lag to verify the fixed quarter-period phase
+// difference between vertical and anterior body accelerations (Kim et al.).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrack::dsp {
+
+/// Normalized autocorrelation at a single lag (mean removed, normalized by
+/// variance; result in [-1, 1]). Requires lag < xs.size() and a non-constant
+/// signal (returns 0 for constant input).
+double autocorr_at(std::span<const double> xs, std::size_t lag);
+
+/// Normalized autocorrelation for all lags in [0, max_lag].
+std::vector<double> autocorr(std::span<const double> xs, std::size_t max_lag);
+
+/// Normalized cross-correlation of a and b (equal sizes) at integer lag k in
+/// [-max_lag, max_lag]; positive k means b is delayed relative to a.
+/// Output index i corresponds to lag (i - max_lag).
+std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
+                          std::size_t max_lag);
+
+/// The lag in [-max_lag, max_lag] that maximizes xcorr(a, b).
+int best_lag(std::span<const double> a, std::span<const double> b,
+             std::size_t max_lag);
+
+/// Fundamental period estimate (in samples) via the highest autocorrelation
+/// peak in [min_lag, max_lag]; returns 0 when no peak exists.
+std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
+                            std::size_t max_lag);
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,38 @@
+#include "dsp/detrend.hpp"
+
+#include "common/error.hpp"
+
+namespace ptrack::dsp {
+
+LineFit fit_line(std::span<const double> xs) {
+  expects(xs.size() >= 2, "fit_line: >= 2 samples");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto x = static_cast<double>(i);
+    sx += x;
+    sy += xs[i];
+    sxx += x * x;
+    sxy += x * xs[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LineFit fit;
+  fit.slope = denom != 0.0 ? (n * sxy - sx * sy) / denom : 0.0;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  return fit;
+}
+
+std::vector<double> detrend_linear(std::span<const double> xs) {
+  if (xs.size() < 2) return {xs.begin(), xs.end()};
+  const LineFit fit = fit_line(xs);
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = xs[i] - (fit.intercept + fit.slope * static_cast<double>(i));
+  }
+  return out;
+}
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,22 @@
+// Trend removal (constant and linear).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ptrack::dsp {
+
+/// Least-squares line fit y = a + b*i over sample index i.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+
+/// Fits a line to xs (size >= 2).
+LineFit fit_line(std::span<const double> xs);
+
+/// Returns xs with its least-squares linear trend removed.
+std::vector<double> detrend_linear(std::span<const double> xs);
+
+}  // namespace ptrack::dsp

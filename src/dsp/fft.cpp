@@ -1,0 +1,106 @@
+#include "dsp/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::dsp {
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  expects(n >= 1 && (n & (n - 1)) == 0, "fft: size is a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  expects(n >= 1, "next_pow2: n >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> xs) {
+  if (xs.empty()) return {};
+  const std::size_t nfft = next_pow2(xs.size());
+  std::vector<std::complex<double>> buf(nfft, {0.0, 0.0});
+  for (std::size_t i = 0; i < xs.size(); ++i) buf[i] = {xs[i], 0.0};
+  fft(buf);
+  std::vector<double> mag(nfft / 2 + 1);
+  const double scale = 1.0 / static_cast<double>(xs.size());
+  for (std::size_t k = 0; k < mag.size(); ++k) {
+    const double m = std::abs(buf[k]) * scale;
+    const bool interior = k != 0 && k != nfft / 2;
+    mag[k] = interior ? 2.0 * m : m;
+  }
+  return mag;
+}
+
+double dominant_frequency(std::span<const double> xs, double fs) {
+  expects(fs > 0.0, "dominant_frequency: fs > 0");
+  if (xs.size() < 4) return 0.0;
+  const auto mag = magnitude_spectrum(xs);
+  std::size_t best = 0;
+  double best_val = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    if (mag[k] > best_val) {
+      best_val = mag[k];
+      best = k;
+    }
+  }
+  if (best == 0) return 0.0;
+  const std::size_t nfft = (mag.size() - 1) * 2;
+  return static_cast<double>(best) * fs / static_cast<double>(nfft);
+}
+
+double spectral_energy(std::span<const double> xs) {
+  const auto mag = magnitude_spectrum(xs);
+  double acc = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) acc += mag[k] * mag[k];
+  return acc;
+}
+
+double spectral_entropy(std::span<const double> xs) {
+  const auto mag = magnitude_spectrum(xs);
+  if (mag.size() <= 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) total += mag[k] * mag[k];
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    const double p = mag[k] * mag[k] / total;
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  const double hmax = std::log(static_cast<double>(mag.size() - 1));
+  return hmax > 0.0 ? h / hmax : 0.0;
+}
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,53 @@
+#include "dsp/filtfilt.hpp"
+
+#include <algorithm>
+
+#include "dsp/butterworth.hpp"
+
+namespace ptrack::dsp {
+
+namespace {
+
+// Odd (point-reflected) padding as used by scipy.signal.filtfilt: mirrors
+// the signal about its end values, which keeps level and slope continuous.
+std::vector<double> pad_reflect(std::span<const double> xs, std::size_t pad) {
+  std::vector<double> out;
+  out.reserve(xs.size() + 2 * pad);
+  for (std::size_t i = pad; i >= 1; --i)
+    out.push_back(2.0 * xs.front() - xs[i]);
+  out.insert(out.end(), xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  for (std::size_t i = 1; i <= pad; ++i)
+    out.push_back(2.0 * xs.back() - xs[n - 1 - i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> filtfilt(const BiquadCascade& cascade,
+                             std::span<const double> xs, std::size_t pad) {
+  if (xs.empty()) return {};
+  pad = std::min(pad, xs.size() - 1);
+
+  std::vector<double> padded = pad_reflect(xs, pad);
+
+  BiquadCascade fwd = cascade;
+  fwd.reset();
+  std::vector<double> y = fwd.process(padded);
+
+  std::reverse(y.begin(), y.end());
+  BiquadCascade bwd = cascade;
+  bwd.reset();
+  y = bwd.process(y);
+  std::reverse(y.begin(), y.end());
+
+  return {y.begin() + static_cast<std::ptrdiff_t>(pad),
+          y.begin() + static_cast<std::ptrdiff_t>(pad + xs.size())};
+}
+
+std::vector<double> zero_phase_lowpass(std::span<const double> xs,
+                                       double cutoff_hz, double fs, int order) {
+  return filtfilt(butterworth_lowpass(order, cutoff_hz, fs), xs);
+}
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,28 @@
+// Zero-phase (forward-backward) filtering.
+//
+// Offline analysis in PTrack (gait-cycle segmentation, critical-point
+// extraction) must not shift critical-point *positions*, so it uses
+// zero-phase filtering: run the cascade forward, reverse, run again,
+// reverse. Reflected edge padding suppresses start-up transients.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/biquad.hpp"
+
+namespace ptrack::dsp {
+
+/// Applies `cascade` forward and backward over `xs` with reflected padding of
+/// `pad` samples on each side (clamped to xs.size()-1). The cascade is copied
+/// internally, so the caller's filter state is untouched.
+std::vector<double> filtfilt(const BiquadCascade& cascade,
+                             std::span<const double> xs, std::size_t pad = 64);
+
+/// Convenience: zero-phase Butterworth low-pass of the given order.
+std::vector<double> zero_phase_lowpass(std::span<const double> xs,
+                                       double cutoff_hz, double fs,
+                                       int order = 4);
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,62 @@
+#include "dsp/integrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/peaks.hpp"
+
+namespace ptrack::dsp {
+
+std::vector<double> cumtrapz(std::span<const double> xs, double dt) {
+  expects(dt > 0.0, "cumtrapz: dt > 0");
+  std::vector<double> out(xs.size(), 0.0);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    out[i] = out[i - 1] + 0.5 * (xs[i - 1] + xs[i]) * dt;
+  }
+  return out;
+}
+
+Kinematics integrate_twice(std::span<const double> accel, double dt) {
+  Kinematics k;
+  k.velocity = cumtrapz(accel, dt);
+  k.position = cumtrapz(k.velocity, dt);
+  return k;
+}
+
+Kinematics integrate_twice_mean_removal(std::span<const double> accel,
+                                        double dt) {
+  const std::vector<double> corrected = stats::demeaned(accel);
+  return integrate_twice(corrected, dt);
+}
+
+double net_displacement(std::span<const double> accel, double dt) {
+  if (accel.size() < 2) return 0.0;
+  const Kinematics k = integrate_twice_mean_removal(accel, dt);
+  return k.position.back();
+}
+
+double peak_to_peak_displacement(std::span<const double> accel, double dt) {
+  if (accel.size() < 2) return 0.0;
+  const Kinematics k = integrate_twice_mean_removal(accel, dt);
+  return stats::max(k.position) - stats::min(k.position);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> zero_velocity_segments(
+    std::span<const double> velocity, std::size_t min_len) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (velocity.empty()) return out;
+  const auto crossings = zero_crossings(velocity);
+  std::size_t begin = 0;
+  for (std::size_t c : crossings) {
+    if (c - begin >= std::max<std::size_t>(min_len, 2)) {
+      out.emplace_back(begin, c);
+      begin = c;
+    }
+  }
+  if (velocity.size() - begin >= 2) out.emplace_back(begin, velocity.size());
+  return out;
+}
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,66 @@
+#include "dsp/moving.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ptrack::dsp {
+
+std::vector<double> moving_average(std::span<const double> xs, std::size_t w) {
+  expects(w >= 1, "moving_average: w >= 1");
+  if (w % 2 == 0) ++w;
+  const std::size_t half = w / 2;
+  const std::size_t n = xs.size();
+  std::vector<double> out(n);
+
+  // Prefix sums give O(n) irrespective of window size.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + xs[i];
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half, n - 1);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> moving_median(std::span<const double> xs, std::size_t w) {
+  expects(w >= 1, "moving_median: w >= 1");
+  if (w % 2 == 0) ++w;
+  const std::size_t half = w / 2;
+  const std::size_t n = xs.size();
+  std::vector<double> out(n);
+  std::vector<double> window;
+  window.reserve(w);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half, n - 1);
+    window.assign(xs.begin() + static_cast<std::ptrdiff_t>(lo),
+                  xs.begin() + static_cast<std::ptrdiff_t>(hi + 1));
+    const auto mid = window.begin() + static_cast<std::ptrdiff_t>(window.size() / 2);
+    std::nth_element(window.begin(), mid, window.end());
+    if (window.size() % 2 == 1) {
+      out[i] = *mid;
+    } else {
+      const double hi_mid = *mid;
+      const double lo_mid = *std::max_element(window.begin(), mid);
+      out[i] = 0.5 * (lo_mid + hi_mid);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ema(std::span<const double> xs, double alpha) {
+  expects(alpha > 0.0 && alpha <= 1.0, "ema: alpha in (0,1]");
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double y = xs.empty() ? 0.0 : xs.front();
+  for (double x : xs) {
+    y = alpha * x + (1.0 - alpha) * y;
+    out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace ptrack::dsp

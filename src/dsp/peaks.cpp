@@ -1,0 +1,154 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptrack::dsp {
+
+namespace {
+
+// Raw local maxima, plateau-aware: for a flat top, report the center.
+std::vector<std::size_t> raw_maxima(std::span<const double> xs) {
+  std::vector<std::size_t> out;
+  const std::size_t n = xs.size();
+  if (n < 3) return out;
+  std::size_t i = 1;
+  while (i + 1 < n) {
+    if (xs[i] > xs[i - 1]) {
+      // Scan a possible plateau [i, j].
+      std::size_t j = i;
+      while (j + 1 < n && xs[j + 1] == xs[i]) ++j;
+      if (j + 1 < n && xs[j + 1] < xs[i]) {
+        out.push_back((i + j) / 2);
+      }
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+double prominence_of(std::span<const double> xs, std::size_t peak) {
+  const double h = xs[peak];
+  // Walk left until a sample higher than the peak (or the edge); track the
+  // minimum on the way. Same to the right. Prominence = h - max(minL, minR).
+  double left_min = h;
+  for (std::size_t i = peak; i-- > 0;) {
+    left_min = std::min(left_min, xs[i]);
+    if (xs[i] > h) break;
+  }
+  double right_min = h;
+  for (std::size_t i = peak + 1; i < xs.size(); ++i) {
+    right_min = std::min(right_min, xs[i]);
+    if (xs[i] > h) break;
+  }
+  return h - std::max(left_min, right_min);
+}
+
+void enforce_min_distance(std::span<const double> xs,
+                          std::vector<std::size_t>& peaks,
+                          std::size_t min_distance) {
+  if (min_distance <= 1 || peaks.size() < 2) return;
+  // Greedy by height: keep taller peaks, drop any neighbor that is too close
+  // to an already kept peak.
+  std::vector<std::size_t> by_height(peaks);
+  std::sort(by_height.begin(), by_height.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] > xs[b]; });
+  std::vector<bool> keep(peaks.size(), true);
+  const auto pos_of = [&](std::size_t idx) {
+    return static_cast<std::size_t>(
+        std::lower_bound(peaks.begin(), peaks.end(), idx) - peaks.begin());
+  };
+  for (std::size_t idx : by_height) {
+    const std::size_t p = pos_of(idx);
+    if (!keep[p]) continue;
+    // Drop shorter neighbors within min_distance.
+    for (std::size_t q = p; q-- > 0;) {
+      if (peaks[p] - peaks[q] >= min_distance) break;
+      keep[q] = false;
+    }
+    for (std::size_t q = p + 1; q < peaks.size(); ++q) {
+      if (peaks[q] - peaks[p] >= min_distance) break;
+      keep[q] = false;
+    }
+  }
+  std::vector<std::size_t> filtered;
+  for (std::size_t i = 0; i < peaks.size(); ++i)
+    if (keep[i]) filtered.push_back(peaks[i]);
+  peaks.swap(filtered);
+}
+
+}  // namespace
+
+std::vector<std::size_t> find_peaks(std::span<const double> xs,
+                                    const PeakOptions& opt) {
+  std::vector<std::size_t> peaks = raw_maxima(xs);
+
+  if (opt.min_height > -1e300) {
+    std::erase_if(peaks, [&](std::size_t i) { return xs[i] < opt.min_height; });
+  }
+  if (opt.min_prominence > 0.0) {
+    std::erase_if(peaks, [&](std::size_t i) {
+      return prominence_of(xs, i) < opt.min_prominence;
+    });
+  }
+  enforce_min_distance(xs, peaks, opt.min_distance);
+  return peaks;
+}
+
+std::vector<std::size_t> find_valleys(std::span<const double> xs,
+                                      const PeakOptions& opt) {
+  std::vector<double> neg(xs.size());
+  std::transform(xs.begin(), xs.end(), neg.begin(),
+                 [](double v) { return -v; });
+  PeakOptions nopt = opt;
+  if (opt.min_height > -1e300) nopt.min_height = opt.min_height;
+  return find_peaks(neg, nopt);
+}
+
+std::vector<std::size_t> zero_crossings(std::span<const double> xs,
+                                        double hysteresis) {
+  std::vector<std::size_t> out;
+  if (xs.empty()) return out;
+  // State: +1 after confirmed positive excursion, -1 after negative,
+  // 0 unknown. The hysteresis only *gates* a crossing; the reported index
+  // is the actual sign-change sample, found by backtracking — otherwise
+  // crossings would be reported systematically late by the confirmation
+  // delay, which matters for critical-point matching.
+  int state = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double v = xs[i];
+    const int side = v > hysteresis ? 1 : v < -hysteresis ? -1 : 0;
+    if (side == 0 || side == state) continue;
+    if (state != 0) {
+      std::size_t cross = i;
+      while (cross > 0 &&
+             (side > 0 ? xs[cross - 1] >= 0.0 : xs[cross - 1] <= 0.0)) {
+        --cross;
+      }
+      out.push_back(cross);
+    }
+    state = side;
+  }
+  return out;
+}
+
+double peak_prominence(std::span<const double> xs, std::size_t peak) {
+  return prominence_of(xs, peak);
+}
+
+std::vector<Extremum> find_extrema(std::span<const double> xs,
+                                   const PeakOptions& opt) {
+  const auto maxima = find_peaks(xs, opt);
+  const auto minima = find_valleys(xs, opt);
+  std::vector<Extremum> out;
+  out.reserve(maxima.size() + minima.size());
+  for (std::size_t i : maxima) out.push_back({i, true, xs[i]});
+  for (std::size_t i : minima) out.push_back({i, false, xs[i]});
+  std::sort(out.begin(), out.end(),
+            [](const Extremum& a, const Extremum& b) { return a.index < b.index; });
+  return out;
+}
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,59 @@
+// Peak / valley / zero-crossing detection.
+//
+// These are the primitives behind (a) the classic peak-detection step
+// counters PTrack builds on (low-pass -> peaks) and (b) PTrack's
+// critical-point extraction (turning points = extrema, crossing points =
+// extremum on one axis aligned with a zero on the other).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptrack::dsp {
+
+/// Options for find_peaks().
+struct PeakOptions {
+  /// Minimum number of samples between two accepted peaks. When two peaks
+  /// are closer, the larger one wins.
+  std::size_t min_distance = 1;
+  /// Absolute height a sample must reach to qualify (-inf disables).
+  double min_height = -1e300;
+  /// Minimal prominence: height above the higher of the two bounding
+  /// valleys within the search range (0 disables).
+  double min_prominence = 0.0;
+};
+
+/// Indices of local maxima of xs, honoring the options; ascending order.
+/// Plateaus report their center sample.
+std::vector<std::size_t> find_peaks(std::span<const double> xs,
+                                    const PeakOptions& opt = {});
+
+/// Indices of local minima (peaks of the negated signal).
+std::vector<std::size_t> find_valleys(std::span<const double> xs,
+                                      const PeakOptions& opt = {});
+
+/// Indices where the signal crosses zero (sample after the sign change).
+/// `hysteresis` requires the excursion on each side to exceed the given
+/// magnitude before a new crossing is reported, suppressing noise chatter.
+std::vector<std::size_t> zero_crossings(std::span<const double> xs,
+                                        double hysteresis = 0.0);
+
+/// One extremum with its kind, used by critical-point analysis.
+struct Extremum {
+  std::size_t index = 0;
+  bool is_max = true;
+  double value = 0.0;
+};
+
+/// All alternating extrema (maxima and minima interleaved) with prominence
+/// and spacing filtering applied per kind.
+std::vector<Extremum> find_extrema(std::span<const double> xs,
+                                   const PeakOptions& opt = {});
+
+/// Prominence of the local maximum at `peak` (see PeakOptions); exposed for
+/// counters that post-filter peaks against locally adaptive thresholds.
+double peak_prominence(std::span<const double> xs, std::size_t peak);
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,119 @@
+#include "dsp/projection.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/filtfilt.hpp"
+
+namespace ptrack::dsp {
+
+Vec3 estimate_up(std::span<const Vec3> specific_force, double fs,
+                 double cutoff_hz) {
+  expects(specific_force.size() >= 4, "estimate_up: >= 4 samples");
+  expects(fs > 0.0, "estimate_up: fs > 0");
+
+  std::vector<double> x(specific_force.size());
+  std::vector<double> y(specific_force.size());
+  std::vector<double> z(specific_force.size());
+  for (std::size_t i = 0; i < specific_force.size(); ++i) {
+    x[i] = specific_force[i].x;
+    y[i] = specific_force[i].y;
+    z[i] = specific_force[i].z;
+  }
+  // Heavy low-pass, then average: cyclic components vanish, gravity remains.
+  const double fc = std::min(cutoff_hz, 0.45 * fs);
+  const auto lx = zero_phase_lowpass(x, fc, fs, 2);
+  const auto ly = zero_phase_lowpass(y, fc, fs, 2);
+  const auto lz = zero_phase_lowpass(z, fc, fs, 2);
+  Vec3 g{};
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    g += Vec3{lx[i], ly[i], lz[i]};
+  }
+  g /= static_cast<double>(lx.size());
+  check(g.norm() > 1e-6, "estimate_up: gravity magnitude not degenerate");
+  return g.normalized();
+}
+
+Vec3 principal_horizontal_direction(std::span<const Vec3> specific_force,
+                                    const Vec3& up) {
+  expects(!specific_force.empty(), "principal_horizontal_direction: non-empty");
+  // Build an orthonormal horizontal basis (e1, e2) perpendicular to up.
+  Vec3 ref = std::abs(up.z) < 0.9 ? kVertical : kAnterior;
+  const Vec3 e1 = up.cross(ref).normalized();
+  const Vec3 e2 = up.cross(e1).normalized();
+
+  // 2x2 covariance of the horizontal residual in (e1, e2).
+  double m1 = 0.0;
+  double m2 = 0.0;
+  std::vector<std::pair<double, double>> h;
+  h.reserve(specific_force.size());
+  for (const Vec3& f : specific_force) {
+    const Vec3 residual = f - up * f.dot(up);
+    const double a = residual.dot(e1);
+    const double b = residual.dot(e2);
+    h.emplace_back(a, b);
+    m1 += a;
+    m2 += b;
+  }
+  m1 /= static_cast<double>(h.size());
+  m2 /= static_cast<double>(h.size());
+  double s11 = 0.0;
+  double s12 = 0.0;
+  double s22 = 0.0;
+  for (const auto& [a, b] : h) {
+    s11 += (a - m1) * (a - m1);
+    s12 += (a - m1) * (b - m2);
+    s22 += (b - m2) * (b - m2);
+  }
+
+  // Leading eigenvector of [[s11, s12], [s12, s22]].
+  const double tr = s11 + s22;
+  const double det = s11 * s22 - s12 * s12;
+  const double lambda = 0.5 * tr + std::sqrt(std::max(0.25 * tr * tr - det, 0.0));
+  double v1;
+  double v2;
+  if (std::abs(s12) > 1e-12) {
+    v1 = lambda - s22;
+    v2 = s12;
+  } else if (s11 >= s22) {
+    v1 = 1.0;
+    v2 = 0.0;
+  } else {
+    v1 = 0.0;
+    v2 = 1.0;
+  }
+  return (e1 * v1 + e2 * v2).normalized();
+}
+
+ProjectedSignal project(std::span<const Vec3> specific_force, double fs) {
+  const Vec3 up = estimate_up(specific_force, fs);
+  const Vec3 forward = principal_horizontal_direction(specific_force, up);
+  return project_with_axes(specific_force, fs, up, forward);
+}
+
+ProjectedSignal project_with_axes(std::span<const Vec3> specific_force,
+                                  double fs, const Vec3& up,
+                                  const Vec3& forward) {
+  expects(fs > 0.0, "project_with_axes: fs > 0");
+  expects(std::abs(up.norm() - 1.0) < 1e-6, "project_with_axes: unit up");
+  expects(std::abs(forward.norm() - 1.0) < 1e-6,
+          "project_with_axes: unit forward");
+  ProjectedSignal out;
+  out.fs = fs;
+  out.up = up;
+  out.forward = forward;
+  const Vec3 side = up.cross(forward).normalized();
+  out.vertical.reserve(specific_force.size());
+  out.anterior.reserve(specific_force.size());
+  out.lateral.reserve(specific_force.size());
+  for (const Vec3& f : specific_force) {
+    // Specific force f = a_lin - g_vec with g_vec = -g*up, so the linear
+    // vertical acceleration is f.up - g.
+    out.vertical.push_back(f.dot(up) - kGravity);
+    out.anterior.push_back(f.dot(forward));
+    out.lateral.push_back(f.dot(side));
+  }
+  return out;
+}
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,52 @@
+// Acceleration projection onto the vertical and anterior directions.
+//
+// This is PTrack's projection frontend (paper SIII-B2): the vertical
+// direction comes from the gravity estimate (commodity platforms expose the
+// same via their gravity virtual sensor); the anterior direction is the
+// principal axis of the horizontal residual acceleration, recovered by a
+// least-squares fit — when a user walks, the arm's back-and-forth swing
+// makes the anterior axis the direction of largest horizontal variance.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace ptrack::dsp {
+
+/// Result of projecting a specific-force (accelerometer) sequence.
+struct ProjectedSignal {
+  std::vector<double> vertical;  ///< linear vertical acceleration, up positive (m/s^2)
+  std::vector<double> anterior;  ///< linear anterior acceleration (m/s^2), sign arbitrary
+  std::vector<double> lateral;   ///< horizontal residual orthogonal to anterior
+  Vec3 up;                       ///< estimated unit up vector
+  Vec3 forward;                  ///< estimated unit anterior vector (horizontal)
+  double fs = 0.0;               ///< sample rate (Hz)
+};
+
+/// Estimates the unit "up" direction from specific-force readings by heavy
+/// low-pass filtering (cutoff_hz, default 0.3 Hz) and averaging. For a device
+/// at rest or in cyclic motion the low-passed specific force points up with
+/// magnitude ~g.
+Vec3 estimate_up(std::span<const Vec3> specific_force, double fs,
+                 double cutoff_hz = 0.3);
+
+/// Principal horizontal direction of the residual (gravity-removed)
+/// acceleration: the eigenvector of the 2x2 horizontal covariance with the
+/// larger eigenvalue. `up` must be a unit vector.
+Vec3 principal_horizontal_direction(std::span<const Vec3> specific_force,
+                                    const Vec3& up);
+
+/// Full projection: vertical = f.u - g, horizontal residual decomposed into
+/// anterior/lateral. Requires at least 4 samples and fs > 0.
+ProjectedSignal project(std::span<const Vec3> specific_force, double fs);
+
+/// Projection with caller-supplied axes (used in streaming mode where the
+/// axes are estimated over a longer history than a single gait cycle).
+ProjectedSignal project_with_axes(std::span<const Vec3> specific_force,
+                                  double fs, const Vec3& up,
+                                  const Vec3& forward);
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,36 @@
+#include "dsp/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptrack::dsp {
+
+double sample_at(std::span<const double> xs, double fs, double t) {
+  expects(fs > 0.0, "sample_at: fs > 0");
+  expects(!xs.empty(), "sample_at: non-empty");
+  const double pos = t * fs;
+  if (pos <= 0.0) return xs.front();
+  const auto n = xs.size();
+  if (pos >= static_cast<double>(n - 1)) return xs.back();
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+std::vector<double> resample_linear(std::span<const double> xs, double fs_in,
+                                    double fs_out) {
+  expects(fs_in > 0.0 && fs_out > 0.0, "resample_linear: positive rates");
+  if (xs.empty()) return {};
+  const double duration = static_cast<double>(xs.size() - 1) / fs_in;
+  const auto n_out = static_cast<std::size_t>(std::floor(duration * fs_out)) + 1;
+  std::vector<double> out;
+  out.reserve(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    out.push_back(sample_at(xs, fs_in, static_cast<double>(i) / fs_out));
+  }
+  return out;
+}
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,23 @@
+// Sample-rate conversion by linear interpolation.
+//
+// The synthesizer generates kinematics at a high internal rate and resamples
+// to the device rate; trace tooling uses it to normalize recorded rates.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ptrack::dsp {
+
+/// Resamples a uniformly sampled signal from fs_in to fs_out using linear
+/// interpolation. Both rates must be positive; returns an empty vector for
+/// an empty input.
+std::vector<double> resample_linear(std::span<const double> xs, double fs_in,
+                                    double fs_out);
+
+/// Value of the signal at time t (seconds from the first sample) by linear
+/// interpolation; clamps outside the support.
+double sample_at(std::span<const double> xs, double fs, double t);
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,56 @@
+#include "dsp/windows.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::dsp {
+
+std::vector<double> hann(std::size_t n) {
+  expects(n >= 1, "hann: n >= 1");
+  std::vector<double> w(n);
+  if (n == 1) {
+    w[0] = 1.0;
+    return w;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 0.5 * (1.0 - std::cos(kTwoPi * static_cast<double>(i) /
+                                 static_cast<double>(n - 1)));
+  }
+  return w;
+}
+
+std::vector<double> hamming(std::size_t n) {
+  expects(n >= 1, "hamming: n >= 1");
+  std::vector<double> w(n);
+  if (n == 1) {
+    w[0] = 1.0;
+    return w;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = 0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(i) /
+                                  static_cast<double>(n - 1));
+  }
+  return w;
+}
+
+std::vector<double> apply_window(std::span<const double> xs,
+                                 std::span<const double> window) {
+  expects(xs.size() == window.size(), "apply_window: equal sizes");
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = xs[i] * window[i];
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> frame_indices(
+    std::size_t n, std::size_t frame, std::size_t hop) {
+  expects(frame >= 1 && hop >= 1, "frame_indices: frame, hop >= 1");
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t begin = 0; begin + frame <= n; begin += hop) {
+    out.emplace_back(begin, begin + frame);
+  }
+  return out;
+}
+
+}  // namespace ptrack::dsp

@@ -1,0 +1,25 @@
+// Window functions and frame splitting for block analysis (SCAR features).
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ptrack::dsp {
+
+/// Hann window of length n (n >= 1).
+std::vector<double> hann(std::size_t n);
+
+/// Hamming window of length n (n >= 1).
+std::vector<double> hamming(std::size_t n);
+
+/// Multiplies xs by the window (equal sizes) and returns the result.
+std::vector<double> apply_window(std::span<const double> xs,
+                                 std::span<const double> window);
+
+/// [begin, end) index pairs of consecutive frames of `frame` samples with
+/// hop `hop` over a signal of length n; the last partial frame is dropped.
+std::vector<std::pair<std::size_t, std::size_t>> frame_indices(
+    std::size_t n, std::size_t frame, std::size_t hop);
+
+}  // namespace ptrack::dsp

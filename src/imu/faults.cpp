@@ -1,0 +1,70 @@
+#include "imu/faults.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ptrack::imu {
+
+Trace inject_dropouts(const Trace& trace, double rate_per_min,
+                      std::size_t min_len, std::size_t max_len, Rng& rng) {
+  expects(rate_per_min >= 0.0, "inject_dropouts: rate >= 0");
+  expects(min_len >= 1 && max_len >= min_len, "inject_dropouts: valid run lengths");
+  std::vector<Sample> samples = trace.samples();
+  if (samples.size() < 2 || rate_per_min == 0.0) {
+    return Trace(trace.fs(), std::move(samples));
+  }
+
+  const double runs_expected = rate_per_min * trace.duration() / 60.0;
+  const auto runs = static_cast<std::size_t>(runs_expected + 0.5);
+  for (std::size_t r = 0; r < runs; ++r) {
+    const auto start = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<int>(samples.size() - 1)));
+    const auto len = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<int>(min_len), static_cast<int>(max_len)));
+    for (std::size_t i = start; i < std::min(start + len, samples.size());
+         ++i) {
+      samples[i].accel = samples[start - 1].accel;
+      samples[i].gyro = samples[start - 1].gyro;
+    }
+  }
+  return Trace(trace.fs(), std::move(samples));
+}
+
+Trace clip_acceleration(const Trace& trace, double limit) {
+  expects(limit > 0.0, "clip_acceleration: limit > 0");
+  std::vector<Sample> samples = trace.samples();
+  for (Sample& s : samples) {
+    s.accel.x = std::clamp(s.accel.x, -limit, limit);
+    s.accel.y = std::clamp(s.accel.y, -limit, limit);
+    s.accel.z = std::clamp(s.accel.z, -limit, limit);
+  }
+  return Trace(trace.fs(), std::move(samples));
+}
+
+Trace inject_spikes(const Trace& trace, double rate_per_min, double glitch_g,
+                    Rng& rng) {
+  expects(rate_per_min >= 0.0, "inject_spikes: rate >= 0");
+  std::vector<Sample> samples = trace.samples();
+  if (samples.empty() || rate_per_min == 0.0) {
+    return Trace(trace.fs(), std::move(samples));
+  }
+  const double expected = rate_per_min * trace.duration() / 60.0;
+  const auto spikes = static_cast<std::size_t>(expected + 0.5);
+  for (std::size_t k = 0; k < spikes; ++k) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(samples.size() - 1)));
+    const int axis = rng.uniform_int(0, 2);
+    const double v = (rng.chance(0.5) ? 1.0 : -1.0) * glitch_g * kGravity;
+    if (axis == 0) {
+      samples[i].accel.x = v;
+    } else if (axis == 1) {
+      samples[i].accel.y = v;
+    } else {
+      samples[i].accel.z = v;
+    }
+  }
+  return Trace(trace.fs(), std::move(samples));
+}
+
+}  // namespace ptrack::imu

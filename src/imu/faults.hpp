@@ -1,0 +1,30 @@
+// Sensor fault injection: the failure modes a deployed wearable actually
+// exhibits beyond Gaussian noise — dropped sample runs (BLE/driver
+// hiccups; the driver repeats the last value), range clipping (cheap
+// accelerometers saturate around +-4g or +-8g) and stuck-at glitches.
+// Used by robustness tests and the fault-injection bench.
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "imu/trace.hpp"
+
+namespace ptrack::imu {
+
+/// Replaces randomly placed runs of samples with the value preceding the
+/// run (sample-and-hold dropout, as real drivers do). `rate_per_min` runs
+/// per minute on average; each run lasts uniform [min_len, max_len]
+/// samples. Deterministic given `rng`.
+Trace inject_dropouts(const Trace& trace, double rate_per_min,
+                      std::size_t min_len, std::size_t max_len, Rng& rng);
+
+/// Clips every acceleration component into [-limit, +limit] (m/s^2),
+/// emulating range saturation. limit > 0.
+Trace clip_acceleration(const Trace& trace, double limit);
+
+/// Replaces isolated random samples with a large spike (glitch_g times
+/// gravity along a random axis) — transport-layer corruption.
+Trace inject_spikes(const Trace& trace, double rate_per_min, double glitch_g,
+                    Rng& rng);
+
+}  // namespace ptrack::imu

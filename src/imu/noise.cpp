@@ -1,0 +1,54 @@
+#include "imu/noise.hpp"
+
+#include <cmath>
+
+namespace ptrack::imu {
+
+namespace {
+
+double quantize(double v, double lsb) {
+  if (lsb <= 0.0) return v;
+  return std::round(v / lsb) * lsb;
+}
+
+}  // namespace
+
+Trace corrupt(const Trace& clean, const SensorErrorModel& model, Rng& rng) {
+  const Vec3 accel_bias{rng.normal(0.0, model.accel_bias_stddev),
+                        rng.normal(0.0, model.accel_bias_stddev),
+                        rng.normal(0.0, model.accel_bias_stddev)};
+  const Vec3 gyro_bias{rng.normal(0.0, model.gyro_bias_stddev),
+                       rng.normal(0.0, model.gyro_bias_stddev),
+                       rng.normal(0.0, model.gyro_bias_stddev)};
+
+  std::vector<Sample> out;
+  out.reserve(clean.size());
+  for (const Sample& s : clean.samples()) {
+    Sample c = s;
+    c.accel += accel_bias;
+    c.accel += Vec3{rng.normal(0.0, model.accel_noise_stddev),
+                    rng.normal(0.0, model.accel_noise_stddev),
+                    rng.normal(0.0, model.accel_noise_stddev)};
+    c.accel = {quantize(c.accel.x, model.accel_quantization),
+               quantize(c.accel.y, model.accel_quantization),
+               quantize(c.accel.z, model.accel_quantization)};
+    c.gyro += gyro_bias;
+    c.gyro += Vec3{rng.normal(0.0, model.gyro_noise_stddev),
+                   rng.normal(0.0, model.gyro_noise_stddev),
+                   rng.normal(0.0, model.gyro_noise_stddev)};
+    out.push_back(c);
+  }
+  return Trace(clean.fs(), std::move(out));
+}
+
+SensorErrorModel noiseless() {
+  SensorErrorModel m;
+  m.accel_bias_stddev = 0.0;
+  m.accel_noise_stddev = 0.0;
+  m.accel_quantization = 0.0;
+  m.gyro_bias_stddev = 0.0;
+  m.gyro_noise_stddev = 0.0;
+  return m;
+}
+
+}  // namespace ptrack::imu

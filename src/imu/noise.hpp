@@ -1,0 +1,34 @@
+// Sensor error model for the simulated wearable IMU.
+//
+// Models the error sources that matter for step counting and stride
+// estimation on a consumer MEMS accelerometer (e.g. the LG Urbane's
+// InvenSense part): a per-axis constant bias, white measurement noise, and
+// output quantization. The mean-removal integration in PTrack specifically
+// exists to survive the bias term, so the model keeps it explicit.
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "imu/trace.hpp"
+
+namespace ptrack::imu {
+
+/// Parameters of the sensor error model. Defaults approximate a consumer
+/// MEMS accelerometer at 100 Hz.
+struct SensorErrorModel {
+  double accel_bias_stddev = 0.03;    ///< per-axis constant bias draw (m/s^2)
+  double accel_noise_stddev = 0.03;   ///< white noise per sample (m/s^2)
+  double accel_quantization = 0.0024; ///< output LSB (m/s^2); 0 disables
+  double gyro_bias_stddev = 0.002;    ///< rad/s
+  double gyro_noise_stddev = 0.003;   ///< rad/s per sample
+};
+
+/// Applies the error model to a clean trace (bias drawn once per trace,
+/// noise per sample, then quantization). Deterministic given `rng`.
+Trace corrupt(const Trace& clean, const SensorErrorModel& model, Rng& rng);
+
+/// A noiseless model (all parameters zero) for unit tests that need exact
+/// kinematics.
+SensorErrorModel noiseless();
+
+}  // namespace ptrack::imu

@@ -1,0 +1,20 @@
+// One inertial sample from a (real or simulated) wearable IMU.
+
+#pragma once
+
+#include "common/vec3.hpp"
+
+namespace ptrack::imu {
+
+/// One IMU reading. `accel` is the *specific force* the accelerometer
+/// reports (m/s^2, device/world frame as documented by the producing
+/// source): for a device at rest it is +g along the up axis. `gyro` is
+/// angular rate (rad/s); the synthesizer fills it for completeness and the
+/// heading substrate consumes it, PTrack's core needs only `accel`.
+struct Sample {
+  double t = 0.0;  ///< seconds since trace start
+  Vec3 accel{};    ///< specific force (m/s^2)
+  Vec3 gyro{};     ///< angular rate (rad/s)
+};
+
+}  // namespace ptrack::imu

@@ -1,0 +1,44 @@
+#include "imu/trace_io.hpp"
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::imu {
+
+namespace {
+const std::vector<std::string> kHeader = {"t",  "ax", "ay", "az",
+                                          "gx", "gy", "gz"};
+}
+
+void save_csv(const Trace& trace, const std::string& path) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(trace.size() + 1);
+  // First row is metadata: fs in the "t" column, the rest zero.
+  rows.push_back({trace.fs(), 0, 0, 0, 0, 0, 0});
+  for (const Sample& s : trace.samples()) {
+    rows.push_back({s.t, s.accel.x, s.accel.y, s.accel.z, s.gyro.x, s.gyro.y,
+                    s.gyro.z});
+  }
+  csv::write(path, kHeader, rows);
+}
+
+Trace load_csv(const std::string& path) {
+  const csv::Document doc = csv::read(path);
+  if (doc.header != kHeader) throw Error("load_csv: unexpected header in " + path);
+  if (doc.rows.empty()) throw Error("load_csv: missing metadata row in " + path);
+  const double fs = doc.rows.front().front();
+  if (fs <= 0.0) throw Error("load_csv: invalid fs in " + path);
+  std::vector<Sample> samples;
+  samples.reserve(doc.rows.size() - 1);
+  for (std::size_t i = 1; i < doc.rows.size(); ++i) {
+    const auto& r = doc.rows[i];
+    Sample s;
+    s.t = r[0];
+    s.accel = {r[1], r[2], r[3]};
+    s.gyro = {r[4], r[5], r[6]};
+    samples.push_back(s);
+  }
+  return Trace(fs, std::move(samples));
+}
+
+}  // namespace ptrack::imu

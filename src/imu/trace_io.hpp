@@ -1,0 +1,21 @@
+// CSV persistence for IMU traces so experiments can be exported, inspected
+// offline, and re-imported (including real device recordings with the same
+// column layout: t,ax,ay,az,gx,gy,gz).
+
+#pragma once
+
+#include <string>
+
+#include "imu/trace.hpp"
+
+namespace ptrack::imu {
+
+/// Writes the trace as CSV with header t,ax,ay,az,gx,gy,gz plus a leading
+/// pseudo-row carrying fs. Throws ptrack::Error on I/O failure.
+void save_csv(const Trace& trace, const std::string& path);
+
+/// Reads a trace written by save_csv(). Throws ptrack::Error on I/O or
+/// format errors.
+Trace load_csv(const std::string& path);
+
+}  // namespace ptrack::imu

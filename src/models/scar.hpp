@@ -1,0 +1,78 @@
+// SCAR baseline (Dernbach et al., IEEE IE'12): supervised activity
+// recognition used as a step-counting guard.
+//
+// Windows of the trace are featurized (time + frequency domain) and
+// classified by a Gaussian naive-Bayes model trained on *labeled* activity
+// recordings. Steps are only counted inside windows classified as a gait
+// class. The design works well on activities present in the training set
+// and degrades on unseen ones — reproduced in Fig. 7(a) by withholding the
+// "photo" class from training.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "models/step_counter.hpp"
+
+namespace ptrack::models {
+
+/// Feature vector of one analysis window.
+using FeatureVector = std::vector<double>;
+
+/// Extracts the SCAR feature vector from a trace window. Features cover the
+/// acceleration magnitude, vertical and horizontal channels: mean, std,
+/// energy, dominant frequency, spectral entropy, autocorrelation peak, and
+/// the vertical-horizontal correlation. Fixed length for a given build.
+FeatureVector scar_features(const imu::Trace& window);
+
+/// Number of features produced by scar_features().
+std::size_t scar_feature_count();
+
+/// One labeled training example.
+struct LabeledTrace {
+  imu::Trace trace;
+  std::string label;
+};
+
+/// Gaussian naive-Bayes over SCAR features.
+class ScarClassifier {
+ public:
+  /// Trains from labeled traces; each is split into windows of `window_s`
+  /// seconds. Requires at least one example per class and at least two
+  /// windows overall.
+  void fit(const std::vector<LabeledTrace>& examples, double window_s = 2.0);
+
+  /// Classifies one window; requires fit() first.
+  [[nodiscard]] std::string classify(const imu::Trace& window) const;
+
+  [[nodiscard]] bool trained() const { return !classes_.empty(); }
+  [[nodiscard]] std::vector<std::string> classes() const;
+
+ private:
+  struct ClassModel {
+    std::vector<double> mean;
+    std::vector<double> var;
+    double log_prior = 0.0;
+  };
+  std::map<std::string, ClassModel> classes_;
+};
+
+/// SCAR-guarded step counter: classify each window, count peaks only inside
+/// windows whose label is in `gait_labels`.
+class ScarCounter final : public IStepCounter {
+ public:
+  ScarCounter(ScarClassifier classifier, std::vector<std::string> gait_labels,
+              double window_s = 2.0);
+
+  [[nodiscard]] std::string_view name() const override { return "SCAR"; }
+  StepDetection count_steps(const imu::Trace& trace) override;
+
+ private:
+  ScarClassifier classifier_;
+  std::vector<std::string> gait_labels_;
+  double window_s_;
+};
+
+}  // namespace ptrack::models

@@ -1,0 +1,27 @@
+// Common interface of every step counter (baselines and PTrack's wrapper).
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "imu/trace.hpp"
+
+namespace ptrack::models {
+
+/// Output of a step counter over one trace.
+struct StepDetection {
+  std::size_t count = 0;           ///< total detected steps
+  std::vector<double> step_times;  ///< per-step timestamps (seconds)
+};
+
+/// Batch step-counter interface.
+class IStepCounter {
+ public:
+  virtual ~IStepCounter() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Counts steps over a full trace.
+  virtual StepDetection count_steps(const imu::Trace& trace) = 0;
+};
+
+}  // namespace ptrack::models

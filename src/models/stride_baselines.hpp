@@ -1,0 +1,56 @@
+// Naive stride baselines applied directly to wrist data — the three curves
+// of Fig. 1(d): the empirical (Weinberg) model, the biomechanical model fed
+// with the raw wrist bounce, and direct double integration. All inherit the
+// body-attachment assumption that a wrist-worn device violates, which is
+// the paper's motivation for the PTrack stride estimator.
+
+#pragma once
+
+#include "models/stride_estimator.hpp"
+
+namespace ptrack::models {
+
+/// Weinberg empirical model: s = K * (a_max - a_min)^(1/4) per step, with
+/// a_max/a_min the vertical-acceleration extremes within the step.
+class EmpiricalStride final : public IStrideEstimator {
+ public:
+  /// K is the per-user empirical constant. The default is a typical
+  /// torso-mounted calibration from the literature; applying it to wrist
+  /// data inherits the arm-inflated acceleration range, which is the point
+  /// of the Fig. 1(d) comparison.
+  explicit EmpiricalStride(double K = 0.62);
+  [[nodiscard]] std::string_view name() const override { return "Empirical"; }
+  std::vector<StrideEstimate> estimate(const imu::Trace& trace) override;
+
+ private:
+  double k_;
+};
+
+/// Biomechanical model with the bounce measured directly from the wrist
+/// vertical acceleration (identical to MontageStride; exposed under the
+/// figure's label).
+class BiomechanicalStride final : public IStrideEstimator {
+ public:
+  BiomechanicalStride(double leg_length, double k);
+  [[nodiscard]] std::string_view name() const override {
+    return "Biomechanical";
+  }
+  std::vector<StrideEstimate> estimate(const imu::Trace& trace) override;
+
+ private:
+  double leg_length_;
+  double k_;
+};
+
+/// Direct double integration of the anterior acceleration within each step
+/// (no mean removal): recovers only the time-varying velocity component and
+/// drifts with the sensor bias, so per-step estimates are wildly off — the
+/// "Integral" curve of Fig. 1(d).
+class IntegralStride final : public IStrideEstimator {
+ public:
+  IntegralStride() = default;
+  [[nodiscard]] std::string_view name() const override { return "Integral"; }
+  std::vector<StrideEstimate> estimate(const imu::Trace& trace) override;
+};
+
+}  // namespace ptrack::models

@@ -1,0 +1,27 @@
+// Common interface of every per-step stride estimator.
+
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "imu/trace.hpp"
+
+namespace ptrack::models {
+
+/// One per-step stride estimate.
+struct StrideEstimate {
+  double t = 0.0;       ///< step completion time (s)
+  double stride = 0.0;  ///< estimated stride length (m)
+};
+
+/// Batch stride-estimator interface.
+class IStrideEstimator {
+ public:
+  virtual ~IStrideEstimator() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Per-step stride estimates over a full trace (assumed to be gait).
+  virtual std::vector<StrideEstimate> estimate(const imu::Trace& trace) = 0;
+};
+
+}  // namespace ptrack::models

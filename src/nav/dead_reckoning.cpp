@@ -1,0 +1,53 @@
+#include "nav/dead_reckoning.hpp"
+
+#include <cmath>
+#include <memory>
+#include <random>
+
+#include "common/error.hpp"
+
+namespace ptrack::nav {
+
+DeadReckoner::DeadReckoner(Point origin, HeadingSource heading)
+    : heading_(std::move(heading)) {
+  expects(static_cast<bool>(heading_), "DeadReckoner: heading source set");
+  trajectory_.push_back(origin);
+}
+
+void DeadReckoner::advance(const core::StepEvent& event) {
+  const double h = heading_(event.t);
+  const Point& cur = trajectory_.back();
+  trajectory_.push_back({cur.x + event.stride * std::cos(h),
+                         cur.y + event.stride * std::sin(h)});
+  traveled_ += event.stride;
+}
+
+std::vector<Point> reckon_trajectory(const core::TrackResult& result,
+                                     Point origin,
+                                     const HeadingSource& heading) {
+  DeadReckoner dr(origin, heading);
+  for (const core::StepEvent& e : result.events) dr.advance(e);
+  return dr.trajectory();
+}
+
+HeadingSource route_heading_source(const Route& route,
+                                   std::function<double(double)> distance_at,
+                                   double noise_stddev, unsigned seed) {
+  expects(static_cast<bool>(distance_at),
+          "route_heading_source: distance function set");
+  // The generator is shared state captured by the closure; queries must be
+  // made in (any) deterministic order for reproducibility.
+  auto gen = std::make_shared<std::mt19937>(seed);
+  return [&route, distance_at = std::move(distance_at), noise_stddev,
+          gen](double t) {
+    const double s = distance_at(t);
+    double h = route.leg_heading(route.leg_at(s));
+    if (noise_stddev > 0.0) {
+      std::normal_distribution<double> noise(0.0, noise_stddev);
+      h += noise(*gen);
+    }
+    return h;
+  };
+}
+
+}  // namespace ptrack::nav

@@ -1,0 +1,55 @@
+// Pedestrian dead-reckoning: integrates PTrack step/stride events along a
+// heading source into a 2D trajectory (the upper-layer application of the
+// paper's Fig. 9 case study).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/types.hpp"
+#include "nav/route.hpp"
+
+namespace ptrack::nav {
+
+/// Heading (rad) as a function of time. In a real deployment this comes
+/// from gyro/magnetometer fusion; the case study scripts it from the route
+/// with configurable noise.
+using HeadingSource = std::function<double(double t)>;
+
+/// Dead-reckoning integrator.
+class DeadReckoner {
+ public:
+  /// Starts at `origin` with the given heading source.
+  DeadReckoner(Point origin, HeadingSource heading);
+
+  /// Advances by one counted step.
+  void advance(const core::StepEvent& event);
+
+  /// Full trajectory including the origin; one fix per step.
+  [[nodiscard]] const std::vector<Point>& trajectory() const {
+    return trajectory_;
+  }
+  [[nodiscard]] const Point& position() const { return trajectory_.back(); }
+  [[nodiscard]] double traveled() const { return traveled_; }
+
+ private:
+  HeadingSource heading_;
+  std::vector<Point> trajectory_;
+  double traveled_ = 0.0;
+};
+
+/// Convenience: runs a whole TrackResult through a DeadReckoner.
+std::vector<Point> reckon_trajectory(const core::TrackResult& result,
+                                     Point origin,
+                                     const HeadingSource& heading);
+
+/// Heading source that follows a route's leg headings according to the true
+/// progression of the walker (distance walked at time t), with additive
+/// white noise per query. Deterministic given the noise vector is seeded by
+/// the caller: pass noise_stddev = 0 for the scripted ideal.
+HeadingSource route_heading_source(const Route& route,
+                                   std::function<double(double)> distance_at,
+                                   double noise_stddev, unsigned seed);
+
+}  // namespace ptrack::nav

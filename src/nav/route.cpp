@@ -1,0 +1,109 @@
+#include "nav/route.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptrack::nav {
+
+namespace {
+
+double dist(const Point& a, const Point& b) {
+  return std::hypot(b.x - a.x, b.y - a.y);
+}
+
+double point_segment_distance(const Point& p, const Point& a, const Point& b) {
+  const double vx = b.x - a.x;
+  const double vy = b.y - a.y;
+  const double len2 = vx * vx + vy * vy;
+  if (len2 == 0.0) return dist(p, a);
+  double t = ((p.x - a.x) * vx + (p.y - a.y) * vy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return dist(p, {a.x + t * vx, a.y + t * vy});
+}
+
+}  // namespace
+
+Route::Route(std::vector<Point> waypoints) : waypoints_(std::move(waypoints)) {
+  expects(waypoints_.size() >= 2, "Route: at least two waypoints");
+  cumulative_.resize(waypoints_.size(), 0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    const double leg = dist(waypoints_[i - 1], waypoints_[i]);
+    expects(leg > 0.0, "Route: distinct consecutive waypoints");
+    cumulative_[i] = cumulative_[i - 1] + leg;
+  }
+}
+
+double Route::leg_length(std::size_t i) const {
+  expects(i < legs(), "leg_length: valid leg");
+  return cumulative_[i + 1] - cumulative_[i];
+}
+
+double Route::leg_heading(std::size_t i) const {
+  expects(i < legs(), "leg_heading: valid leg");
+  const Point& a = waypoints_[i];
+  const Point& b = waypoints_[i + 1];
+  return std::atan2(b.y - a.y, b.x - a.x);
+}
+
+std::size_t Route::leg_at(double s) const {
+  s = std::clamp(s, 0.0, length());
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  return std::min(idx == 0 ? 0 : idx - 1, legs() - 1);
+}
+
+Point Route::point_at(double s) const {
+  s = std::clamp(s, 0.0, length());
+  const std::size_t leg = leg_at(s);
+  const double within = s - cumulative_[leg];
+  const double frac = within / leg_length(leg);
+  const Point& a = waypoints_[leg];
+  const Point& b = waypoints_[leg + 1];
+  return {a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)};
+}
+
+double Route::distance_to(const Point& p) const {
+  double best = 1e300;
+  for (std::size_t i = 0; i < legs(); ++i) {
+    best = std::min(best,
+                    point_segment_distance(p, waypoints_[i], waypoints_[i + 1]));
+  }
+  return best;
+}
+
+Route shopping_center_route() {
+  // Reconstructed from Fig. 9 (125 m x 85 m floor, 20 m scale bar). The
+  // B->C and D->E legs cross a 4 m corridor diagonally, twice; total length
+  // is the paper's 141.5 m.
+  return Route({
+      {0.0, 0.0},      // A: store exit
+      {30.0, 0.0},     // B
+      {34.0, -4.0},    // C: across the 4 m corridor
+      {44.0, -4.0},    // D
+      {48.0, 0.0},     // E: back across the corridor
+      {88.0, 0.0},     // F
+      {138.186, 0.0},  // G: elevator (length tops the total up to 141.5 m)
+  });
+}
+
+RouteErrorStats score_trajectory(const Route& route,
+                                 const std::vector<Point>& trajectory) {
+  expects(!trajectory.empty(), "score_trajectory: non-empty trajectory");
+  RouteErrorStats stats;
+  double acc = 0.0;
+  for (const Point& p : trajectory) {
+    const double d = route.distance_to(p);
+    acc += d;
+    stats.max_cross_track = std::max(stats.max_cross_track, d);
+  }
+  stats.mean_cross_track = acc / static_cast<double>(trajectory.size());
+  const Point& last = trajectory.back();
+  const Point end = route.point_at(route.length());
+  stats.end_error = std::hypot(last.x - end.x, last.y - end.y);
+  return stats;
+}
+
+}  // namespace ptrack::nav

@@ -1,0 +1,68 @@
+// Polyline routes and route-following error metrics for the indoor
+// navigation case study (paper Fig. 9).
+
+#pragma once
+
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace ptrack::nav {
+
+/// 2D point (metres, floor plane).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A piecewise-linear route through ordered waypoints.
+class Route {
+ public:
+  /// Requires at least two waypoints.
+  explicit Route(std::vector<Point> waypoints);
+
+  [[nodiscard]] const std::vector<Point>& waypoints() const {
+    return waypoints_;
+  }
+  [[nodiscard]] std::size_t legs() const { return waypoints_.size() - 1; }
+
+  /// Total route length (m).
+  [[nodiscard]] double length() const { return cumulative_.back(); }
+
+  /// Length of leg i.
+  [[nodiscard]] double leg_length(std::size_t i) const;
+
+  /// Heading (rad) of leg i.
+  [[nodiscard]] double leg_heading(std::size_t i) const;
+
+  /// Point at arc length s from the start (clamped to [0, length()]).
+  [[nodiscard]] Point point_at(double s) const;
+
+  /// Index of the leg containing arc length s.
+  [[nodiscard]] std::size_t leg_at(double s) const;
+
+  /// Shortest distance from p to the route (cross-track error).
+  [[nodiscard]] double distance_to(const Point& p) const;
+
+ private:
+  std::vector<Point> waypoints_;
+  std::vector<double> cumulative_;  ///< cumulative length at each waypoint
+};
+
+/// The Fig. 9 shopping-center route: A -> B -> C -> D -> E -> F -> G,
+/// 141.5 m total, with the deliberate 4 m corridor double-crossing between
+/// B and D. Coordinates reconstructed from the figure's scale bars.
+Route shopping_center_route();
+
+/// Summary statistics of a tracked trajectory against a reference route.
+struct RouteErrorStats {
+  double mean_cross_track = 0.0;  ///< mean distance to the route (m)
+  double max_cross_track = 0.0;
+  double end_error = 0.0;         ///< distance from final fix to route end
+};
+
+/// Scores a trajectory (sequence of fixes) against the route.
+RouteErrorStats score_trajectory(const Route& route,
+                                 const std::vector<Point>& trajectory);
+
+}  // namespace ptrack::nav

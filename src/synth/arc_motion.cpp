@@ -1,0 +1,110 @@
+#include "synth/arc_motion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::synth {
+
+double waveform_value(Waveform w, double phi, double dwell_sharpness,
+                      double duty) {
+  switch (w) {
+    case Waveform::Sine:
+      return std::sin(phi);
+    case Waveform::Dwell:
+      // tanh-shaped sine: flattens the extremes so the hand lingers at the
+      // plate and the mouth; stays C^inf so accelerations remain physical.
+      return std::tanh(dwell_sharpness * std::sin(phi)) /
+             std::tanh(dwell_sharpness);
+    case Waveform::Flick: {
+      // Asymmetric: fast outward flick, slower return. Sum of first two
+      // harmonics, normalized to peak ~1.
+      const double v = std::sin(phi) + 0.35 * std::sin(2.0 * phi);
+      return v / 1.27;
+    }
+    case Waveform::Pulse: {
+      // One out-and-back gesture per cycle, then rest: sin^2 bump over the
+      // duty fraction (C^1 at the boundaries), flat elsewhere.
+      double u = phi / kTwoPi;
+      u -= std::floor(u);
+      if (u >= duty) return 0.0;
+      const double s = std::sin(kPi * u / duty);
+      return s * s;
+    }
+  }
+  return 0.0;
+}
+
+ArcPath generate_arc(const ArcMotionParams& p, double duration,
+                     double fs, Rng& rng) {
+  expects(duration > 0.0 && fs > 0.0, "generate_arc: positive duration, fs");
+  expects(p.base_freq > 0.0, "generate_arc: base_freq > 0");
+  expects(p.radius > 0.0, "generate_arc: radius > 0");
+
+  const auto n = static_cast<std::size_t>(duration * fs);
+  ArcPath out;
+  out.pos.reserve(n);
+  out.theta.reserve(n);
+
+  const Vec3 a = p.plane_a.normalized();
+  const Vec3 b = p.plane_b.normalized();
+  out.tilt_axis = a.cross(b).normalized();  // normal of the motion plane
+
+  // Per-cycle randomized period and amplitude; phase advances continuously.
+  double phi = rng.uniform(0.0, kTwoPi);
+  double cycle_freq = p.base_freq * (1.0 + rng.normal(0.0, p.freq_jitter));
+  double cycle_amp = p.amplitude * (1.0 + rng.normal(0.0, p.amplitude_jitter));
+  double next_cycle_phase = std::ceil(phi / kTwoPi) * kTwoPi;
+
+  const double tremor_phase0 = rng.uniform(0.0, kTwoPi);
+  const double sway_phase0 = rng.uniform(0.0, kTwoPi);
+  const double sway_phase1 = rng.uniform(0.0, kTwoPi);
+  // Sway direction: a random horizontal unit vector.
+  const double sway_dir = rng.uniform(0.0, kTwoPi);
+  const Vec3 sway_h{std::cos(sway_dir), std::sin(sway_dir), 0.0};
+
+  const double dt = 1.0 / fs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    phi += kTwoPi * cycle_freq * dt;
+    if (phi >= next_cycle_phase) {
+      next_cycle_phase += kTwoPi;
+      cycle_freq = p.base_freq * (1.0 + rng.normal(0.0, p.freq_jitter));
+      if (cycle_freq < 0.1 * p.base_freq) cycle_freq = 0.1 * p.base_freq;
+      cycle_amp = p.amplitude * (1.0 + rng.normal(0.0, p.amplitude_jitter));
+    }
+
+    double theta =
+        p.center_angle +
+        cycle_amp * waveform_value(p.waveform, phi, p.dwell_sharpness, p.duty);
+    if (p.tremor_amp > 0.0 && p.tremor_freq > 0.0) {
+      double envelope = 1.0;
+      if (p.tremor_burst_freq > 0.0) {
+        // Tremor arrives in bursts (shaking while framing a shot, then
+        // holding still): a smooth on/off envelope active ~40% of the time.
+        const double m = std::sin(kTwoPi * p.tremor_burst_freq * t + sway_phase1);
+        envelope = std::clamp((m - 0.2) / 0.8, 0.0, 1.0);
+        envelope *= envelope;
+      }
+      theta += envelope * p.tremor_amp *
+               std::sin(kTwoPi * p.tremor_freq * t + tremor_phase0);
+    }
+
+    Vec3 pos = (a * std::cos(theta) + b * std::sin(theta)) * p.radius;
+
+    if (p.sway_amp > 0.0) {
+      const double s0 = std::sin(kTwoPi * p.sway_freq * t + sway_phase0);
+      const double s1 =
+          std::sin(kTwoPi * p.sway_freq * 1.7 * t + sway_phase1);
+      pos += sway_h * (p.sway_amp * s0) + kVertical * (0.3 * p.sway_amp * s1);
+    }
+
+    out.pos.push_back(pos);
+    out.theta.push_back(theta - p.center_angle);
+  }
+  return out;
+}
+
+}  // namespace ptrack::synth

@@ -1,0 +1,69 @@
+// Generic rigid 1-DOF arc-motion generator.
+//
+// Every interfering activity the paper tests (eating, poker, photo, gaming)
+// and the spoofing rig share one physical structure: a *rigid* object (the
+// forearm/hand, or the rocker) rotating about a pivot along a single
+// degree of freedom. PTrack's key observation rests exactly on this
+// rigidity — both projected acceleration components are functions of the
+// same scalar angle, so their critical points synchronize. This generator
+// realizes that structure once; activities differ only in waveform, rate,
+// amplitude, plane, tremor and residual body sway.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+
+namespace ptrack::synth {
+
+/// Angle waveform shapes.
+enum class Waveform {
+  Sine,   ///< smooth harmonic swing (spoofer, gaming)
+  Dwell,  ///< flattened extremes — dwell at plate/mouth (eating, photo)
+  Flick,  ///< asymmetric fast-out/slow-back (poker dealing)
+  Pulse,  ///< out-and-back burst occupying `duty` of the cycle, rest flat
+          ///< (discrete gestures: a bite, dealing one card)
+};
+
+/// Parameters of one arc motion.
+struct ArcMotionParams {
+  double base_freq = 1.0;        ///< arc cycles per second
+  double freq_jitter = 0.05;     ///< relative per-cycle period jitter
+  double amplitude = 0.3;        ///< half-angle (rad)
+  double amplitude_jitter = 0.1; ///< relative per-cycle amplitude jitter
+  double radius = 0.35;          ///< pivot-to-device distance (m)
+  double center_angle = 0.0;     ///< arc midpoint angle (rad)
+  Waveform waveform = Waveform::Sine;
+  double dwell_sharpness = 2.5;  ///< tanh steepness for Waveform::Dwell
+  double duty = 0.4;             ///< active fraction for Waveform::Pulse
+  Vec3 plane_a{0, 0, -1};        ///< unit vector at angle 0 (from pivot)
+  Vec3 plane_b{1, 0, 0};         ///< unit vector at angle +pi/2
+  double tremor_freq = 0.0;      ///< superimposed small arc (Hz); 0 = none
+  double tremor_amp = 0.0;       ///< tremor half-angle (rad)
+  double tremor_burst_freq = 0.0;  ///< tremor on/off modulation (Hz); 0 = continuous
+  double sway_amp = 0.0;         ///< residual body sway translation (m)
+  double sway_freq = 0.25;       ///< body sway rate (Hz)
+};
+
+/// Output of the arc generator: positions plus the arc angle stream (used
+/// by the synthesizer's attitude-residual model — a hand-held/worn device
+/// physically tilts with the arc, and imperfect sensor fusion leaks a
+/// fraction of that tilt into the projected accelerations).
+struct ArcPath {
+  std::vector<Vec3> pos;      ///< device positions relative to the pivot
+  std::vector<double> theta;  ///< arc angle minus center_angle (rad)
+  Vec3 tilt_axis{0, 1, 0};    ///< world axis the device tilts about
+};
+
+/// Device positions (relative to the pivot at the origin) sampled at `fs`
+/// for `duration` seconds. Deterministic given `rng`.
+ArcPath generate_arc(const ArcMotionParams& params, double duration,
+                     double fs, Rng& rng);
+
+/// Evaluates the waveform shape at phase phi (radians); output in [-1, 1].
+double waveform_value(Waveform w, double phi, double dwell_sharpness,
+                      double duty = 0.4);
+
+}  // namespace ptrack::synth

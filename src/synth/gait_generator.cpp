@@ -1,0 +1,150 @@
+#include "synth/gait_generator.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::synth {
+
+namespace {
+
+/// Fraction by which the forward speed oscillates around its mean within a
+/// step (literature: ~30-50% at the pelvis).
+constexpr double kSpeedOscillation = 0.25;
+
+}  // namespace
+
+GaitPath generate_gait(const GaitParams& p, const UserProfile& user,
+                       Rng& rng) {
+  expects(p.duration > 0.0 && p.fs > 0.0, "generate_gait: duration, fs > 0");
+  expects(p.kind == ActivityKind::Walking || p.kind == ActivityKind::Running ||
+              p.kind == ActivityKind::Stepping ||
+              p.kind == ActivityKind::SwingOnly,
+          "generate_gait: gait kind");
+
+  const bool moving = p.kind != ActivityKind::SwingOnly;
+  const bool swinging = p.kind != ActivityKind::Stepping;
+  const bool running = p.kind == ActivityKind::Running;
+
+  // Running: higher cadence and longer strides than the user's walk, with a
+  // proportionally larger arm swing. The same two-oscillator structure
+  // applies (the paper treats jogging/running as walking variants), so the
+  // generator reuses the walking kinematics with scaled parameters.
+  const double default_speed = running ? 2.2 * user.speed : user.speed;
+  const double speed = p.speed > 0.0 ? p.speed : default_speed;
+  const double cadence = running ? 1.35 * user.cadence : user.cadence;
+  const double base_stride = speed / cadence;
+  const double base_period = 1.0 / cadence;
+
+  const Vec3 fwd{std::cos(p.heading), std::sin(p.heading), 0.0};
+  const double shoulder_z = 0.82 * user.height;
+
+  // Stepping keeps the arm rigid at a slight forward hang (hand in pocket).
+  const double rigid_angle = 0.12;
+
+  GaitPath out;
+  const auto n_total = static_cast<std::size_t>(p.duration * p.fs);
+  out.wrist.reserve(n_total);
+  out.body.reserve(n_total);
+  out.tilt.reserve(n_total);
+  // The forearm (and the watch on it) pitches about the lateral axis.
+  out.tilt_axis = kVertical.cross(fwd).normalized();
+
+  const double dt = 1.0 / p.fs;
+
+  // Per-step state, re-drawn at each heel strike.
+  double step_period = base_period * (1.0 + rng.normal(0.0, user.step_time_jitter));
+  double stride = base_stride * (1.0 + rng.normal(0.0, user.stride_jitter));
+  double bounce = moving ? user.bounce_for_stride(stride) : 0.0;
+  // The elbow-cushioning distortion is an anatomical trait: its phase is
+  // stable for a user, so it biases the geometry consistently (absorbed by
+  // the per-user Eq. (2) calibration) instead of scattering per cycle.
+  const double cushion_phase = rng.uniform(0.0, kTwoPi);
+
+  double tau = 0.0;          // time within the current step
+  double distance = 0.0;     // forward distance at the current step start
+  double gait_phase = rng.chance(0.5) ? 0.0 : kPi;  // arm phase at step start
+  std::size_t n = 0;
+
+  // Arm-swing phase: a weakly coupled oscillator, not hard-locked to the
+  // gait — the two motion sources are "concurrent but relatively
+  // independent" (paper SII). The arm advances at its own jittered rate and
+  // a mild pull (kArmCoupling) keeps it entrained to the gait on average,
+  // so the arm-to-body phase wanders within a bounded band as in real
+  // walking.
+  constexpr double kArmCoupling = 1.2;  // rad/s of corrective pull
+  double arm_phi = gait_phase;
+  double arm_rate_jitter = rng.normal(0.0, user.arm_phase_jitter);
+
+  const double swing_period_scale = 1.0;  // arm locked to gait cycle
+
+  while (n < n_total) {
+    const double t = static_cast<double>(n) * dt;
+    const double omega = kTwoPi / step_period;
+
+    // Body kinematics within the step.
+    double body_forward = distance;
+    double body_z = shoulder_z;
+    if (moving) {
+      body_forward +=
+          stride * (tau / step_period -
+                    (kSpeedOscillation / kTwoPi) * std::sin(omega * tau));
+      body_z += 0.5 * bounce * (1.0 - std::cos(omega * tau));
+    }
+    const Vec3 body = fwd * body_forward + Vec3{0, 0, body_z};
+
+    // Arm kinematics.
+    Vec3 wrist_rel;
+    if (swinging) {
+      // cos: the arm is at an extreme (foremost/backmost) near heel strike
+      // and vertical near mid-step, when the body tops its bounce (paper
+      // Fig. 5) — up to the wandering phase offset.
+      const double gait_phi_cont =
+          gait_phase + kPi * (tau / step_period) * swing_period_scale;
+      arm_phi += dt * ((kPi / step_period) * (1.0 + arm_rate_jitter) +
+                       kArmCoupling * std::sin(gait_phi_cont - arm_phi));
+      const double phi = arm_phi;
+      const double swing_amp =
+          running ? 1.25 * user.swing_amplitude : user.swing_amplitude;
+      const double theta = swing_amp *
+                           (std::cos(phi) +
+                            user.swing_cushion * std::sin(2.0 * phi + cushion_phase));
+      wrist_rel = fwd * (user.arm_length * std::sin(theta)) +
+                  Vec3{0, 0, -user.arm_length * std::cos(theta)};
+      out.tilt.push_back(theta);
+    } else {
+      wrist_rel = fwd * (user.arm_length * std::sin(rigid_angle)) +
+                  Vec3{0, 0, -user.arm_length * std::cos(rigid_angle)};
+      out.tilt.push_back(0.0);  // pocketed hand: orientation steady
+    }
+
+    out.body.push_back(body);
+    out.wrist.push_back(body + wrist_rel);
+
+    ++n;
+    tau += dt;
+    if (tau >= step_period) {
+      // Heel strike: record the completed step and re-draw step parameters.
+      if (moving) {
+        StepTruth st;
+        st.t = t;
+        st.stride = stride;
+        st.bounce = bounce;
+        out.steps.push_back(st);
+        distance += stride;
+      }
+      gait_phase = wrap_2pi(gait_phase + kPi);
+      arm_phi = wrap_2pi(arm_phi);
+      arm_rate_jitter = rng.normal(0.0, user.arm_phase_jitter);
+      tau -= step_period;
+      step_period =
+          base_period * (1.0 + rng.normal(0.0, user.step_time_jitter));
+      stride = base_stride * (1.0 + rng.normal(0.0, user.stride_jitter));
+      if (moving) bounce = user.bounce_for_stride(stride);
+    }
+  }
+  return out;
+}
+
+}  // namespace ptrack::synth

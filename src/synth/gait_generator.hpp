@@ -1,0 +1,55 @@
+// Biomechanical gait kinematics: walking, stepping (rigid arm) and the
+// swing-only decomposition of Fig. 3.
+//
+// Model (world frame, x-y horizontal, z up):
+//  * Body (pelvis/shoulder) bounces once per step:
+//      z_b(tau) = (b_k/2) (1 - cos(2*pi*tau/T_k)),  tau in [0, T_k)
+//    so the vertical excursion within step k is exactly the ground-truth
+//    bounce b_k, and b_k is coupled to the stride s_k via Eq. (2).
+//  * Forward progression advances exactly s_k per step with a speed
+//    oscillation that leads the bounce by a quarter period
+//    (Kim et al. 2004 — the fixed phase difference PTrack's stepping test
+//    checks):  xdot = (s_k/T_k) (1 - A_v cos(2*pi*tau/T_k)).
+//  * The arm is a rigid pendulum of length m about the shoulder, swinging
+//    once per gait cycle (= 2 steps): theta = theta_amp sin(Phi) plus an
+//    elbow-cushioning second harmonic with a random per-cycle phase — the
+//    small critical-point offsets the paper attributes to elbow/knee
+//    cushioning (Fig. 3's points 5 and 9).
+//  * Walking: wrist = body + pendulum. Stepping: the arm is rigid w.r.t.
+//    the body (pocket/handbag), so the wrist sees body motion only.
+//    SwingOnly: pendulum only, body static.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "synth/profile.hpp"
+#include "synth/truth.hpp"
+
+namespace ptrack::synth {
+
+/// Kinematic output of one gait segment at the internal sample rate.
+struct GaitPath {
+  std::vector<Vec3> wrist;      ///< wrist world positions
+  std::vector<Vec3> body;       ///< body (shoulder) world positions
+  std::vector<double> tilt;     ///< device tilt angle (= swing angle; rad)
+  Vec3 tilt_axis{0, 1, 0};      ///< world axis of the tilt (lateral)
+  std::vector<StepTruth> steps; ///< times relative to segment start
+};
+
+/// Parameters of one gait segment.
+struct GaitParams {
+  ActivityKind kind = ActivityKind::Walking;  ///< Walking|Stepping|SwingOnly
+  double duration = 60.0;  ///< seconds
+  double speed = 0.0;      ///< m/s; 0 = profile preferred speed
+  double heading = 0.0;    ///< world yaw of travel (rad)
+  double fs = 400.0;       ///< internal sample rate
+};
+
+/// Generates gait kinematics. Deterministic given `rng`.
+GaitPath generate_gait(const GaitParams& params, const UserProfile& user,
+                       Rng& rng);
+
+}  // namespace ptrack::synth

@@ -1,0 +1,137 @@
+#include "synth/interference.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "common/mat3.hpp"
+
+namespace ptrack::synth {
+
+namespace {
+
+// Gram-Schmidt: unit b orthogonal to unit a, from a seed direction.
+Vec3 orthogonalize(const Vec3& a, const Vec3& seed) {
+  const Vec3 v = seed - a * seed.dot(a);
+  return v.normalized();
+}
+
+double posture_sway(Posture posture) {
+  // A seated torso is supported; a standing one sways more. Kept an order
+  // of magnitude below gait bounce so rigidity dominates.
+  return posture == Posture::Seated ? 0.0015 : 0.004;
+}
+
+}  // namespace
+
+ArcMotionParams interference_params(ActivityKind kind, Posture posture,
+                                    const UserProfile& user, Rng& rng) {
+  ArcMotionParams p;
+  p.sway_amp = posture_sway(posture);
+
+  // Session-level randomization: where the user faces.
+  const double yaw = rng.uniform(0.0, kTwoPi);
+  const Mat3 r = Mat3::rot_z(yaw);
+
+  switch (kind) {
+    case ActivityKind::Eating: {
+      // Discrete plate-to-mouth transfers: one bite every ~3 s, the hand
+      // resting at the plate in between.
+      p.base_freq = rng.uniform(0.26, 0.38);
+      p.amplitude = rng.uniform(0.42, 0.55);
+      p.radius = 0.45 * user.arm_length + 0.03;  // forearm + utensil
+      p.center_angle = 0.15;
+      p.waveform = Waveform::Pulse;
+      p.duty = rng.uniform(0.38, 0.50);
+      p.freq_jitter = 0.18;
+      p.amplitude_jitter = 0.12;
+      p.plane_a = r.apply(Vec3{0, 0, -1});
+      p.plane_b = r.apply(orthogonalize({0, 0, -1}, {0.92, 0.15, 0.37}));
+      break;
+    }
+    case ActivityKind::Poker: {
+      // Dealing one card at a time: a quick out-and-back flick roughly
+      // every second, the hand pausing over the deck in between.
+      p.base_freq = rng.uniform(0.28, 0.42);
+      p.amplitude = rng.uniform(0.28, 0.40);
+      p.radius = 0.42 * user.arm_length;
+      p.center_angle = 0.1;
+      p.waveform = Waveform::Pulse;
+      p.duty = rng.uniform(0.30, 0.42);
+      p.freq_jitter = 0.14;
+      p.amplitude_jitter = 0.18;
+      p.plane_a = r.apply(Vec3{0, 0, -1});
+      p.plane_b = r.apply(orthogonalize({0, 0, -1}, {0.6, 0.75, 0.28}));
+      break;
+    }
+    case ActivityKind::Photo: {
+      // Arm raised roughly horizontal, held with slow repositioning plus
+      // hold unsteadiness around 2 Hz (mostly vertical at that posture).
+      p.base_freq = rng.uniform(0.28, 0.40);
+      p.amplitude = rng.uniform(0.06, 0.10);
+      p.radius = 0.75 * user.arm_length;
+      p.center_angle = 1.35;
+      p.waveform = Waveform::Pulse;
+      p.duty = rng.uniform(0.35, 0.5);
+      p.freq_jitter = 0.25;
+      p.amplitude_jitter = 0.25;
+      p.tremor_freq = rng.uniform(1.8, 2.2);
+      p.tremor_amp = rng.uniform(0.025, 0.040);
+      p.tremor_burst_freq = rng.uniform(0.08, 0.14);
+      p.plane_a = r.apply(Vec3{0, 0, -1});
+      p.plane_b = r.apply(orthogonalize({0, 0, -1}, {1.0, 0.1, 0.0}));
+      break;
+    }
+    case ActivityKind::Gaming: {
+      // Small fast wrist rocking while holding the phone; plane tilted so a
+      // clear vertical component reaches the accelerometer.
+      p.base_freq = rng.uniform(0.35, 0.55);
+      p.amplitude = rng.uniform(0.06, 0.10);
+      p.radius = 0.35 * user.arm_length;
+      p.center_angle = 0.9;
+      p.waveform = Waveform::Pulse;
+      p.duty = rng.uniform(0.35, 0.50);
+      p.freq_jitter = 0.20;
+      p.amplitude_jitter = 0.25;
+      p.plane_a = r.apply(Vec3{0.3, 0.1, -0.95}.normalized());
+      p.plane_b = r.apply(orthogonalize(Vec3{0.3, 0.1, -0.95}.normalized(),
+                                        {0.8, 0.2, 0.4}));
+      break;
+    }
+    case ActivityKind::Spoofer: {
+      // Motorized rocker: clean, perfectly rigid alternation tuned to look
+      // like brisk steps to a peak counter.
+      p.base_freq = 1.25;
+      p.amplitude = 0.22;
+      p.radius = 0.18;
+      p.center_angle = 0.0;
+      p.waveform = Waveform::Sine;
+      p.freq_jitter = 0.004;
+      p.amplitude_jitter = 0.004;
+      p.sway_amp = 0.0;
+      p.plane_a = Vec3{0.25, 0.0, -0.97}.normalized();
+      p.plane_b = orthogonalize(Vec3{0.25, 0.0, -0.97}.normalized(),
+                                {0.97, 0.0, 0.25});
+      break;
+    }
+    case ActivityKind::Idle: {
+      p.base_freq = 0.2;
+      p.amplitude = 0.0;
+      p.radius = 0.3;
+      p.waveform = Waveform::Sine;
+      break;
+    }
+    default:
+      throw InvalidArgument("interference_params: not an interference kind");
+  }
+  return p;
+}
+
+ArcPath generate_interference(ActivityKind kind, Posture posture,
+                              const UserProfile& user, double duration,
+                              double fs, Rng& rng) {
+  const ArcMotionParams p = interference_params(kind, posture, user, rng);
+  return generate_arc(p, duration, fs, rng);
+}
+
+}  // namespace ptrack::synth

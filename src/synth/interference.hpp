@@ -1,0 +1,31 @@
+// Interfering-activity instantiations of the rigid arc-motion generator,
+// matching the activities the paper evaluates: eating with knife and fork,
+// playing poker cards, taking photos, playing phone games, plus the
+// unfitbits-style spoofing rig and idle rest.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "synth/arc_motion.hpp"
+#include "synth/profile.hpp"
+#include "synth/truth.hpp"
+
+namespace ptrack::synth {
+
+/// Arc parameters for an interfering activity, given the user (forearm
+/// radius) and posture (sway amplitude). Deterministic given `rng` (some
+/// parameters are drawn per session, e.g. the arc plane tilt).
+ArcMotionParams interference_params(ActivityKind kind, Posture posture,
+                                    const UserProfile& user, Rng& rng);
+
+/// Device path (positions + tilt-angle stream) for an interference segment
+/// at rate `fs`. Supported kinds: Eating, Poker, Photo, Gaming, Spoofer,
+/// Idle.
+ArcPath generate_interference(ActivityKind kind, Posture posture,
+                              const UserProfile& user, double duration,
+                              double fs, Rng& rng);
+
+}  // namespace ptrack::synth

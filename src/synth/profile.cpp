@@ -1,0 +1,38 @@
+#include "synth/profile.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ptrack::synth {
+
+double UserProfile::bounce_for_stride(double stride) const {
+  expects(stride > 0.0, "bounce_for_stride: stride > 0");
+  const double ratio = stride / model_k;
+  expects(ratio < leg_length, "bounce_for_stride: stride < k*l");
+  // s = k*sqrt(l^2 - (l-b)^2)  =>  b = l - sqrt(l^2 - (s/k)^2)
+  return leg_length - std::sqrt(leg_length * leg_length - ratio * ratio);
+}
+
+double UserProfile::stride_for_bounce(double bounce) const {
+  expects(bounce >= 0.0 && bounce < leg_length,
+          "stride_for_bounce: 0 <= b < l");
+  const double lb = leg_length - bounce;
+  return model_k * std::sqrt(leg_length * leg_length - lb * lb);
+}
+
+UserProfile random_user(Rng& rng) {
+  UserProfile p;
+  p.height = rng.uniform(1.55, 1.90);
+  // Limb lengths loosely scale with height plus individual variation.
+  p.arm_length = 0.41 * p.height + rng.normal(0.0, 0.015);
+  p.leg_length = 0.53 * p.height + rng.normal(0.0, 0.02);
+  p.speed = rng.uniform(1.0, 1.6);
+  p.cadence = rng.uniform(1.6, 2.1);
+  p.swing_amplitude = rng.uniform(0.28, 0.48);
+  p.swing_cushion = rng.uniform(0.03, 0.08);
+  p.model_k = rng.normal(2.0, 0.05);
+  return p;
+}
+
+}  // namespace ptrack::synth

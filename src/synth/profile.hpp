@@ -1,0 +1,47 @@
+// User profile: the per-user anthropometrics and gait parameters that drive
+// both the synthesizer (ground truth) and the stride model (estimation).
+
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace ptrack::synth {
+
+/// Per-user parameters. Lengths in metres, frequencies in Hz.
+///
+/// Ground-truth strides and bounces are coupled through the paper's Eq. (2)
+/// (s = k * sqrt(l^2 - (l-b)^2)): the synthesizer picks stride from
+/// speed/cadence and derives the consistent bounce by inverting the model
+/// with `model_k`. That makes the biomechanical model exact in the simulated
+/// world — deliberately, because this reproduction tests PTrack's *signal
+/// processing* (recovering b from mixed wrist signals), not the validity of
+/// the literature's biomechanical model.
+struct UserProfile {
+  double arm_length = 0.70;    ///< shoulder-to-wrist length m (paper's "m")
+  double leg_length = 0.90;    ///< hip-to-ground length (paper's "l")
+  double height = 1.72;        ///< used only for shoulder height
+  double speed = 1.30;         ///< preferred walking speed (m/s)
+  double cadence = 1.85;       ///< steps per second
+  double swing_amplitude = 0.38;  ///< arm swing half-angle (rad)
+  double swing_cushion = 0.06;    ///< elbow-cushioning distortion fraction
+  double model_k = 2.0;        ///< true Eq.(2) calibration factor
+  double step_time_jitter = 0.02;   ///< per-step relative period jitter
+  double stride_jitter = 0.03;      ///< per-step relative stride jitter
+  double arm_phase_jitter = 0.05;   ///< arm-oscillator rate jitter (SIII)
+
+  /// Stride implied by speed and cadence (m).
+  [[nodiscard]] double mean_stride() const { return speed / cadence; }
+
+  /// Ground-truth bounce for a given stride via inversion of Eq. (2).
+  /// Requires stride < model_k * leg_length.
+  [[nodiscard]] double bounce_for_stride(double stride) const;
+
+  /// Eq. (2) forward model: stride from bounce.
+  [[nodiscard]] double stride_for_bounce(double bounce) const;
+};
+
+/// Draws a plausible random user (heights 1.55-1.90 m, correlated limb
+/// lengths, speeds 1.0-1.6 m/s). Deterministic given `rng`.
+UserProfile random_user(Rng& rng);
+
+}  // namespace ptrack::synth

@@ -1,0 +1,70 @@
+#include "synth/scenario.hpp"
+
+#include "common/error.hpp"
+
+namespace ptrack::synth {
+
+Scenario& Scenario::add(ScenarioSegment seg) {
+  expects(seg.duration > 0.0, "Scenario::add: positive duration");
+  segments_.push_back(seg);
+  return *this;
+}
+
+Scenario& Scenario::walk(double seconds, double speed, double heading) {
+  return add({ActivityKind::Walking, seconds, Posture::Standing, speed,
+              heading});
+}
+
+Scenario& Scenario::run(double seconds, double speed, double heading) {
+  return add({ActivityKind::Running, seconds, Posture::Standing, speed,
+              heading});
+}
+
+Scenario& Scenario::step(double seconds, double speed, double heading) {
+  return add({ActivityKind::Stepping, seconds, Posture::Standing, speed,
+              heading});
+}
+
+Scenario& Scenario::activity(ActivityKind kind, double seconds,
+                             Posture posture) {
+  return add({kind, seconds, posture, 0.0, 0.0});
+}
+
+double Scenario::total_duration() const {
+  double d = 0.0;
+  for (const auto& s : segments_) d += s.duration;
+  return d;
+}
+
+Scenario Scenario::pure_walking(double seconds) {
+  return Scenario{}.walk(seconds);
+}
+
+Scenario Scenario::pure_stepping(double seconds) {
+  return Scenario{}.step(seconds);
+}
+
+Scenario Scenario::mixed_gait(double seconds) {
+  Scenario s;
+  // Alternate walking and stepping in ~15 s blocks, walking first.
+  double remaining = seconds;
+  bool walking = true;
+  while (remaining > 0.0) {
+    const double block = remaining < 22.0 ? remaining : 15.0;
+    if (walking) {
+      s.walk(block);
+    } else {
+      s.step(block);
+    }
+    walking = !walking;
+    remaining -= block;
+  }
+  return s;
+}
+
+Scenario Scenario::interference(ActivityKind kind, double seconds,
+                                Posture posture) {
+  return Scenario{}.activity(kind, seconds, posture);
+}
+
+}  // namespace ptrack::synth

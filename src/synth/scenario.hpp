@@ -1,0 +1,54 @@
+// Scenario scripting: a scenario is an ordered list of activity segments
+// the simulated user performs, mirroring the paper's test protocols
+// ("walk 60 s", "eat for 2 min while seated", "walk, then pocket the hand,
+// then walk again", ...).
+
+#pragma once
+
+#include <vector>
+
+#include "synth/truth.hpp"
+
+namespace ptrack::synth {
+
+/// One scripted segment of a scenario.
+struct ScenarioSegment {
+  ActivityKind kind = ActivityKind::Walking;
+  double duration = 60.0;              ///< seconds, > 0
+  Posture posture = Posture::Standing; ///< used by interference activities
+  double speed = 0.0;                  ///< m/s; 0 = user's preferred speed
+  double heading = 0.0;                ///< walking heading (rad, world yaw)
+};
+
+/// Ordered activity script with a fluent builder.
+class Scenario {
+ public:
+  Scenario() = default;
+
+  /// Appends a segment (duration must be positive).
+  Scenario& add(ScenarioSegment seg);
+
+  /// Shorthand appenders.
+  Scenario& walk(double seconds, double speed = 0.0, double heading = 0.0);
+  Scenario& run(double seconds, double speed = 0.0, double heading = 0.0);
+  Scenario& step(double seconds, double speed = 0.0, double heading = 0.0);
+  Scenario& activity(ActivityKind kind, double seconds,
+                     Posture posture = Posture::Standing);
+
+  [[nodiscard]] const std::vector<ScenarioSegment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] double total_duration() const;
+
+  /// Canned scenarios used across tests and benches.
+  static Scenario pure_walking(double seconds);
+  static Scenario pure_stepping(double seconds);
+  static Scenario mixed_gait(double seconds);  ///< alternating walk/step
+  static Scenario interference(ActivityKind kind, double seconds,
+                               Posture posture);
+
+ private:
+  std::vector<ScenarioSegment> segments_;
+};
+
+}  // namespace ptrack::synth

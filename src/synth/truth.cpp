@@ -1,0 +1,40 @@
+#include "synth/truth.hpp"
+
+namespace ptrack::synth {
+
+bool is_gait(ActivityKind k) {
+  return k == ActivityKind::Walking || k == ActivityKind::Running ||
+         k == ActivityKind::Stepping;
+}
+
+std::string_view to_string(ActivityKind k) {
+  switch (k) {
+    case ActivityKind::Walking: return "walking";
+    case ActivityKind::Running: return "running";
+    case ActivityKind::Stepping: return "stepping";
+    case ActivityKind::SwingOnly: return "swing-only";
+    case ActivityKind::Eating: return "eating";
+    case ActivityKind::Poker: return "poker";
+    case ActivityKind::Photo: return "photo";
+    case ActivityKind::Gaming: return "gaming";
+    case ActivityKind::Spoofer: return "spoofer";
+    case ActivityKind::Idle: return "idle";
+  }
+  return "?";
+}
+
+double GroundTruth::total_distance() const {
+  double d = 0.0;
+  for (const StepTruth& s : steps) d += s.stride;
+  return d;
+}
+
+std::size_t GroundTruth::steps_in(double t0, double t1) const {
+  std::size_t n = 0;
+  for (const StepTruth& s : steps) {
+    if (s.t >= t0 && s.t < t1) ++n;
+  }
+  return n;
+}
+
+}  // namespace ptrack::synth

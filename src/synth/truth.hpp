@@ -1,0 +1,64 @@
+// Ground-truth records emitted by the synthesizer alongside each trace.
+// Every experiment in bench/ scores an algorithm against these.
+
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace ptrack::synth {
+
+/// Activity classes the synthesizer can generate. Walking/Stepping (and
+/// their mixture via scenarios) are gait; everything else is interference
+/// or rest from the step counter's point of view.
+enum class ActivityKind {
+  Walking,   ///< normal walk, arm swinging freely
+  Running,   ///< jogging/running — a walking variant (paper SIII-B1)
+  Stepping,  ///< walking with the instrumented arm rigid (pocket/bag/phone)
+  SwingOnly, ///< arm swings, body static (Fig. 3(b) decomposition)
+  Eating,    ///< knife-and-fork arcs with dwell at plate/mouth
+  Poker,     ///< fast card-dealing flicks
+  Photo,     ///< raise-and-hold with physiological tremor
+  Gaming,    ///< small high-rate wrist jiggle
+  Spoofer,   ///< motorized rocker generating clean alternating motion
+  Idle,      ///< no intentional motion
+};
+
+/// True if steps should be counted while performing this activity.
+bool is_gait(ActivityKind k);
+
+/// Human-readable name (stable, used in bench output).
+std::string_view to_string(ActivityKind k);
+
+/// Body posture during non-gait activities; affects residual body sway.
+enum class Posture { Standing, Seated };
+
+/// One true step.
+struct StepTruth {
+  double t = 0.0;        ///< completion time (s)
+  double stride = 0.0;   ///< true stride length (m)
+  double bounce = 0.0;   ///< true body bounce within the step (m)
+  std::size_t segment = 0;  ///< index into GroundTruth::segments
+};
+
+/// One scenario segment as realized.
+struct SegmentTruth {
+  ActivityKind kind = ActivityKind::Idle;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+};
+
+/// Full ground truth for one synthesized trace.
+struct GroundTruth {
+  std::vector<StepTruth> steps;
+  std::vector<SegmentTruth> segments;
+
+  [[nodiscard]] std::size_t step_count() const { return steps.size(); }
+  [[nodiscard]] double total_distance() const;
+
+  /// Number of true steps whose completion time lies in [t0, t1).
+  [[nodiscard]] std::size_t steps_in(double t0, double t1) const;
+};
+
+}  // namespace ptrack::synth

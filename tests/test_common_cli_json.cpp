@@ -1,0 +1,130 @@
+// Tests for the CLI argument parser and the JSON writer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+cli::Args parse(std::vector<const char*> argv,
+                std::vector<cli::OptionSpec> specs) {
+  argv.insert(argv.begin(), "prog");
+  return cli::Args(static_cast<int>(argv.size()), argv.data(),
+                   std::move(specs));
+}
+
+const std::vector<cli::OptionSpec> kSpecs = {
+    {"input", "input file", "", false},
+    {"scale", "a number", "1.5", false},
+    {"count", "an integer", "3", false},
+    {"verbose", "a flag", "", true},
+};
+
+}  // namespace
+
+TEST(Cli, ParsesSeparateAndEqualsForms) {
+  const auto a = parse({"--input", "x.csv", "--scale=2.5"}, kSpecs);
+  EXPECT_EQ(a.get_string("input"), "x.csv");
+  EXPECT_DOUBLE_EQ(a.get_double("scale"), 2.5);
+}
+
+TEST(Cli, DefaultsApply) {
+  const auto a = parse({"--input", "x.csv"}, kSpecs);
+  EXPECT_DOUBLE_EQ(a.get_double("scale"), 1.5);
+  EXPECT_EQ(a.get_int("count"), 3);
+  EXPECT_FALSE(a.get_bool("verbose"));
+}
+
+TEST(Cli, BooleanFlag) {
+  const auto a = parse({"--input", "x", "--verbose"}, kSpecs);
+  EXPECT_TRUE(a.get_bool("verbose"));
+  EXPECT_THROW(parse({"--verbose=yes"}, kSpecs), InvalidArgument);
+}
+
+TEST(Cli, MissingRequiredThrowsOnAccess) {
+  const auto a = parse({}, kSpecs);
+  EXPECT_THROW(a.get_string("input"), InvalidArgument);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  EXPECT_THROW(parse({"--nope", "1"}, kSpecs), InvalidArgument);
+}
+
+TEST(Cli, MalformedValueThrows) {
+  const auto a = parse({"--scale", "abc", "--input", "x"}, kSpecs);
+  EXPECT_THROW(a.get_double("scale"), InvalidArgument);
+  const auto b = parse({"--count", "1.5x", "--input", "x"}, kSpecs);
+  EXPECT_EQ(b.get_int("count"), 1);  // stol parses the leading digits
+}
+
+TEST(Cli, MissingValueThrows) {
+  EXPECT_THROW(parse({"--input"}, kSpecs), InvalidArgument);
+}
+
+TEST(Cli, HelpDetected) {
+  const auto a = parse({"--help"}, kSpecs);
+  EXPECT_TRUE(a.help_requested());
+  EXPECT_NE(a.usage("prog").find("--input"), std::string::npos);
+}
+
+TEST(Json, SimpleObject) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("a").value(static_cast<long long>(1));
+  w.key("b").value("text");
+  w.key("c").value(true);
+  w.key("d").null();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"({"a":1,"b":"text","c":true,"d":null})");
+}
+
+TEST(Json, NestedArrays) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_array();
+  w.value(1.5);
+  w.begin_object().key("x").value(static_cast<std::size_t>(7)).end_object();
+  w.begin_array().end_array();
+  w.end_array();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"([1.5,{"x":7},[]])");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.value(std::nan(""));
+  EXPECT_EQ(os.str(), "null");
+}
+
+TEST(Json, StructuralMisuseThrows) {
+  std::ostringstream os;
+  json::Writer w(os);
+  EXPECT_THROW(w.key("a"), InvariantViolation);  // key outside object
+  w.begin_object();
+  EXPECT_THROW(w.value(1.0), InvariantViolation);  // value without key
+  EXPECT_THROW(w.end_array(), InvariantViolation);
+  w.key("k");
+  EXPECT_THROW(w.key("again"), InvariantViolation);  // key after key
+}
+
+TEST(Json, IncompleteDocumentDetected) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+}

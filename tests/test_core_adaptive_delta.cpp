@@ -1,0 +1,102 @@
+// Tests for adaptive delta tuning (the paper's stated future work).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/adaptive_delta.hpp"
+#include "core/ptrack.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+TEST(Otsu, SplitsTwoClusters) {
+  std::vector<double> offsets;
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) offsets.push_back(rng.normal(0.010, 0.002));
+  for (int i = 0; i < 60; ++i) offsets.push_back(rng.normal(0.060, 0.008));
+  const auto res = core::otsu_threshold(offsets);
+  EXPECT_GT(res.delta, 0.014);
+  EXPECT_LT(res.delta, 0.05);
+  EXPECT_GT(res.separation, 0.7);  // strongly bimodal
+  EXPECT_EQ(res.cycles, offsets.size());
+}
+
+TEST(Otsu, UnimodalHasLowSeparation) {
+  std::vector<double> offsets;
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) offsets.push_back(rng.normal(0.04, 0.01));
+  const auto res = core::otsu_threshold(offsets);
+  EXPECT_LT(res.separation, 0.7);
+}
+
+TEST(Otsu, ConstantInput) {
+  const std::vector<double> offsets(20, 0.03);
+  const auto res = core::otsu_threshold(offsets);
+  EXPECT_DOUBLE_EQ(res.delta, 0.03);
+  EXPECT_DOUBLE_EQ(res.separation, 0.0);
+}
+
+TEST(Otsu, Preconditions) {
+  const std::vector<double> tiny(4, 0.1);
+  EXPECT_THROW(core::otsu_threshold(tiny), InvalidArgument);
+}
+
+TEST(TuneDelta, SessionWithBothClassesIsBimodal) {
+  // A session mixing walking with rigid interference: the offsets separate
+  // and the tuned delta lands between the clusters — in the same decade as
+  // the paper's empirical 0.0325.
+  Rng rng(13);
+  synth::UserProfile user;
+  synth::Scenario session;
+  session.walk(60.0)
+      .activity(synth::ActivityKind::Spoofer, 60.0)
+      .walk(30.0);
+  const auto r = synth::synthesize(session, user, synth::SynthOptions{}, rng);
+  const auto tuned = core::tune_delta(r.trace);
+  EXPECT_GT(tuned.cycles, 40u);
+  EXPECT_GT(tuned.separation, 0.5);
+  EXPECT_GT(tuned.delta, 0.01);
+  EXPECT_LT(tuned.delta, 0.08);
+}
+
+TEST(TuneDelta, TunedDeltaKeepsCountingAccurate) {
+  Rng rng(14);
+  synth::UserProfile user;
+  synth::Scenario session;
+  session.walk(60.0).activity(synth::ActivityKind::Spoofer, 60.0);
+  const auto cal = synth::synthesize(session, user, synth::SynthOptions{}, rng);
+  const auto tuned = core::tune_delta(cal.trace);
+
+  const auto eval =
+      synth::synthesize(session, user, synth::SynthOptions{}, rng);
+  core::PTrackConfig cfg;
+  cfg.counter.delta = tuned.delta;
+  cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+  core::PTrack tracker(cfg);
+  const auto res = tracker.process(eval.trace);
+  const double truth = static_cast<double>(eval.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(res.steps), truth, 0.12 * truth);
+}
+
+TEST(TuneDelta, FallsBackWithoutBimodality) {
+  // Walking-only session: not separable, keep the configured threshold.
+  Rng rng(15);
+  synth::UserProfile user;
+  const auto r = synth::synthesize(synth::Scenario::pure_walking(60.0), user,
+                                   synth::SynthOptions{}, rng);
+  core::StepCounterConfig cfg;
+  const auto tuned = core::tune_delta(r.trace, cfg);
+  if (tuned.separation < 0.5) {
+    EXPECT_DOUBLE_EQ(tuned.delta, cfg.delta);
+  }
+}
+
+TEST(TuneDelta, TinyTraceFallsBack) {
+  Rng rng(16);
+  synth::UserProfile user;
+  const auto r = synth::synthesize(synth::Scenario::pure_walking(3.0), user,
+                                   synth::SynthOptions{}, rng);
+  core::StepCounterConfig cfg;
+  const auto tuned = core::tune_delta(r.trace.slice(0, 8), cfg);
+  EXPECT_DOUBLE_EQ(tuned.delta, cfg.delta);
+}

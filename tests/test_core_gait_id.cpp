@@ -1,0 +1,258 @@
+// Unit tests for cycle analysis (offset, half-cycle autocorrelation,
+// quarter-period phase gate) and the Fig. 4 streak state machine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "core/gait_id.hpp"
+
+using namespace ptrack;
+using core::CycleAnalysis;
+using core::GaitIdentifier;
+using core::GaitType;
+
+namespace {
+
+// Body-only stepping surrogate: vertical ~ cos at the step period (two
+// periods per cycle), anterior ~ sin (quarter period behind).
+void stepping_channels(std::size_t n, std::vector<double>& vertical,
+                       std::vector<double>& anterior) {
+  vertical.resize(n);
+  anterior.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phi =
+        2.0 * kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+    vertical[i] = 3.0 * std::cos(phi);
+    anterior[i] = 3.0 * std::sin(phi);
+  }
+}
+
+// Rigid interference surrogate: both channels in phase.
+void rigid_channels(std::size_t n, std::vector<double>& vertical,
+                    std::vector<double>& anterior) {
+  vertical.resize(n);
+  anterior.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phi =
+        2.0 * kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+    vertical[i] = 2.0 * std::sin(phi);
+    anterior[i] = 1.5 * std::sin(phi);
+  }
+}
+
+}  // namespace
+
+TEST(AnalyzeCycle, SteppingHasPositiveHalfCycleCorr) {
+  std::vector<double> v;
+  std::vector<double> a;
+  stepping_channels(128, v, a);
+  const CycleAnalysis res = core::analyze_cycle(v, a, {});
+  EXPECT_GT(res.half_cycle_corr, 0.8);
+}
+
+TEST(AnalyzeCycle, SteppingPassesPhaseGate) {
+  std::vector<double> v;
+  std::vector<double> a;
+  stepping_channels(128, v, a);
+  const CycleAnalysis res = core::analyze_cycle(v, a, {});
+  EXPECT_TRUE(res.phase_ok);
+}
+
+TEST(AnalyzeCycle, SteppingOffsetIsSmall) {
+  std::vector<double> v;
+  std::vector<double> a;
+  stepping_channels(128, v, a);
+  core::StepCounterConfig cfg;
+  const CycleAnalysis res = core::analyze_cycle(v, a, cfg);
+  EXPECT_LT(res.offset, cfg.delta);
+}
+
+TEST(AnalyzeCycle, RigidInPhaseFailsPhaseGate) {
+  std::vector<double> v;
+  std::vector<double> a;
+  rigid_channels(128, v, a);
+  const CycleAnalysis res = core::analyze_cycle(v, a, {});
+  EXPECT_GT(res.half_cycle_corr, 0.8);  // periodic, so C is positive...
+  EXPECT_FALSE(res.phase_ok);           // ...but the phase gate rejects it
+}
+
+TEST(AnalyzeCycle, ArmGestureNegativeHalfCycleCorr) {
+  // An arm gesture's anterior pattern has the period of the *full* cycle:
+  // its autocorrelation at the half-cycle lag is negative.
+  const std::size_t n = 128;
+  std::vector<double> v(n);
+  std::vector<double> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phi = kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+    v[i] = std::cos(2.0 * phi);
+    a[i] = std::sin(phi);  // one period per cycle
+  }
+  const CycleAnalysis res = core::analyze_cycle(v, a, {});
+  EXPECT_LT(res.half_cycle_corr, -0.5);
+}
+
+TEST(AnalyzeCycle, PhaseGateDisabledAlwaysPasses) {
+  std::vector<double> v;
+  std::vector<double> a;
+  rigid_channels(128, v, a);
+  core::StepCounterConfig cfg;
+  cfg.use_phase_gate = false;
+  EXPECT_TRUE(core::analyze_cycle(v, a, cfg).phase_ok);
+}
+
+TEST(AnalyzeCycle, Preconditions) {
+  const std::vector<double> v(32, 0.0);
+  const std::vector<double> a(16, 0.0);
+  EXPECT_THROW(core::analyze_cycle(v, a, {}), InvalidArgument);
+  const std::vector<double> tiny(4, 0.0);
+  EXPECT_THROW(core::analyze_cycle(tiny, tiny, {}), InvalidArgument);
+}
+
+namespace {
+
+CycleAnalysis walking_analysis() {
+  CycleAnalysis a;
+  a.offset = 0.08;  // above delta
+  a.half_cycle_corr = -0.3;
+  a.phase_ok = false;
+  return a;
+}
+
+CycleAnalysis stepping_analysis() {
+  CycleAnalysis a;
+  a.offset = 0.004;
+  a.half_cycle_corr = 0.9;
+  a.phase_ok = true;
+  return a;
+}
+
+CycleAnalysis interference_analysis() {
+  CycleAnalysis a;
+  a.offset = 0.004;
+  a.half_cycle_corr = -0.8;
+  a.phase_ok = false;
+  return a;
+}
+
+core::StepCounterConfig no_hysteresis() {
+  core::StepCounterConfig cfg;
+  cfg.walking_hysteresis = false;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(GaitIdentifier, WalkingImmediatelyAccepted) {
+  GaitIdentifier id(no_hysteresis());
+  const auto d = id.classify(walking_analysis());
+  EXPECT_EQ(d.type, GaitType::Walking);
+  EXPECT_EQ(d.confirmed_backlog, 0u);
+}
+
+TEST(GaitIdentifier, SteppingNeedsThreeConsecutive) {
+  GaitIdentifier id(no_hysteresis());
+  const auto d1 = id.classify(stepping_analysis());
+  EXPECT_EQ(d1.type, GaitType::Interference);  // withheld
+  const auto d2 = id.classify(stepping_analysis());
+  EXPECT_EQ(d2.type, GaitType::Interference);  // withheld
+  const auto d3 = id.classify(stepping_analysis());
+  EXPECT_EQ(d3.type, GaitType::Stepping);
+  EXPECT_EQ(d3.confirmed_backlog, 2u);  // the paper's "+6": 2 backlog + this
+}
+
+TEST(GaitIdentifier, StreakContinuesAfterConfirmation) {
+  GaitIdentifier id(no_hysteresis());
+  id.classify(stepping_analysis());
+  id.classify(stepping_analysis());
+  id.classify(stepping_analysis());
+  const auto d4 = id.classify(stepping_analysis());
+  EXPECT_EQ(d4.type, GaitType::Stepping);
+  EXPECT_EQ(d4.confirmed_backlog, 0u);  // "+2" from here on
+}
+
+TEST(GaitIdentifier, InterferenceBreaksStreak) {
+  GaitIdentifier id(no_hysteresis());
+  id.classify(stepping_analysis());
+  id.classify(stepping_analysis());
+  id.classify(interference_analysis());  // breaks the pending streak
+  const auto d = id.classify(stepping_analysis());
+  EXPECT_EQ(d.type, GaitType::Interference);  // must start over
+}
+
+TEST(GaitIdentifier, WalkingBreaksActiveSteppingStreak) {
+  GaitIdentifier id(no_hysteresis());
+  id.classify(stepping_analysis());
+  id.classify(stepping_analysis());
+  id.classify(stepping_analysis());  // streak active
+  id.classify(walking_analysis());   // walking resets it
+  const auto d = id.classify(stepping_analysis());
+  EXPECT_EQ(d.type, GaitType::Interference);
+}
+
+TEST(GaitIdentifier, ResetClearsState) {
+  GaitIdentifier id(no_hysteresis());
+  id.classify(stepping_analysis());
+  id.classify(stepping_analysis());
+  id.reset();
+  const auto d = id.classify(stepping_analysis());
+  EXPECT_EQ(d.type, GaitType::Interference);
+}
+
+TEST(GaitIdentifier, StreakOfOneAcceptsImmediately) {
+  core::StepCounterConfig cfg = no_hysteresis();
+  cfg.streak = 1;
+  GaitIdentifier id(cfg);
+  const auto d = id.classify(stepping_analysis());
+  EXPECT_EQ(d.type, GaitType::Stepping);
+  EXPECT_EQ(d.confirmed_backlog, 0u);
+}
+
+TEST(GaitIdentifier, WalkingHysteresisAcceptsBorderlineInsideRun) {
+  core::StepCounterConfig cfg;  // hysteresis on by default
+  GaitIdentifier id(cfg);
+  id.classify(walking_analysis());
+  id.classify(walking_analysis());  // opens the gate
+  CycleAnalysis borderline;
+  borderline.offset = cfg.delta * 0.8;  // below delta, above 0.5*delta
+  borderline.half_cycle_corr = -0.5;
+  borderline.phase_ok = false;
+  const auto d = id.classify(borderline);
+  EXPECT_EQ(d.type, GaitType::Walking);
+}
+
+TEST(GaitIdentifier, WalkingHysteresisCreditRunsOut) {
+  core::StepCounterConfig cfg;
+  GaitIdentifier id(cfg);
+  id.classify(walking_analysis());
+  id.classify(walking_analysis());
+  CycleAnalysis borderline;
+  borderline.offset = cfg.delta * 0.8;
+  borderline.half_cycle_corr = -0.5;
+  borderline.phase_ok = false;
+  id.classify(borderline);
+  id.classify(borderline);
+  const auto d3 = id.classify(borderline);  // credit (2) exhausted
+  EXPECT_EQ(d3.type, GaitType::Interference);
+}
+
+TEST(GaitIdentifier, HysteresisNeverOpensForInterference) {
+  core::StepCounterConfig cfg;
+  GaitIdentifier id(cfg);
+  CycleAnalysis borderline;
+  borderline.offset = cfg.delta * 0.8;
+  borderline.half_cycle_corr = -0.5;
+  borderline.phase_ok = false;
+  // No strict walking cycles ever: borderline stays interference.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(id.classify(borderline).type, GaitType::Interference);
+  }
+}
+
+TEST(GaitIdentifier, InvalidConfigThrows) {
+  core::StepCounterConfig cfg;
+  cfg.streak = 0;
+  EXPECT_THROW(GaitIdentifier{cfg}, InvalidArgument);
+}

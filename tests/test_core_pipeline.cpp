@@ -1,0 +1,177 @@
+// Integration tests for the full PTrack pipeline (facade): counting,
+// stride filling, robustness, and result invariants.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/ptrack.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+synth::SynthResult make(const synth::Scenario& scenario, std::uint64_t seed,
+                        const synth::UserProfile& user) {
+  Rng rng(seed);
+  return synth::synthesize(scenario, user, synth::SynthOptions{}, rng);
+}
+
+core::PTrack tracker_for(const synth::UserProfile& user) {
+  core::PTrackConfig cfg;
+  cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+  return core::PTrack(cfg);
+}
+
+}  // namespace
+
+TEST(Pipeline, WalkingCountedAccurately) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::pure_walking(60.0), 71, user);
+  const auto res = tracker_for(user).process(r.trace);
+  const double truth = static_cast<double>(r.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(res.steps), truth, 0.08 * truth);
+}
+
+TEST(Pipeline, SteppingCountedAccurately) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::pure_stepping(60.0), 72, user);
+  const auto res = tracker_for(user).process(r.trace);
+  const double truth = static_cast<double>(r.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(res.steps), truth, 0.05 * truth);
+}
+
+TEST(Pipeline, SpooferRejected) {
+  synth::UserProfile user;
+  const auto r = make(
+      synth::Scenario::interference(synth::ActivityKind::Spoofer, 60.0,
+                                    synth::Posture::Standing),
+      73, user);
+  const auto res = tracker_for(user).process(r.trace);
+  EXPECT_EQ(res.steps, 0u);
+}
+
+TEST(Pipeline, InterferenceNearlySilent) {
+  synth::UserProfile user;
+  for (auto kind : {synth::ActivityKind::Eating, synth::ActivityKind::Poker,
+                    synth::ActivityKind::Gaming}) {
+    const auto r = make(
+        synth::Scenario::interference(kind, 60.0, synth::Posture::Standing),
+        74, user);
+    const auto res = tracker_for(user).process(r.trace);
+    EXPECT_LE(res.steps, 6u) << to_string(kind);
+  }
+}
+
+TEST(Pipeline, EventsMatchStepCount) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::pure_walking(30.0), 75, user);
+  const auto res = tracker_for(user).process(r.trace);
+  EXPECT_EQ(res.events.size(), res.steps);
+  EXPECT_EQ(res.steps % 2, 0u);  // cycles contribute step pairs
+}
+
+TEST(Pipeline, EventsChronological) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::mixed_gait(60.0), 76, user);
+  const auto res = tracker_for(user).process(r.trace);
+  for (std::size_t i = 1; i < res.events.size(); ++i) {
+    EXPECT_LE(res.events[i - 1].t, res.events[i].t);
+  }
+}
+
+TEST(Pipeline, AllCountedEventsHaveStrides) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::pure_walking(60.0), 77, user);
+  const auto res = tracker_for(user).process(r.trace);
+  ASSERT_GT(res.events.size(), 20u);
+  for (const core::StepEvent& e : res.events) {
+    EXPECT_GT(e.stride, 0.1);
+    EXPECT_LT(e.stride, 2.0);
+  }
+}
+
+TEST(Pipeline, DistanceNearTruthForWalking) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::pure_walking(90.0), 78, user);
+  const auto res = tracker_for(user).process(r.trace);
+  const double truth = r.truth.total_distance();
+  EXPECT_NEAR(res.distance(), truth, 0.15 * truth);
+}
+
+TEST(Pipeline, MixedGaitBothTypesAppear) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::mixed_gait(90.0), 79, user);
+  const auto res = tracker_for(user).process(r.trace);
+  std::size_t walking = 0;
+  std::size_t stepping = 0;
+  for (const core::CycleRecord& c : res.cycles) {
+    walking += c.type == core::GaitType::Walking;
+    stepping += c.type == core::GaitType::Stepping;
+  }
+  EXPECT_GT(walking, 10u);
+  EXPECT_GT(stepping, 10u);
+}
+
+TEST(Pipeline, EmptyAndTinyTraces) {
+  synth::UserProfile user;
+  const auto tracker = tracker_for(user);
+  EXPECT_EQ(tracker.process(imu::Trace{}).steps, 0u);
+  const auto r = make(synth::Scenario::pure_walking(10.0), 80, user);
+  EXPECT_EQ(tracker.process(r.trace.slice(0, 8)).steps, 0u);
+}
+
+TEST(Pipeline, CycleRecordsCoverCountedSteps) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::pure_walking(40.0), 81, user);
+  const auto res = tracker_for(user).process(r.trace);
+  std::size_t counted_cycles = 0;
+  for (const core::CycleRecord& c : res.cycles) {
+    counted_cycles += c.type != core::GaitType::Interference;
+  }
+  EXPECT_EQ(res.steps, 2 * counted_cycles);
+}
+
+TEST(Pipeline, AdapterMatchesFacade) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::pure_walking(30.0), 82, user);
+  core::PTrackConfig cfg;
+  cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+  core::PTrack facade(cfg);
+  core::PTrackCounterAdapter adapter(cfg);
+  EXPECT_EQ(adapter.count_steps(r.trace).count, facade.process(r.trace).steps);
+  EXPECT_EQ(adapter.name(), "PTrack");
+}
+
+TEST(Pipeline, SetProfileChangesStrides) {
+  synth::UserProfile user;
+  const auto r = make(synth::Scenario::pure_walking(30.0), 83, user);
+  core::PTrackConfig cfg;
+  cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+  core::PTrack tracker(cfg);
+  const double d0 = tracker.process(r.trace).distance();
+  core::StrideProfile longer = cfg.stride.profile;
+  longer.leg_length *= 1.5;
+  tracker.set_profile(longer);
+  const double d1 = tracker.process(r.trace).distance();
+  EXPECT_GT(d1, d0);
+}
+
+TEST(Pipeline, WalkBetweenInterference) {
+  // A realistic day fragment: eat, walk, game. Steps counted only in the
+  // walking window.
+  synth::UserProfile user;
+  synth::Scenario scenario;
+  scenario.activity(synth::ActivityKind::Eating, 30.0)
+      .walk(30.0)
+      .activity(synth::ActivityKind::Gaming, 30.0);
+  const auto r = make(scenario, 84, user);
+  const auto res = tracker_for(user).process(r.trace);
+  const double truth = static_cast<double>(r.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(res.steps), truth, 0.15 * truth + 4.0);
+  // Events fall inside the walking window (with small margin).
+  for (const core::StepEvent& e : res.events) {
+    EXPECT_GT(e.t, 28.0);
+    EXPECT_LT(e.t, 62.0);
+  }
+}

@@ -1,0 +1,98 @@
+// Unit tests for gait-cycle candidate segmentation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "core/segmentation.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+// Synthetic vertical channel: strong peaks at a given cadence.
+std::vector<double> step_signal(double fs, double seconds, double cadence,
+                                double amp = 4.0) {
+  const auto n = static_cast<std::size_t>(fs * seconds);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = amp * std::cos(kTwoPi * cadence * static_cast<double>(i) / fs);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(StepPeaks, FindsAllStepPeaks) {
+  const auto xs = step_signal(100.0, 10.0, 2.0);  // 20 peaks
+  const auto peaks = core::step_peaks(xs, 100.0, {});
+  EXPECT_NEAR(static_cast<double>(peaks.size()), 20.0, 1.0);
+}
+
+TEST(StepPeaks, WeakSignalFiltered) {
+  const auto xs = step_signal(100.0, 10.0, 2.0, 0.1);  // below prominence
+  EXPECT_TRUE(core::step_peaks(xs, 100.0, {}).empty());
+}
+
+TEST(StepPeaks, RefractoryIntervalEnforced) {
+  core::StepCounterConfig cfg;
+  const auto xs = step_signal(100.0, 10.0, 2.0);
+  const auto peaks = core::step_peaks(xs, 100.0, cfg);
+  const auto min_gap =
+      static_cast<std::size_t>(cfg.min_step_interval_s * 100.0);
+  for (std::size_t i = 1; i < peaks.size(); ++i) {
+    EXPECT_GE(peaks[i] - peaks[i - 1], min_gap);
+  }
+}
+
+TEST(SegmentCycles, PairsNonOverlapping) {
+  const auto xs = step_signal(100.0, 12.0, 2.0);
+  const auto cycles = core::segment_cycles(xs, 100.0, {});
+  ASSERT_GE(cycles.size(), 10u);
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    EXPECT_LT(cycles[i].begin, cycles[i].mid);
+    EXPECT_LT(cycles[i].mid, cycles[i].end);
+    if (i > 0) EXPECT_EQ(cycles[i].begin, cycles[i - 1].end);
+  }
+}
+
+TEST(SegmentCycles, CycleSpansTwoSteps) {
+  const double cadence = 2.0;
+  const double fs = 100.0;
+  const auto xs = step_signal(fs, 12.0, cadence);
+  const auto cycles = core::segment_cycles(xs, fs, {});
+  const double expected = 2.0 * fs / cadence;  // samples per cycle
+  for (const auto& c : cycles) {
+    EXPECT_NEAR(static_cast<double>(c.end - c.begin), expected, 4.0);
+  }
+}
+
+TEST(SegmentCycles, SlowPeaksRejectedByMaxInterval) {
+  // 0.5 Hz "steps": gaps of 2 s exceed max_step_interval_s.
+  const auto xs = step_signal(100.0, 20.0, 0.5);
+  EXPECT_TRUE(core::segment_cycles(xs, 100.0, {}).empty());
+}
+
+TEST(SegmentCycles, FewPeaksYieldNoCycles) {
+  const auto xs = step_signal(100.0, 1.0, 2.0);  // ~2 peaks only
+  EXPECT_TRUE(core::segment_cycles(xs, 100.0, {}).empty());
+}
+
+TEST(SegmentCycles, GapSplitsCandidates) {
+  // Steps, then silence, then steps: no candidate spans the silence.
+  auto xs = step_signal(100.0, 6.0, 2.0);
+  const auto quiet = std::vector<double>(300, 0.0);
+  xs.insert(xs.end(), quiet.begin(), quiet.end());
+  const auto tail = step_signal(100.0, 6.0, 2.0);
+  xs.insert(xs.end(), tail.begin(), tail.end());
+
+  core::StepCounterConfig cfg;
+  const auto cycles = core::segment_cycles(xs, 100.0, cfg);
+  const auto max_len =
+      static_cast<std::size_t>(2.0 * cfg.max_step_interval_s * 100.0);
+  for (const auto& c : cycles) {
+    EXPECT_LE(c.end - c.begin, max_len);
+  }
+}

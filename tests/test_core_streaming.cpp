@@ -1,0 +1,136 @@
+// Tests for the streaming (online) tracker: bounded memory, monotone
+// emission, and batch consistency.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/streaming.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+synth::SynthResult make(const synth::Scenario& scenario, std::uint64_t seed) {
+  Rng rng(seed);
+  synth::UserProfile user;
+  return synth::synthesize(scenario, user, synth::SynthOptions{}, rng);
+}
+
+core::StreamingConfig config_for_user() {
+  synth::UserProfile user;
+  core::StreamingConfig cfg;
+  cfg.pipeline.stride.profile = {user.arm_length, user.leg_length, 2.0};
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Streaming, MatchesBatchStepCountOnWalking) {
+  const auto r = make(synth::Scenario::pure_walking(60.0), 501);
+
+  core::PTrack batch(config_for_user().pipeline);
+  const auto batch_result = batch.process(r.trace);
+
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+  stream.push(r.trace);
+  auto events = stream.poll();
+  const auto tail = stream.finish();
+  events.insert(events.end(), tail.begin(), tail.end());
+
+  const double batch_steps = static_cast<double>(batch_result.steps);
+  EXPECT_NEAR(static_cast<double>(events.size()), batch_steps,
+              0.08 * batch_steps + 2.0);
+}
+
+TEST(Streaming, EventsEmittedIncrementally) {
+  const auto r = make(synth::Scenario::pure_walking(30.0), 502);
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+
+  std::size_t polls_with_events = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    stream.push(r.trace[i]);
+    if (i % 500 == 499) {  // poll every 5 s
+      const auto events = stream.poll();
+      polls_with_events += !events.empty();
+      total += events.size();
+    }
+  }
+  total += stream.finish().size();
+  EXPECT_GE(polls_with_events, 3u);  // events arrive while walking continues
+  EXPECT_GT(total, 45u);  // ~55 true steps in 30 s
+}
+
+TEST(Streaming, EventsAreChronologicalAndUnique) {
+  const auto r = make(synth::Scenario::mixed_gait(60.0), 503);
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+
+  std::vector<core::StepEvent> all;
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    stream.push(r.trace[i]);
+    if (i % 200 == 0) {
+      for (const auto& e : stream.poll()) all.push_back(e);
+    }
+  }
+  for (const auto& e : stream.finish()) all.push_back(e);
+
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i].t, all[i - 1].t - 1e-9);  // ordered, no duplicates
+  }
+}
+
+TEST(Streaming, RejectsInterference) {
+  const auto r = make(
+      synth::Scenario::interference(synth::ActivityKind::Spoofer, 60.0,
+                                    synth::Posture::Standing),
+      504);
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+  stream.push(r.trace);
+  stream.finish();
+  EXPECT_LE(stream.steps(), 2u);
+}
+
+TEST(Streaming, DistanceAccumulates) {
+  const auto r = make(synth::Scenario::pure_walking(60.0), 505);
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+  stream.push(r.trace);
+  stream.poll();
+  stream.finish();
+  const double truth = r.truth.total_distance();
+  EXPECT_NEAR(stream.distance(), truth, 0.2 * truth);
+}
+
+TEST(Streaming, StatelessBetweenQuietPeriods) {
+  // Walk, long idle, walk: the second walk is still counted.
+  synth::Scenario scenario;
+  scenario.walk(20.0)
+      .activity(synth::ActivityKind::Idle, 30.0)
+      .walk(20.0);
+  const auto r = make(scenario, 506);
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+  stream.push(r.trace);
+  stream.poll();
+  stream.finish();
+  const double truth = static_cast<double>(r.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(stream.steps()), truth, 0.15 * truth + 2.0);
+}
+
+TEST(Streaming, InvalidConfigThrows) {
+  core::StreamingConfig cfg;
+  cfg.window_s = 5.0;  // <= 2 * guard
+  EXPECT_THROW(core::StreamingTracker(100.0, cfg), InvalidArgument);
+  EXPECT_THROW(core::StreamingTracker(0.0, {}), InvalidArgument);
+}
+
+TEST(Streaming, FinishThenContinue) {
+  const auto r = make(synth::Scenario::pure_walking(40.0), 507);
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+  const std::size_t half = r.trace.size() / 2;
+  stream.push(r.trace.slice(0, half));
+  stream.finish();
+  const std::size_t steps_at_half = stream.steps();
+  stream.push(r.trace.slice(half, r.trace.size()));
+  stream.finish();
+  EXPECT_GT(stream.steps(), steps_at_half + 20);
+}

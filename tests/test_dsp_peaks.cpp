@@ -1,0 +1,129 @@
+// Unit tests for peak / valley / zero-crossing / extremum detection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "dsp/peaks.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+std::vector<double> sine(double freq, double fs, double seconds) {
+  const auto n = static_cast<std::size_t>(seconds * fs);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::sin(kTwoPi * freq * static_cast<double>(i) / fs);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(FindPeaks, CountsSinePeaks) {
+  const auto xs = sine(2.0, 100.0, 5.0);  // 10 full periods -> 10 maxima
+  const auto peaks = dsp::find_peaks(xs);
+  EXPECT_EQ(peaks.size(), 10u);
+}
+
+TEST(FindPeaks, MinHeightFilters) {
+  std::vector<double> xs{0, 1, 0, 5, 0, 2, 0};
+  dsp::PeakOptions opt;
+  opt.min_height = 3.0;
+  const auto peaks = dsp::find_peaks(xs, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3u);
+}
+
+TEST(FindPeaks, MinDistanceKeepsTaller) {
+  std::vector<double> xs{0, 2, 0, 3, 0};
+  dsp::PeakOptions opt;
+  opt.min_distance = 3;
+  const auto peaks = dsp::find_peaks(xs, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3u);
+}
+
+TEST(FindPeaks, PlateauReportsCenter) {
+  std::vector<double> xs{0, 1, 2, 2, 2, 1, 0};
+  const auto peaks = dsp::find_peaks(xs);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0], 3u);
+}
+
+TEST(FindPeaks, ProminenceFiltersRipple) {
+  // A small ripple riding on the slope of a big peak has low prominence.
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) {
+    double v = std::sin(kPi * i / 100.0);        // one big arch
+    v += 0.05 * std::sin(kTwoPi * i / 10.0);     // small ripple
+    xs.push_back(v);
+  }
+  dsp::PeakOptions opt;
+  opt.min_prominence = 0.5;
+  const auto peaks = dsp::find_peaks(xs, opt);
+  EXPECT_EQ(peaks.size(), 1u);
+}
+
+TEST(FindPeaks, EmptyAndTinyInputs) {
+  EXPECT_TRUE(dsp::find_peaks(std::vector<double>{}).empty());
+  EXPECT_TRUE(dsp::find_peaks(std::vector<double>{1.0, 2.0}).empty());
+}
+
+TEST(FindValleys, MirrorsPeaks) {
+  const auto xs = sine(2.0, 100.0, 5.0);
+  EXPECT_EQ(dsp::find_valleys(xs).size(), 10u);
+}
+
+TEST(PeakProminence, IsolatedPeakFullHeight) {
+  std::vector<double> xs{0, 0, 3, 0, 0};
+  EXPECT_DOUBLE_EQ(dsp::peak_prominence(xs, 2), 3.0);
+}
+
+TEST(ZeroCrossings, CountsSineCrossings) {
+  const auto xs = sine(1.0, 100.0, 3.0);  // 3 periods: crossings at T/2 spacing
+  const auto zs = dsp::zero_crossings(xs);
+  // First confirmed crossing needs a preceding confirmed side, so expect 5.
+  EXPECT_EQ(zs.size(), 5u);
+}
+
+TEST(ZeroCrossings, HysteresisSuppressesChatter) {
+  // Noise oscillating inside the hysteresis band must produce no crossings.
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back((i % 2 == 0) ? 0.05 : -0.05);
+  EXPECT_TRUE(dsp::zero_crossings(xs, 0.2).empty());
+  EXPECT_FALSE(dsp::zero_crossings(xs, 0.01).empty());
+}
+
+TEST(ZeroCrossings, ReportsActualSignChangeNotConfirmation) {
+  // Slow rise: sign change at index 5, confirmation (beyond 0.5) at 7.
+  const std::vector<double> xs{-1.0, -0.8, -0.6, -0.4, -0.2,
+                               0.05, 0.3,  0.7,  1.0};
+  const auto zs = dsp::zero_crossings(xs, 0.5);
+  ASSERT_EQ(zs.size(), 1u);
+  EXPECT_EQ(zs[0], 5u);
+}
+
+TEST(FindExtrema, AlternatesAndSorted) {
+  const auto xs = sine(2.0, 100.0, 2.0);
+  const auto ext = dsp::find_extrema(xs);
+  ASSERT_GE(ext.size(), 6u);
+  for (std::size_t i = 1; i < ext.size(); ++i) {
+    EXPECT_LT(ext[i - 1].index, ext[i].index);
+    EXPECT_NE(ext[i - 1].is_max, ext[i].is_max);  // alternating on a sine
+  }
+}
+
+TEST(FindExtrema, ValuesMatchSignal) {
+  const auto xs = sine(1.0, 100.0, 2.0);
+  for (const dsp::Extremum& e : dsp::find_extrema(xs)) {
+    EXPECT_DOUBLE_EQ(e.value, xs[e.index]);
+    if (e.is_max) {
+      EXPECT_NEAR(e.value, 1.0, 0.01);
+    } else {
+      EXPECT_NEAR(e.value, -1.0, 0.01);
+    }
+  }
+}

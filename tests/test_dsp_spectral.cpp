@@ -1,0 +1,157 @@
+// Unit tests for FFT/spectral helpers and correlation utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "dsp/correlate.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/windows.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+std::vector<double> sine(double freq, double fs, double seconds,
+                         double phase = 0.0) {
+  const auto n = static_cast<std::size_t>(seconds * fs);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::sin(kTwoPi * freq * static_cast<double>(i) / fs + phase);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {std::sin(0.3 * static_cast<double>(i)), 0.0};
+  }
+  auto original = data;
+  dsp::fft(data);
+  dsp::fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<std::complex<double>> data(16, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  dsp::fft(data);
+  for (const auto& c : data) EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<std::complex<double>> data(10);
+  EXPECT_THROW(dsp::fft(data), InvalidArgument);
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(dsp::next_pow2(1), 1u);
+  EXPECT_EQ(dsp::next_pow2(2), 2u);
+  EXPECT_EQ(dsp::next_pow2(3), 4u);
+  EXPECT_EQ(dsp::next_pow2(1000), 1024u);
+}
+
+TEST(MagnitudeSpectrum, UnitSineHasUnitPeak) {
+  // 8 Hz sine, 256 samples at 64 Hz: exactly 32 cycles -> bin-aligned.
+  const auto xs = sine(8.0, 64.0, 4.0);
+  const auto mag = dsp::magnitude_spectrum(xs);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < mag.size(); ++k) {
+    if (mag[k] > mag[peak]) peak = k;
+  }
+  EXPECT_NEAR(mag[peak], 1.0, 0.01);
+  // Bin index: 8 Hz / (64 Hz / 256) = 32.
+  EXPECT_EQ(peak, 32u);
+}
+
+TEST(DominantFrequency, FindsSine) {
+  const auto xs = sine(2.5, 100.0, 8.0);
+  EXPECT_NEAR(dsp::dominant_frequency(xs, 100.0), 2.5, 0.15);
+}
+
+TEST(DominantFrequency, ZeroForDc) {
+  const std::vector<double> xs(64, 3.0);
+  EXPECT_DOUBLE_EQ(dsp::dominant_frequency(xs, 100.0), 0.0);
+}
+
+TEST(SpectralEntropy, ToneLowNoiseHigh) {
+  const auto tone = sine(5.0, 100.0, 4.0);
+  std::vector<double> noise(tone.size());
+  unsigned state = 12345;
+  for (double& v : noise) {
+    state = state * 1664525u + 1013904223u;
+    v = static_cast<double>(state) / 4294967295.0 - 0.5;
+  }
+  EXPECT_LT(dsp::spectral_entropy(tone), 0.35);
+  EXPECT_GT(dsp::spectral_entropy(noise), 0.7);
+}
+
+TEST(SpectralEnergy, ScalesWithAmplitude) {
+  const auto one = sine(4.0, 100.0, 4.0);
+  std::vector<double> two(one.size());
+  for (std::size_t i = 0; i < one.size(); ++i) two[i] = 2.0 * one[i];
+  EXPECT_NEAR(dsp::spectral_energy(two) / dsp::spectral_energy(one), 4.0, 0.1);
+}
+
+TEST(Autocorr, PeriodicSignalAtFullLag) {
+  const auto xs = sine(2.0, 100.0, 4.0);  // period 50 samples
+  EXPECT_NEAR(dsp::autocorr_at(xs, 50), 1.0, 0.05);
+  EXPECT_NEAR(dsp::autocorr_at(xs, 25), -1.0, 0.05);
+  EXPECT_DOUBLE_EQ(dsp::autocorr_at(xs, 0), 1.0);
+}
+
+TEST(Autocorr, ConstantSignalIsZero) {
+  const std::vector<double> xs(100, 5.0);
+  EXPECT_DOUBLE_EQ(dsp::autocorr_at(xs, 10), 0.0);
+}
+
+TEST(Autocorr, LagBoundsChecked) {
+  const std::vector<double> xs(10, 1.0);
+  EXPECT_THROW(dsp::autocorr_at(xs, 10), InvalidArgument);
+}
+
+TEST(Xcorr, FindsKnownLag) {
+  const double fs = 100.0;
+  const auto a = sine(2.0, fs, 4.0);
+  const auto b = sine(2.0, fs, 4.0, -kPi / 2);  // b delayed by T/4 = 12.5
+  const int lag = dsp::best_lag(a, b, 25);
+  EXPECT_NEAR(static_cast<double>(lag), 12.5, 1.6);
+}
+
+TEST(Xcorr, ZeroLagForIdenticalSignals) {
+  const auto a = sine(3.0, 100.0, 3.0);
+  EXPECT_EQ(dsp::best_lag(a, a, 20), 0);
+}
+
+TEST(DominantPeriod, FindsSinePeriod) {
+  const auto xs = sine(2.0, 100.0, 6.0);  // 50-sample period
+  EXPECT_EQ(dsp::dominant_period(xs, 10, 200), 50u);
+}
+
+TEST(DominantPeriod, ZeroWhenNoPeak) {
+  const std::vector<double> xs(64, 1.0);
+  EXPECT_EQ(dsp::dominant_period(xs, 4, 30), 0u);
+}
+
+TEST(Windows, HannEndsAtZeroPeaksAtOne) {
+  const auto w = dsp::hann(33);
+  EXPECT_DOUBLE_EQ(w.front(), 0.0);
+  EXPECT_DOUBLE_EQ(w.back(), 0.0);
+  EXPECT_NEAR(w[16], 1.0, 1e-12);
+}
+
+TEST(Windows, FrameIndicesCoverSignal) {
+  const auto frames = dsp::frame_indices(100, 20, 10);
+  ASSERT_EQ(frames.size(), 9u);
+  EXPECT_EQ(frames.front().first, 0u);
+  EXPECT_EQ(frames.back().second, 100u);
+  for (const auto& [b, e] : frames) EXPECT_EQ(e - b, 20u);
+}

@@ -1,0 +1,161 @@
+// Unit tests for the IMU substrate: traces, slicing, the sensor error
+// model, and CSV persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "imu/noise.hpp"
+#include "imu/trace.hpp"
+#include "common/csv.hpp"
+#include "imu/trace_io.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+imu::Trace make_trace(std::size_t n, double fs = 100.0) {
+  std::vector<imu::Sample> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    imu::Sample s;
+    s.t = static_cast<double>(i) / fs;
+    s.accel = {static_cast<double>(i), 0.5, -1.0};
+    s.gyro = {0.0, 0.1, 0.2};
+    samples.push_back(s);
+  }
+  return imu::Trace(fs, std::move(samples));
+}
+
+}  // namespace
+
+TEST(Trace, BasicAccessors) {
+  const imu::Trace t = make_trace(200);
+  EXPECT_EQ(t.size(), 200u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t.fs(), 100.0);
+  EXPECT_DOUBLE_EQ(t.dt(), 0.01);
+  EXPECT_DOUBLE_EQ(t.duration(), 2.0);
+}
+
+TEST(Trace, InvalidConstruction) {
+  EXPECT_THROW(imu::Trace(0.0, {}), InvalidArgument);
+  std::vector<imu::Sample> bad(2);
+  bad[0].t = 1.0;
+  bad[1].t = 0.5;  // decreasing time
+  EXPECT_THROW(imu::Trace(100.0, std::move(bad)), InvalidArgument);
+}
+
+TEST(Trace, SliceBoundsAndContent) {
+  const imu::Trace t = make_trace(100);
+  const imu::Trace s = t.slice(10, 20);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_DOUBLE_EQ(s[0].accel.x, 10.0);
+  EXPECT_THROW(t.slice(50, 40), InvalidArgument);
+  EXPECT_THROW(t.slice(0, 101), InvalidArgument);
+}
+
+TEST(Trace, AppendShiftsTimestamps) {
+  imu::Trace a = make_trace(50);
+  const imu::Trace b = make_trace(50);
+  a.append(b);
+  EXPECT_EQ(a.size(), 100u);
+  // Times strictly increasing across the seam.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GT(a[i].t, a[i - 1].t);
+  }
+}
+
+TEST(Trace, AppendRateMismatchThrows) {
+  imu::Trace a = make_trace(10, 100.0);
+  const imu::Trace b = make_trace(10, 50.0);
+  EXPECT_THROW(a.append(b), InvalidArgument);
+}
+
+TEST(Trace, AxisExtraction) {
+  const imu::Trace t = make_trace(5);
+  const auto xs = t.accel_axis(0);
+  EXPECT_DOUBLE_EQ(xs[3], 3.0);
+  const auto ys = t.accel_axis(1);
+  EXPECT_DOUBLE_EQ(ys[0], 0.5);
+  EXPECT_THROW(t.accel_axis(3), InvalidArgument);
+}
+
+TEST(Trace, MagnitudeIsNorm) {
+  const imu::Trace t = make_trace(5);
+  const auto mag = t.accel_magnitude();
+  EXPECT_DOUBLE_EQ(mag[0], (Vec3{0.0, 0.5, -1.0}).norm());
+}
+
+TEST(Noise, NoiselessModelIsIdentity) {
+  const imu::Trace clean = make_trace(100);
+  Rng rng(1);
+  const imu::Trace out = imu::corrupt(clean, imu::noiseless(), rng);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(out[i].accel, clean[i].accel);
+  }
+}
+
+TEST(Noise, DeterministicGivenSeed) {
+  const imu::Trace clean = make_trace(100);
+  imu::SensorErrorModel model;
+  Rng a(9);
+  Rng b(9);
+  const imu::Trace ta = imu::corrupt(clean, model, a);
+  const imu::Trace tb = imu::corrupt(clean, model, b);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].accel, tb[i].accel);
+  }
+}
+
+TEST(Noise, BiasIsConstantWithinTrace) {
+  // With zero white noise and zero quantization, the corruption reduces to
+  // one constant per-axis bias.
+  const imu::Trace clean = make_trace(100);
+  imu::SensorErrorModel model = imu::noiseless();
+  model.accel_bias_stddev = 0.1;
+  Rng rng(5);
+  const imu::Trace out = imu::corrupt(clean, model, rng);
+  const Vec3 bias0 = out[0].accel - clean[0].accel;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    const Vec3 bias = out[i].accel - clean[i].accel;
+    EXPECT_NEAR(bias.x, bias0.x, 1e-12);
+    EXPECT_NEAR(bias.y, bias0.y, 1e-12);
+    EXPECT_NEAR(bias.z, bias0.z, 1e-12);
+  }
+}
+
+TEST(Noise, QuantizationSnapsToGrid) {
+  const imu::Trace clean = make_trace(20);
+  imu::SensorErrorModel model = imu::noiseless();
+  model.accel_quantization = 0.5;
+  Rng rng(5);
+  const imu::Trace out = imu::corrupt(clean, model, rng);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double q = out[i].accel.y / 0.5;
+    EXPECT_NEAR(q, std::round(q), 1e-9);
+  }
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const std::string path = "/tmp/ptrack_test_trace.csv";
+  const imu::Trace t = make_trace(50);
+  imu::save_csv(t, path);
+  const imu::Trace loaded = imu::load_csv(path);
+  ASSERT_EQ(loaded.size(), t.size());
+  EXPECT_DOUBLE_EQ(loaded.fs(), t.fs());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(loaded[i].accel.x, t[i].accel.x, 1e-9);
+    EXPECT_NEAR(loaded[i].gyro.z, t[i].gyro.z, 1e-9);
+    EXPECT_NEAR(loaded[i].t, t[i].t, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsWrongHeader) {
+  const std::string path = "/tmp/ptrack_test_badheader.csv";
+  csv::write(path, {"x", "y"}, {{1.0, 2.0}});
+  EXPECT_THROW(imu::load_csv(path), Error);
+  std::remove(path.c_str());
+}

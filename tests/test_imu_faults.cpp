@@ -1,0 +1,126 @@
+// Tests for sensor fault injection and PTrack's robustness under faults.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/ptrack.hpp"
+#include "imu/faults.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+synth::SynthResult walking(std::uint64_t seed, double seconds = 60.0) {
+  Rng rng(seed);
+  synth::UserProfile user;
+  return synth::synthesize(synth::Scenario::pure_walking(seconds), user,
+                           synth::SynthOptions{}, rng);
+}
+
+}  // namespace
+
+TEST(Faults, DropoutsHoldLastValue) {
+  const auto r = walking(21, 20.0);
+  Rng rng(1);
+  const auto faulty = imu::inject_dropouts(r.trace, 30.0, 5, 10, rng);
+  ASSERT_EQ(faulty.size(), r.trace.size());
+  // At least one run of >= 3 identical consecutive accel values exists.
+  std::size_t longest = 0;
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < faulty.size(); ++i) {
+    run = faulty[i].accel == faulty[i - 1].accel ? run + 1 : 1;
+    longest = std::max(longest, run);
+  }
+  EXPECT_GE(longest, 3u);
+}
+
+TEST(Faults, ZeroRateIsIdentity) {
+  const auto r = walking(22, 10.0);
+  Rng rng(2);
+  const auto out = imu::inject_dropouts(r.trace, 0.0, 5, 10, rng);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].accel, r.trace[i].accel);
+  }
+}
+
+TEST(Faults, ClipBoundsComponents) {
+  const auto r = walking(23, 10.0);
+  const double limit = 2.0 * kGravity;
+  const auto clipped = imu::clip_acceleration(r.trace, limit);
+  for (const auto& s : clipped.samples()) {
+    EXPECT_LE(std::abs(s.accel.x), limit);
+    EXPECT_LE(std::abs(s.accel.y), limit);
+    EXPECT_LE(std::abs(s.accel.z), limit);
+  }
+}
+
+TEST(Faults, SpikesLandSomewhere) {
+  const auto r = walking(24, 30.0);
+  Rng rng(3);
+  const auto spiked = imu::inject_spikes(r.trace, 20.0, 8.0, rng);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < spiked.size(); ++i) {
+    if (!(spiked[i].accel == r.trace[i].accel)) ++hits;
+  }
+  EXPECT_GE(hits, 5u);
+}
+
+TEST(Faults, Preconditions) {
+  const auto r = walking(25, 5.0);
+  Rng rng(4);
+  EXPECT_THROW(imu::inject_dropouts(r.trace, -1.0, 5, 10, rng),
+               InvalidArgument);
+  EXPECT_THROW(imu::inject_dropouts(r.trace, 1.0, 10, 5, rng),
+               InvalidArgument);
+  EXPECT_THROW(imu::clip_acceleration(r.trace, 0.0), InvalidArgument);
+}
+
+// --------------------------------------------------------------------------
+// Robustness: the pipeline must degrade gracefully, not fall over.
+
+TEST(FaultRobustness, CountingSurvivesModerateDropouts) {
+  const auto r = walking(26);
+  Rng rng(5);
+  const auto faulty = imu::inject_dropouts(r.trace, 20.0, 3, 8, rng);
+  core::PTrack tracker;
+  const double truth = static_cast<double>(r.truth.step_count());
+  const double counted = static_cast<double>(tracker.process(faulty).steps);
+  EXPECT_NEAR(counted, truth, 0.15 * truth);
+}
+
+TEST(FaultRobustness, CountingSurvivesClipping) {
+  // +-4g headroom clips only the sharpest wrist transients.
+  const auto r = walking(27);
+  const auto clipped = imu::clip_acceleration(r.trace, 4.0 * kGravity);
+  core::PTrack tracker;
+  const double truth = static_cast<double>(r.truth.step_count());
+  const double counted = static_cast<double>(tracker.process(clipped).steps);
+  EXPECT_NEAR(counted, truth, 0.15 * truth);
+}
+
+TEST(FaultRobustness, CountingSurvivesSpikes) {
+  const auto r = walking(28);
+  Rng rng(6);
+  const auto spiked = imu::inject_spikes(r.trace, 30.0, 8.0, rng);
+  core::PTrack tracker;
+  const double truth = static_cast<double>(r.truth.step_count());
+  const double counted = static_cast<double>(tracker.process(spiked).steps);
+  EXPECT_NEAR(counted, truth, 0.2 * truth);
+}
+
+TEST(FaultRobustness, SpooferStillRejectedUnderFaults) {
+  Rng rng(29);
+  synth::UserProfile user;
+  const auto r = synth::synthesize(
+      synth::Scenario::interference(synth::ActivityKind::Spoofer, 60.0,
+                                    synth::Posture::Standing),
+      user, synth::SynthOptions{}, rng);
+  Rng frng(7);
+  const auto faulty = imu::inject_spikes(
+      imu::inject_dropouts(r.trace, 10.0, 3, 6, frng), 10.0, 6.0, frng);
+  core::PTrack tracker;
+  EXPECT_LE(tracker.process(faulty).steps, 4u);
+}

@@ -1,0 +1,137 @@
+// Unit tests for the baseline step counters (GFit-style peak counter and
+// Montage), including the vulnerabilities the paper builds on.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/gfit.hpp"
+#include "models/montage.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+synth::SynthResult make(synth::ActivityKind kind, double seconds,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  synth::UserProfile user;
+  synth::Scenario scenario;
+  if (kind == synth::ActivityKind::Walking) {
+    scenario = synth::Scenario::pure_walking(seconds);
+  } else if (kind == synth::ActivityKind::Stepping) {
+    scenario = synth::Scenario::pure_stepping(seconds);
+  } else {
+    scenario =
+        synth::Scenario::interference(kind, seconds, synth::Posture::Standing);
+  }
+  return synth::synthesize(scenario, user, synth::SynthOptions{}, rng);
+}
+
+}  // namespace
+
+TEST(PeakCounter, AccurateOnWalking) {
+  const auto r = make(synth::ActivityKind::Walking, 60.0, 21);
+  models::PeakCounter counter(models::gfit_watch_config());
+  const auto det = counter.count_steps(r.trace);
+  const double truth = static_cast<double>(r.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(det.count), truth, 0.06 * truth);
+}
+
+TEST(PeakCounter, AccurateOnStepping) {
+  const auto r = make(synth::ActivityKind::Stepping, 60.0, 22);
+  models::PeakCounter counter(models::gfit_watch_config());
+  const double truth = static_cast<double>(r.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(counter.count_steps(r.trace).count), truth,
+              0.06 * truth);
+}
+
+TEST(PeakCounter, VulnerableToSpoofing) {
+  // The vulnerability is the paper's premise (Fig. 1(c)): the peak counter
+  // *must* tick on the spoofer.
+  const auto r = make(synth::ActivityKind::Spoofer, 40.0, 23);
+  models::PeakCounter counter(models::gfit_watch_config());
+  EXPECT_GT(counter.count_steps(r.trace).count, 30u);
+}
+
+TEST(PeakCounter, VulnerableToEating) {
+  const auto r = make(synth::ActivityKind::Eating, 120.0, 24);
+  models::PeakCounter counter(models::gfit_watch_config());
+  EXPECT_GT(counter.count_steps(r.trace).count, 10u);
+}
+
+TEST(PeakCounter, QuietWhenIdle) {
+  const auto r = make(synth::ActivityKind::Idle, 60.0, 25);
+  models::PeakCounter counter(models::gfit_watch_config());
+  EXPECT_LT(counter.count_steps(r.trace).count, 3u);
+}
+
+TEST(PeakCounter, StepTimesAreOrderedAndSpaced) {
+  const auto r = make(synth::ActivityKind::Walking, 30.0, 26);
+  models::PeakCounter counter(models::gfit_watch_config());
+  const auto det = counter.count_steps(r.trace);
+  ASSERT_GT(det.step_times.size(), 10u);
+  for (std::size_t i = 1; i < det.step_times.size(); ++i) {
+    EXPECT_GE(det.step_times[i] - det.step_times[i - 1],
+              counter.config().min_peak_interval_s - 1e-9);
+  }
+}
+
+TEST(PeakCounter, TinyTraceYieldsZero) {
+  const auto r = make(synth::ActivityKind::Walking, 30.0, 27);
+  models::PeakCounter counter(models::gfit_watch_config());
+  EXPECT_EQ(counter.count_steps(r.trace.slice(0, 4)).count, 0u);
+}
+
+TEST(PeakCounter, PresetsDiffer) {
+  EXPECT_NE(models::gfit_watch_config().threshold_factor,
+            models::phone_coprocessor_config().threshold_factor);
+  EXPECT_EQ(models::miband_config().name, "Band");
+}
+
+TEST(PeakCounter, InvalidConfigThrows) {
+  models::PeakCounterConfig cfg;
+  cfg.lowpass_hz = 0.0;
+  EXPECT_THROW(models::PeakCounter{cfg}, InvalidArgument);
+}
+
+TEST(MontageCounter, AccurateOnWalking) {
+  const auto r = make(synth::ActivityKind::Walking, 60.0, 31);
+  models::MontageCounter counter;
+  const double truth = static_cast<double>(r.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(counter.count_steps(r.trace).count), truth,
+              0.08 * truth);
+}
+
+TEST(MontageCounter, AccurateOnStepping) {
+  const auto r = make(synth::ActivityKind::Stepping, 60.0, 32);
+  models::MontageCounter counter;
+  const double truth = static_cast<double>(r.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(counter.count_steps(r.trace).count), truth,
+              0.05 * truth);
+}
+
+TEST(MontageCounter, VulnerableToSpoofing) {
+  const auto r = make(synth::ActivityKind::Spoofer, 60.0, 33);
+  models::MontageCounter counter;
+  EXPECT_GT(counter.count_steps(r.trace).count, 40u);
+}
+
+TEST(MontageStride, ReasonableOnStepping) {
+  // With the device riding the body (stepping), Montage's assumption holds
+  // and its strides should be in the right ballpark.
+  const auto r = make(synth::ActivityKind::Stepping, 60.0, 34);
+  synth::UserProfile user;
+  models::MontageStride stride(user.leg_length, 2.0);
+  const auto est = stride.estimate(r.trace);
+  ASSERT_GT(est.size(), 20u);
+  double acc = 0.0;
+  for (const auto& e : est) acc += e.stride;
+  const double mean = acc / static_cast<double>(est.size());
+  EXPECT_NEAR(mean, user.mean_stride(), 0.25);
+}
+
+TEST(MontageStride, InvalidParamsThrow) {
+  EXPECT_THROW(models::MontageStride(0.0, 2.0), InvalidArgument);
+  EXPECT_THROW(models::MontageStride(0.9, -1.0), InvalidArgument);
+}

@@ -1,0 +1,126 @@
+// Unit tests for the SCAR baseline: features, Gaussian naive Bayes, and
+// the training-set dependence the paper exploits in Fig. 7(a).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/scar.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+imu::Trace make_trace(synth::ActivityKind kind, double seconds,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  synth::UserProfile user;
+  synth::Scenario scenario;
+  if (kind == synth::ActivityKind::Walking) {
+    scenario = synth::Scenario::pure_walking(seconds);
+  } else if (kind == synth::ActivityKind::Stepping) {
+    scenario = synth::Scenario::pure_stepping(seconds);
+  } else {
+    scenario =
+        synth::Scenario::interference(kind, seconds, synth::Posture::Standing);
+  }
+  return synth::synthesize(scenario, user, synth::SynthOptions{}, rng).trace;
+}
+
+models::ScarClassifier trained_classifier(std::uint64_t seed) {
+  std::vector<models::LabeledTrace> examples;
+  examples.push_back({make_trace(synth::ActivityKind::Walking, 40.0, seed),
+                      "walking"});
+  examples.push_back({make_trace(synth::ActivityKind::Stepping, 40.0, seed + 1),
+                      "stepping"});
+  examples.push_back({make_trace(synth::ActivityKind::Eating, 40.0, seed + 2),
+                      "eating"});
+  examples.push_back({make_trace(synth::ActivityKind::Gaming, 40.0, seed + 3),
+                      "gaming"});
+  models::ScarClassifier clf;
+  clf.fit(examples);
+  return clf;
+}
+
+}  // namespace
+
+TEST(ScarFeatures, FixedLength) {
+  const imu::Trace t = make_trace(synth::ActivityKind::Walking, 4.0, 1);
+  const auto f = models::scar_features(t.slice(0, 200));
+  EXPECT_EQ(f.size(), models::scar_feature_count());
+}
+
+TEST(ScarFeatures, RequiresMinimumSamples) {
+  const imu::Trace t = make_trace(synth::ActivityKind::Walking, 4.0, 2);
+  EXPECT_THROW(models::scar_features(t.slice(0, 8)), InvalidArgument);
+}
+
+TEST(ScarFeatures, DifferentActivitiesDifferentFeatures) {
+  const imu::Trace walk = make_trace(synth::ActivityKind::Walking, 4.0, 3);
+  const imu::Trace idle = make_trace(synth::ActivityKind::Idle, 4.0, 4);
+  const auto fw = models::scar_features(walk.slice(0, 256));
+  const auto fi = models::scar_features(idle.slice(0, 256));
+  double diff = 0.0;
+  for (std::size_t i = 0; i < fw.size(); ++i) diff += std::abs(fw[i] - fi[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(ScarClassifier, ClassifiesTrainedActivities) {
+  const auto clf = trained_classifier(100);
+  const imu::Trace walk = make_trace(synth::ActivityKind::Walking, 20.0, 200);
+  const imu::Trace eat = make_trace(synth::ActivityKind::Eating, 20.0, 201);
+  int walk_hits = 0;
+  int eat_hits = 0;
+  int windows = 0;
+  const std::size_t win = 200;
+  for (std::size_t b = 0; b + win <= walk.size(); b += win) {
+    ++windows;
+    if (clf.classify(walk.slice(b, b + win)) == "walking") ++walk_hits;
+  }
+  EXPECT_GT(walk_hits * 2, windows);  // majority correct
+  windows = 0;
+  for (std::size_t b = 0; b + win <= eat.size(); b += win) {
+    ++windows;
+    if (clf.classify(eat.slice(b, b + win)) == "eating") ++eat_hits;
+  }
+  EXPECT_GT(eat_hits * 2, windows);
+}
+
+TEST(ScarClassifier, UntrainedThrows) {
+  models::ScarClassifier clf;
+  const imu::Trace t = make_trace(synth::ActivityKind::Walking, 4.0, 5);
+  EXPECT_THROW(clf.classify(t.slice(0, 200)), InvalidArgument);
+  EXPECT_FALSE(clf.trained());
+}
+
+TEST(ScarClassifier, ClassListMatchesTraining) {
+  const auto clf = trained_classifier(101);
+  const auto classes = clf.classes();
+  EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(ScarCounter, CountsWalkingIgnoresTrainedInterference) {
+  const auto clf = trained_classifier(102);
+  models::ScarCounter counter(clf, {"walking", "stepping"});
+
+  Rng rng(300);
+  synth::UserProfile user;
+  const auto walk = synth::synthesize(synth::Scenario::pure_walking(60.0),
+                                      user, synth::SynthOptions{}, rng);
+  const double truth = static_cast<double>(walk.truth.step_count());
+  EXPECT_NEAR(static_cast<double>(counter.count_steps(walk.trace).count),
+              truth, 0.12 * truth);
+
+  const auto eat = synth::synthesize(
+      synth::Scenario::interference(synth::ActivityKind::Eating, 60.0,
+                                    synth::Posture::Standing),
+      user, synth::SynthOptions{}, rng);
+  EXPECT_LT(counter.count_steps(eat.trace).count, 6u);
+}
+
+TEST(ScarCounter, RequiresTrainedClassifierAndLabels) {
+  models::ScarClassifier untrained;
+  EXPECT_THROW(models::ScarCounter(untrained, {"walking"}), InvalidArgument);
+  const auto clf = trained_classifier(103);
+  EXPECT_THROW(models::ScarCounter(clf, {}), InvalidArgument);
+}

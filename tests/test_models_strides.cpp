@@ -1,0 +1,102 @@
+// Unit tests for the naive stride baselines of Fig. 1(d).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "models/stride_baselines.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+synth::SynthResult walking(std::uint64_t seed, double seconds = 60.0) {
+  Rng rng(seed);
+  synth::UserProfile user;
+  return synth::synthesize(synth::Scenario::pure_walking(seconds), user,
+                           synth::SynthOptions{}, rng);
+}
+
+double mean_abs_error(const std::vector<models::StrideEstimate>& est,
+                      const synth::GroundTruth& truth) {
+  std::vector<double> errs;
+  for (const auto& e : est) {
+    double best = 1e9;
+    double s = 0.0;
+    for (const auto& st : truth.steps) {
+      if (std::abs(st.t - e.t) < best) {
+        best = std::abs(st.t - e.t);
+        s = st.stride;
+      }
+    }
+    if (best < 0.6) errs.push_back(std::abs(e.stride - s));
+  }
+  return errs.empty() ? -1.0 : stats::mean(errs);
+}
+
+}  // namespace
+
+TEST(EmpiricalStride, ProducesPerStepEstimates) {
+  const auto r = walking(41);
+  models::EmpiricalStride est;
+  const auto strides = est.estimate(r.trace);
+  EXPECT_GT(strides.size(), 40u);
+  for (const auto& s : strides) {
+    EXPECT_GT(s.stride, 0.0);
+    EXPECT_LT(s.stride, 3.0);
+  }
+}
+
+TEST(EmpiricalStride, InvalidKThrows) {
+  EXPECT_THROW(models::EmpiricalStride(0.0), InvalidArgument);
+}
+
+TEST(BiomechanicalStride, BiasedOnWrist) {
+  // On the wrist the arm's vertical travel superposes on the body bounce
+  // (largely cancelling it mid-swing), so the naive biomechanical readout
+  // is strongly biased — the Fig. 1(d) motivation.
+  const auto r = walking(42);
+  synth::UserProfile user;
+  models::BiomechanicalStride est(user.leg_length, 2.0);
+  const auto strides = est.estimate(r.trace);
+  ASSERT_GT(strides.size(), 20u);
+  double acc = 0.0;
+  for (const auto& s : strides) acc += s.stride;
+  const double mean = acc / static_cast<double>(strides.size());
+  EXPECT_GT(std::abs(mean - user.mean_stride()), 0.15 * user.mean_stride());
+}
+
+TEST(IntegralStride, WorseThanEmpirical) {
+  // Fig. 1(d) ordering: the naive double integral is the worst model.
+  const auto r = walking(43, 90.0);
+  models::EmpiricalStride emp;
+  models::IntegralStride integral;
+  const double e_emp = mean_abs_error(emp.estimate(r.trace), r.truth);
+  const double e_int = mean_abs_error(integral.estimate(r.trace), r.truth);
+  ASSERT_GT(e_emp, 0.0);
+  ASSERT_GT(e_int, 0.0);
+  EXPECT_GT(e_int, e_emp);
+}
+
+TEST(AllBaselines, EmptyOnTinyTrace) {
+  const auto r = walking(44, 30.0);
+  const imu::Trace tiny = r.trace.slice(0, 8);
+  models::EmpiricalStride emp;
+  models::IntegralStride integral;
+  synth::UserProfile user;
+  models::BiomechanicalStride bio(user.leg_length, 2.0);
+  EXPECT_TRUE(emp.estimate(tiny).empty());
+  EXPECT_TRUE(integral.estimate(tiny).empty());
+  EXPECT_TRUE(bio.estimate(tiny).empty());
+}
+
+TEST(AllBaselines, NamesAreStable) {
+  models::EmpiricalStride emp;
+  models::IntegralStride integral;
+  synth::UserProfile user;
+  models::BiomechanicalStride bio(user.leg_length, 2.0);
+  EXPECT_EQ(emp.name(), "Empirical");
+  EXPECT_EQ(bio.name(), "Biomechanical");
+  EXPECT_EQ(integral.name(), "Integral");
+}

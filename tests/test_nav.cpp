@@ -1,0 +1,140 @@
+// Unit tests for routes and dead reckoning (Fig. 9 substrate).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "nav/dead_reckoning.hpp"
+#include "nav/route.hpp"
+
+using namespace ptrack;
+using nav::Point;
+using nav::Route;
+
+TEST(Route, LengthIsSumOfLegs) {
+  const Route r({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(r.length(), 7.0);
+  EXPECT_EQ(r.legs(), 2u);
+  EXPECT_DOUBLE_EQ(r.leg_length(0), 3.0);
+  EXPECT_DOUBLE_EQ(r.leg_length(1), 4.0);
+}
+
+TEST(Route, LegHeadings) {
+  const Route r({{0, 0}, {1, 0}, {1, 1}});
+  EXPECT_NEAR(r.leg_heading(0), 0.0, 1e-12);
+  EXPECT_NEAR(r.leg_heading(1), kPi / 2, 1e-12);
+}
+
+TEST(Route, PointAtInterpolates) {
+  const Route r({{0, 0}, {10, 0}});
+  const Point p = r.point_at(4.0);
+  EXPECT_DOUBLE_EQ(p.x, 4.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+  // Clamped at both ends.
+  EXPECT_DOUBLE_EQ(r.point_at(-5.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(r.point_at(50.0).x, 10.0);
+}
+
+TEST(Route, LegAtBoundaries) {
+  const Route r({{0, 0}, {10, 0}, {10, 10}});
+  EXPECT_EQ(r.leg_at(0.0), 0u);
+  EXPECT_EQ(r.leg_at(9.99), 0u);
+  EXPECT_EQ(r.leg_at(10.01), 1u);
+  EXPECT_EQ(r.leg_at(99.0), 1u);
+}
+
+TEST(Route, DistanceToIsPerpendicular) {
+  const Route r({{0, 0}, {10, 0}});
+  EXPECT_DOUBLE_EQ(r.distance_to({5, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(r.distance_to({-3, 4}), 5.0);  // beyond the start
+}
+
+TEST(Route, InvalidConstruction) {
+  EXPECT_THROW(Route({{0, 0}}), InvalidArgument);
+  EXPECT_THROW(Route({{0, 0}, {0, 0}}), InvalidArgument);
+}
+
+TEST(ShoppingCenterRoute, MatchesPaperGeometry) {
+  const Route r = nav::shopping_center_route();
+  EXPECT_EQ(r.waypoints().size(), 7u);  // A..G
+  EXPECT_NEAR(r.length(), 141.5, 0.01);
+  // The corridor double-crossing: legs 1 and 3 have a 4 m lateral move.
+  EXPECT_NEAR(std::abs(r.waypoints()[2].y - r.waypoints()[1].y), 4.0, 1e-9);
+  EXPECT_NEAR(std::abs(r.waypoints()[4].y - r.waypoints()[3].y), 4.0, 1e-9);
+}
+
+TEST(DeadReckoner, StraightLine) {
+  nav::DeadReckoner dr({0, 0}, [](double) { return 0.0; });
+  core::StepEvent e;
+  e.stride = 0.7;
+  for (int i = 0; i < 10; ++i) {
+    e.t = static_cast<double>(i);
+    dr.advance(e);
+  }
+  EXPECT_NEAR(dr.position().x, 7.0, 1e-12);
+  EXPECT_NEAR(dr.position().y, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dr.traveled(), 7.0);
+  EXPECT_EQ(dr.trajectory().size(), 11u);  // origin + 10 fixes
+}
+
+TEST(DeadReckoner, TurnsWithHeading) {
+  // Heading switches to +y after t = 5.
+  nav::DeadReckoner dr({0, 0}, [](double t) { return t < 5.0 ? 0.0 : kPi / 2; });
+  core::StepEvent e;
+  e.stride = 1.0;
+  for (int i = 0; i < 10; ++i) {
+    e.t = static_cast<double>(i);
+    dr.advance(e);
+  }
+  EXPECT_NEAR(dr.position().x, 5.0, 1e-9);
+  EXPECT_NEAR(dr.position().y, 5.0, 1e-9);
+}
+
+TEST(DeadReckoner, RequiresHeadingSource) {
+  EXPECT_THROW(nav::DeadReckoner({0, 0}, nav::HeadingSource{}),
+               InvalidArgument);
+}
+
+TEST(ReckonTrajectory, ConvenienceMatchesManual) {
+  core::TrackResult result;
+  for (int i = 0; i < 5; ++i) {
+    core::StepEvent e;
+    e.t = static_cast<double>(i);
+    e.stride = 0.5;
+    result.events.push_back(e);
+  }
+  const auto traj =
+      nav::reckon_trajectory(result, {1, 1}, [](double) { return 0.0; });
+  ASSERT_EQ(traj.size(), 6u);
+  EXPECT_NEAR(traj.back().x, 3.5, 1e-12);
+  EXPECT_NEAR(traj.back().y, 1.0, 1e-12);
+}
+
+TEST(RouteHeadingSource, FollowsLegsWithoutNoise) {
+  const Route r({{0, 0}, {10, 0}, {10, 10}});
+  // Walker progresses 1 m/s.
+  const auto heading =
+      nav::route_heading_source(r, [](double t) { return t; }, 0.0, 1);
+  EXPECT_NEAR(heading(5.0), 0.0, 1e-12);
+  EXPECT_NEAR(heading(15.0), kPi / 2, 1e-12);
+}
+
+TEST(ScoreTrajectory, PerfectPathScoresZero) {
+  const Route r({{0, 0}, {10, 0}});
+  std::vector<Point> traj;
+  for (int i = 0; i <= 10; ++i) traj.push_back({static_cast<double>(i), 0.0});
+  const auto stats = nav::score_trajectory(r, traj);
+  EXPECT_NEAR(stats.mean_cross_track, 0.0, 1e-12);
+  EXPECT_NEAR(stats.end_error, 0.0, 1e-12);
+}
+
+TEST(ScoreTrajectory, OffsetPathScored) {
+  const Route r({{0, 0}, {10, 0}});
+  std::vector<Point> traj{{0, 1}, {5, 1}, {10, 1}};
+  const auto stats = nav::score_trajectory(r, traj);
+  EXPECT_NEAR(stats.mean_cross_track, 1.0, 1e-12);
+  EXPECT_NEAR(stats.max_cross_track, 1.0, 1e-12);
+  EXPECT_NEAR(stats.end_error, 1.0, 1e-12);
+}

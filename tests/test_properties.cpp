@@ -1,0 +1,217 @@
+// Property-style parameterized suites: invariants that must hold across
+// random users, activities, speeds and sensor qualities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "core/bounce.hpp"
+#include "core/ptrack.hpp"
+#include "dsp/filtfilt.hpp"
+#include "dsp/integrate.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+// ---------------------------------------------------------------------------
+// Counting invariants across random users.
+
+class UserSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UserSweep, WalkingAccuracyFloor) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const synth::UserProfile user = synth::random_user(rng);
+  const auto r = synth::synthesize(synth::Scenario::pure_walking(60.0), user,
+                                   synth::SynthOptions{}, rng);
+  core::PTrackConfig cfg;
+  cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+  core::PTrack tracker(cfg);
+  const auto res = tracker.process(r.trace);
+  const double truth = static_cast<double>(r.truth.step_count());
+  const double err = std::abs(static_cast<double>(res.steps) - truth) / truth;
+  EXPECT_LT(err, 0.30) << "user " << GetParam();
+}
+
+TEST_P(UserSweep, SteppingAccuracyFloor) {
+  Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  const synth::UserProfile user = synth::random_user(rng);
+  const auto r = synth::synthesize(synth::Scenario::pure_stepping(60.0), user,
+                                   synth::SynthOptions{}, rng);
+  core::PTrack tracker;
+  const auto res = tracker.process(r.trace);
+  const double truth = static_cast<double>(r.truth.step_count());
+  const double err = std::abs(static_cast<double>(res.steps) - truth) / truth;
+  EXPECT_LT(err, 0.10) << "user " << GetParam();
+}
+
+TEST_P(UserSweep, SpooferAlwaysRejected) {
+  Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  const synth::UserProfile user = synth::random_user(rng);
+  const auto r = synth::synthesize(
+      synth::Scenario::interference(synth::ActivityKind::Spoofer, 60.0,
+                                    synth::Posture::Standing),
+      user, synth::SynthOptions{}, rng);
+  core::PTrack tracker;
+  EXPECT_LE(tracker.process(r.trace).steps, 2u) << "user " << GetParam();
+}
+
+TEST_P(UserSweep, InterferenceMiscountBound) {
+  Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const synth::UserProfile user = synth::random_user(rng);
+  core::PTrack tracker;
+  for (auto kind : {synth::ActivityKind::Eating, synth::ActivityKind::Poker,
+                    synth::ActivityKind::Gaming}) {
+    const auto r = synth::synthesize(
+        synth::Scenario::interference(kind, 60.0, synth::Posture::Standing),
+        user, synth::SynthOptions{}, rng);
+    EXPECT_LE(tracker.process(r.trace).steps, 8u)
+        << "user " << GetParam() << " " << to_string(kind);
+  }
+}
+
+TEST_P(UserSweep, StrideErrorFloor) {
+  Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  const synth::UserProfile user = synth::random_user(rng);
+  const auto r = synth::synthesize(synth::Scenario::pure_walking(60.0), user,
+                                   synth::SynthOptions{}, rng);
+  core::PTrackConfig cfg;
+  cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+  core::PTrack tracker(cfg);
+  const auto res = tracker.process(r.trace);
+  std::vector<double> errs;
+  for (const core::StepEvent& e : res.events) {
+    if (e.stride <= 0.0) continue;
+    double best = 1e9;
+    double s = 0.0;
+    for (const auto& st : r.truth.steps) {
+      if (std::abs(st.t - e.t) < best) {
+        best = std::abs(st.t - e.t);
+        s = st.stride;
+      }
+    }
+    if (best < 0.6) errs.push_back(std::abs(e.stride - s));
+  }
+  ASSERT_GT(errs.size(), 20u);
+  EXPECT_LT(stats::mean(errs), 0.20) << "user " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomUsers, UserSweep, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Counting degrades gracefully with sensor noise.
+
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, WalkingAccuracySurvivesNoise) {
+  Rng rng(31);
+  const synth::UserProfile user = synth::random_user(rng);
+  synth::SynthOptions opt;
+  opt.noise.accel_noise_stddev *= GetParam();
+  opt.noise.accel_bias_stddev *= GetParam();
+  const auto r = synth::synthesize(synth::Scenario::pure_walking(60.0), user,
+                                   opt, rng);
+  core::PTrack tracker;
+  const double truth = static_cast<double>(r.truth.step_count());
+  const double counted = static_cast<double>(tracker.process(r.trace).steps);
+  EXPECT_LT(std::abs(counted - truth) / truth, 0.25)
+      << "noise scale " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, NoiseSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 3.0));
+
+// ---------------------------------------------------------------------------
+// Walking speed sweep: counting works across the usable speed range.
+
+class SpeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpeedSweep, CountingAcrossSpeeds) {
+  Rng rng(47);
+  synth::UserProfile user;  // default user, speed overridden per segment
+  synth::Scenario scenario;
+  scenario.walk(60.0, GetParam());
+  const auto r =
+      synth::synthesize(scenario, user, synth::SynthOptions{}, rng);
+  core::PTrack tracker;
+  const double truth = static_cast<double>(r.truth.step_count());
+  ASSERT_GT(truth, 50.0);
+  const double counted = static_cast<double>(tracker.process(r.trace).steps);
+  EXPECT_LT(std::abs(counted - truth) / truth, 0.2)
+      << "speed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, SpeedSweep,
+                         ::testing::Values(1.0, 1.2, 1.4, 1.6));
+
+// ---------------------------------------------------------------------------
+// Bounce solver round-trip property over a randomized geometry grid.
+
+class BounceRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BounceRoundTrip, ForwardInverse) {
+  Rng rng(600 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    const double m = rng.uniform(0.55, 0.9);
+    const double b = rng.uniform(0.02, 0.12);
+    const double t1 = rng.uniform(0.2, 0.55);
+    const double t2 = rng.uniform(0.2, 0.55);
+    const double r1 = m * (1.0 - std::cos(t1));
+    const double r2 = m * (1.0 - std::cos(t2));
+    const double h1 = r1 - b;
+    const double h2 = r2 - b;
+    const double d = m * (std::sin(t1) + std::sin(t2));
+    const auto sol = core::solve_bounce(h1, h2, d, m);
+    ASSERT_TRUE(sol.valid);
+    EXPECT_NEAR(sol.bounce, b, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BounceRoundTrip, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
+// DSP invariants under random signals.
+
+class DspProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DspProperty, FiltfiltIsZeroPhaseForBandLimitedSignals) {
+  Rng rng(700 + static_cast<std::uint64_t>(GetParam()));
+  const double fs = 100.0;
+  const double freq = rng.uniform(0.5, 2.0);
+  std::vector<double> xs(600);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(2 * M_PI * freq * static_cast<double>(i) / fs);
+  }
+  const auto ys = dsp::zero_phase_lowpass(xs, 5.0, fs, 4);
+  // Cross-correlation at zero lag dominates shifted variants: no phase lag.
+  double dot0 = 0.0;
+  double dot_fwd = 0.0;
+  double dot_bwd = 0.0;
+  for (std::size_t i = 100; i + 106 < xs.size(); ++i) {
+    dot0 += xs[i] * ys[i];
+    dot_fwd += xs[i] * ys[i + 5];
+    dot_bwd += xs[i + 5] * ys[i];
+  }
+  EXPECT_GE(dot0, dot_fwd - 1e-9);
+  EXPECT_GE(dot0, dot_bwd - 1e-9);
+}
+
+TEST_P(DspProperty, MeanRemovalBeatsNaiveUnderBias) {
+  Rng rng(800 + static_cast<std::uint64_t>(GetParam()));
+  const double fs = 100.0;
+  const double T = rng.uniform(0.5, 0.8);
+  const double v_peak = rng.uniform(0.5, 2.0);
+  const double bias = rng.uniform(0.3, 0.6);
+  const auto n = static_cast<std::size_t>(T * fs);
+  std::vector<double> accel(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    accel[i] = v_peak * M_PI / T * std::cos(M_PI * t / T) + bias;
+  }
+  const double truth = v_peak * 2.0 * T / M_PI;
+  const double naive = dsp::integrate_twice(accel, 1.0 / fs).position.back();
+  const double corrected = dsp::net_displacement(accel, 1.0 / fs);
+  EXPECT_LT(std::abs(corrected - truth), std::abs(naive - truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DspProperty, ::testing::Range(0, 6));

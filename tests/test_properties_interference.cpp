@@ -1,0 +1,100 @@
+// Property sweep: PTrack's interference rejection must hold for every
+// interference class, in both postures, across users — and the baselines'
+// vulnerability (the paper's premise) must hold too, or the comparison
+// benches would be measuring a strawman.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/ptrack.hpp"
+#include "models/gfit.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+struct Case {
+  synth::ActivityKind kind;
+  synth::Posture posture;
+  std::uint64_t user_seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name(synth::to_string(info.param.kind));
+  name += info.param.posture == synth::Posture::Standing ? "_stand" : "_seat";
+  name += "_u" + std::to_string(info.param.user_seed);
+  return name;
+}
+
+}  // namespace
+
+class InterferenceSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(InterferenceSweep, PTrackStaysQuiet) {
+  const Case& c = GetParam();
+  Rng rng(9000 + c.user_seed);
+  const synth::UserProfile user = synth::random_user(rng);
+  const auto r = synth::synthesize(
+      synth::Scenario::interference(c.kind, 60.0, c.posture), user,
+      synth::SynthOptions{}, rng);
+  core::PTrack tracker;
+  EXPECT_LE(tracker.process(r.trace).steps, 8u);
+}
+
+TEST_P(InterferenceSweep, CommercialCounterIsFooled) {
+  // The premise of Figs. 1 and 7: threshold peak counters mis-tick on
+  // every one of these activities (otherwise PTrack's robustness would be
+  // vacuous). Idle is the exception — nothing moves.
+  const Case& c = GetParam();
+  if (c.kind == synth::ActivityKind::Idle) GTEST_SKIP();
+  Rng rng(9100 + c.user_seed);
+  const synth::UserProfile user = synth::random_user(rng);
+  const auto r = synth::synthesize(
+      synth::Scenario::interference(c.kind, 120.0, c.posture), user,
+      synth::SynthOptions{}, rng);
+  models::PeakCounter counter(models::gfit_watch_config());
+  EXPECT_GT(counter.count_steps(r.trace).count, 10u)
+      << synth::to_string(c.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, InterferenceSweep,
+    ::testing::Values(
+        Case{synth::ActivityKind::Eating, synth::Posture::Standing, 0},
+        Case{synth::ActivityKind::Eating, synth::Posture::Seated, 1},
+        Case{synth::ActivityKind::Poker, synth::Posture::Standing, 2},
+        Case{synth::ActivityKind::Poker, synth::Posture::Seated, 3},
+        Case{synth::ActivityKind::Photo, synth::Posture::Standing, 4},
+        Case{synth::ActivityKind::Photo, synth::Posture::Seated, 5},
+        Case{synth::ActivityKind::Gaming, synth::Posture::Standing, 6},
+        Case{synth::ActivityKind::Gaming, synth::Posture::Seated, 7},
+        Case{synth::ActivityKind::Spoofer, synth::Posture::Standing, 8},
+        Case{synth::ActivityKind::Idle, synth::Posture::Seated, 9}),
+    case_name);
+
+// --------------------------------------------------------------------------
+// Mixed-session invariant: interleaving gait with interference never
+// inflates the count beyond the gait-only truth by more than a small margin.
+
+class MixedSessionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixedSessionSweep, CountBoundedByGaitTruth) {
+  Rng rng(9200 + static_cast<std::uint64_t>(GetParam()));
+  const synth::UserProfile user = synth::random_user(rng);
+  synth::Scenario session;
+  session.walk(30.0)
+      .activity(synth::ActivityKind::Poker, 30.0, synth::Posture::Seated)
+      .step(30.0)
+      .activity(synth::ActivityKind::Photo, 30.0, synth::Posture::Standing)
+      .walk(30.0);
+  const auto r = synth::synthesize(session, user, synth::SynthOptions{}, rng);
+  core::PTrack tracker;
+  const double truth = static_cast<double>(r.truth.step_count());
+  const double counted = static_cast<double>(tracker.process(r.trace).steps);
+  EXPECT_LT(counted, truth * 1.1 + 8.0);
+  EXPECT_GT(counted, truth * 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedSessionSweep, ::testing::Range(0, 6));

@@ -1,0 +1,169 @@
+// Unit tests for the rigid arc-motion generator (interference substrate).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "synth/arc_motion.hpp"
+#include "synth/interference.hpp"
+
+using namespace ptrack;
+
+TEST(Waveform, SineIsBounded) {
+  for (double phi = 0.0; phi < 10.0; phi += 0.1) {
+    const double v = synth::waveform_value(synth::Waveform::Sine, phi, 2.5);
+    EXPECT_LE(std::abs(v), 1.0 + 1e-12);
+  }
+}
+
+TEST(Waveform, DwellFlattensExtremes) {
+  // At the sine's peak the dwell waveform saturates near +-1 but with a
+  // much flatter top: value at phi = pi/2 +- 0.3 stays close to the peak.
+  const double peak = synth::waveform_value(synth::Waveform::Dwell, kPi / 2, 3.0);
+  const double near_peak =
+      synth::waveform_value(synth::Waveform::Dwell, kPi / 2 - 0.3, 3.0);
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+  EXPECT_GT(near_peak, 0.95);
+  // The plain sine falls off faster.
+  EXPECT_LT(std::sin(kPi / 2 - 0.3), 0.96);
+}
+
+TEST(Waveform, PulseRestsOutsideDuty) {
+  const double duty = 0.4;
+  // Inside the duty cycle: a positive bump.
+  EXPECT_GT(synth::waveform_value(synth::Waveform::Pulse, kTwoPi * 0.2, 2.5,
+                                  duty),
+            0.9);
+  // Outside: exactly flat.
+  EXPECT_DOUBLE_EQ(
+      synth::waveform_value(synth::Waveform::Pulse, kTwoPi * 0.7, 2.5, duty),
+      0.0);
+}
+
+TEST(Waveform, PulseIsContinuousAtDutyEdge) {
+  const double duty = 0.4;
+  const double before = synth::waveform_value(synth::Waveform::Pulse,
+                                              kTwoPi * (duty - 1e-6), 2.5, duty);
+  EXPECT_NEAR(before, 0.0, 1e-4);
+}
+
+TEST(GenerateArc, PositionsStayOnSphereWithoutSway) {
+  synth::ArcMotionParams p;
+  p.radius = 0.4;
+  p.amplitude = 0.5;
+  p.sway_amp = 0.0;
+  Rng rng(3);
+  const synth::ArcPath path = synth::generate_arc(p, 5.0, 200.0, rng);
+  ASSERT_EQ(path.pos.size(), 1000u);
+  for (const Vec3& v : path.pos) {
+    EXPECT_NEAR(v.norm(), p.radius, 1e-9);
+  }
+}
+
+TEST(GenerateArc, ThetaStreamMatchesPositions) {
+  synth::ArcMotionParams p;
+  p.radius = 0.3;
+  p.amplitude = 0.4;
+  p.center_angle = 0.2;
+  p.sway_amp = 0.0;
+  Rng rng(4);
+  const synth::ArcPath path = synth::generate_arc(p, 2.0, 100.0, rng);
+  ASSERT_EQ(path.theta.size(), path.pos.size());
+  for (std::size_t i = 0; i < path.pos.size(); ++i) {
+    const double theta = path.theta[i] + p.center_angle;
+    const Vec3 expected =
+        (p.plane_a * std::cos(theta) + p.plane_b * std::sin(theta)) * p.radius;
+    EXPECT_NEAR((path.pos[i] - expected).norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(GenerateArc, TiltAxisIsPlaneNormal) {
+  synth::ArcMotionParams p;
+  Rng rng(5);
+  const synth::ArcPath path = synth::generate_arc(p, 1.0, 100.0, rng);
+  EXPECT_NEAR(path.tilt_axis.dot(p.plane_a.normalized()), 0.0, 1e-9);
+  EXPECT_NEAR(path.tilt_axis.dot(p.plane_b.normalized()), 0.0, 1e-9);
+  EXPECT_NEAR(path.tilt_axis.norm(), 1.0, 1e-9);
+}
+
+TEST(GenerateArc, AmplitudeBoundsRespected) {
+  synth::ArcMotionParams p;
+  p.amplitude = 0.3;
+  p.amplitude_jitter = 0.0;
+  p.tremor_amp = 0.0;
+  p.sway_amp = 0.0;
+  Rng rng(6);
+  const synth::ArcPath path = synth::generate_arc(p, 4.0, 100.0, rng);
+  for (double theta : path.theta) {
+    EXPECT_LE(std::abs(theta), 0.3 + 1e-9);
+  }
+}
+
+TEST(GenerateArc, DeterministicGivenSeed) {
+  synth::ArcMotionParams p;
+  Rng a(11);
+  Rng b(11);
+  const auto pa = synth::generate_arc(p, 1.0, 100.0, a);
+  const auto pb = synth::generate_arc(p, 1.0, 100.0, b);
+  ASSERT_EQ(pa.pos.size(), pb.pos.size());
+  for (std::size_t i = 0; i < pa.pos.size(); ++i) {
+    EXPECT_EQ(pa.pos[i], pb.pos[i]);
+  }
+}
+
+TEST(GenerateArc, Preconditions) {
+  synth::ArcMotionParams p;
+  Rng rng(1);
+  EXPECT_THROW(synth::generate_arc(p, 0.0, 100.0, rng), InvalidArgument);
+  p.base_freq = 0.0;
+  EXPECT_THROW(synth::generate_arc(p, 1.0, 100.0, rng), InvalidArgument);
+}
+
+TEST(InterferenceParams, AllKindsProduceValidParams) {
+  Rng rng(8);
+  synth::UserProfile user;
+  for (synth::ActivityKind kind :
+       {synth::ActivityKind::Eating, synth::ActivityKind::Poker,
+        synth::ActivityKind::Photo, synth::ActivityKind::Gaming,
+        synth::ActivityKind::Spoofer, synth::ActivityKind::Idle}) {
+    const synth::ArcMotionParams p =
+        synth::interference_params(kind, synth::Posture::Standing, user, rng);
+    EXPECT_GT(p.base_freq, 0.0);
+    EXPECT_GT(p.radius, 0.0);
+    EXPECT_NEAR(p.plane_a.norm(), 1.0, 1e-6);
+    EXPECT_NEAR(p.plane_b.norm(), 1.0, 1e-6);
+    // The two plane vectors must be orthogonal.
+    EXPECT_NEAR(p.plane_a.dot(p.plane_b), 0.0, 1e-6);
+  }
+}
+
+TEST(InterferenceParams, GaitKindsRejected) {
+  Rng rng(9);
+  synth::UserProfile user;
+  EXPECT_THROW(synth::interference_params(synth::ActivityKind::Walking,
+                                          synth::Posture::Standing, user, rng),
+               InvalidArgument);
+}
+
+TEST(InterferenceParams, SeatedSwayIsSmaller) {
+  Rng a(10);
+  Rng b(10);
+  synth::UserProfile user;
+  const auto seated = synth::interference_params(
+      synth::ActivityKind::Eating, synth::Posture::Seated, user, a);
+  const auto standing = synth::interference_params(
+      synth::ActivityKind::Eating, synth::Posture::Standing, user, b);
+  EXPECT_LT(seated.sway_amp, standing.sway_amp);
+}
+
+TEST(GenerateInterference, ProducesSamplesAndTilt) {
+  Rng rng(12);
+  synth::UserProfile user;
+  const synth::ArcPath path = synth::generate_interference(
+      synth::ActivityKind::Poker, synth::Posture::Standing, user, 3.0, 100.0,
+      rng);
+  EXPECT_EQ(path.pos.size(), 300u);
+  EXPECT_EQ(path.theta.size(), 300u);
+}

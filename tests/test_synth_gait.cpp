@@ -1,0 +1,188 @@
+// Unit tests for the biomechanical gait generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "synth/gait_generator.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+synth::UserProfile clean_user() {
+  synth::UserProfile u;
+  u.step_time_jitter = 0.0;
+  u.stride_jitter = 0.0;
+  u.arm_phase_jitter = 0.0;
+  u.swing_cushion = 0.0;
+  return u;
+}
+
+synth::GaitPath generate(synth::ActivityKind kind, double seconds,
+                         const synth::UserProfile& user, uint64_t seed = 1,
+                         double speed = 0.0) {
+  synth::GaitParams p;
+  p.kind = kind;
+  p.duration = seconds;
+  p.fs = 400.0;
+  p.speed = speed;
+  Rng rng(seed);
+  return synth::generate_gait(p, user, rng);
+}
+
+}  // namespace
+
+TEST(GaitGenerator, StepCountMatchesCadence) {
+  const synth::UserProfile u = clean_user();
+  const auto path = generate(synth::ActivityKind::Walking, 30.0, u);
+  // cadence * duration steps expected (+-1 boundary step).
+  const double expected = u.cadence * 30.0;
+  EXPECT_NEAR(static_cast<double>(path.steps.size()), expected, 2.0);
+}
+
+TEST(GaitGenerator, StridesMatchProfile) {
+  const synth::UserProfile u = clean_user();
+  const auto path = generate(synth::ActivityKind::Walking, 20.0, u);
+  for (const synth::StepTruth& s : path.steps) {
+    EXPECT_NEAR(s.stride, u.mean_stride(), 1e-9);
+    EXPECT_NEAR(s.bounce, u.bounce_for_stride(u.mean_stride()), 1e-9);
+  }
+}
+
+TEST(GaitGenerator, TotalForwardTravelEqualsStrideSum) {
+  const synth::UserProfile u = clean_user();
+  const auto path = generate(synth::ActivityKind::Walking, 30.0, u);
+  const double traveled = path.body.back().x - path.body.front().x;
+  double sum = 0.0;
+  for (const synth::StepTruth& s : path.steps) sum += s.stride;
+  // The last partial step adds at most one stride.
+  EXPECT_NEAR(traveled, sum, u.mean_stride() + 1e-6);
+  EXPECT_GE(traveled, sum - 1e-9);
+}
+
+TEST(GaitGenerator, BodyBounceAmplitudeIsTruthBounce) {
+  const synth::UserProfile u = clean_user();
+  const auto path = generate(synth::ActivityKind::Walking, 10.0, u);
+  double zmin = 1e9;
+  double zmax = -1e9;
+  for (const Vec3& b : path.body) {
+    zmin = std::min(zmin, b.z);
+    zmax = std::max(zmax, b.z);
+  }
+  EXPECT_NEAR(zmax - zmin, u.bounce_for_stride(u.mean_stride()), 1e-6);
+}
+
+TEST(GaitGenerator, SteppingWristRigidWithBody) {
+  const synth::UserProfile u = clean_user();
+  const auto path = generate(synth::ActivityKind::Stepping, 10.0, u);
+  const Vec3 offset0 = path.wrist[0] - path.body[0];
+  for (std::size_t i = 0; i < path.wrist.size(); ++i) {
+    const Vec3 offset = path.wrist[i] - path.body[i];
+    EXPECT_NEAR((offset - offset0).norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(GaitGenerator, WalkingWristSwingsRelativeToBody) {
+  const synth::UserProfile u = clean_user();
+  const auto path = generate(synth::ActivityKind::Walking, 10.0, u);
+  double min_x = 1e9;
+  double max_x = -1e9;
+  for (std::size_t i = 0; i < path.wrist.size(); ++i) {
+    const double rel = path.wrist[i].x - path.body[i].x;
+    min_x = std::min(min_x, rel);
+    max_x = std::max(max_x, rel);
+  }
+  const double expected_sweep = 2.0 * u.arm_length * std::sin(u.swing_amplitude);
+  EXPECT_NEAR(max_x - min_x, expected_sweep, 0.02);
+}
+
+TEST(GaitGenerator, SwingOnlyBodyStatic) {
+  const synth::UserProfile u = clean_user();
+  const auto path = generate(synth::ActivityKind::SwingOnly, 5.0, u);
+  EXPECT_TRUE(path.steps.empty());
+  for (const Vec3& b : path.body) {
+    EXPECT_NEAR((b - path.body.front()).norm(), 0.0, 1e-9);
+  }
+}
+
+TEST(GaitGenerator, HeadingRotatesTravel) {
+  const synth::UserProfile u = clean_user();
+  synth::GaitParams p;
+  p.kind = synth::ActivityKind::Walking;
+  p.duration = 10.0;
+  p.heading = kPi / 2;  // walk along +y
+  p.fs = 400.0;
+  Rng rng(2);
+  const auto path = synth::generate_gait(p, u, rng);
+  const Vec3 travel = path.body.back() - path.body.front();
+  EXPECT_GT(travel.y, 5.0);
+  EXPECT_NEAR(travel.x, 0.0, 0.1);
+}
+
+TEST(GaitGenerator, SpeedOverrideScalesStride) {
+  const synth::UserProfile u = clean_user();
+  const auto slow =
+      generate(synth::ActivityKind::Walking, 20.0, u, 1, u.speed * 0.8);
+  ASSERT_FALSE(slow.steps.empty());
+  EXPECT_NEAR(slow.steps.front().stride, u.mean_stride() * 0.8, 1e-9);
+}
+
+TEST(GaitGenerator, TiltStreamPresent) {
+  const synth::UserProfile u = clean_user();
+  const auto walking = generate(synth::ActivityKind::Walking, 5.0, u);
+  EXPECT_EQ(walking.tilt.size(), walking.wrist.size());
+  double max_tilt = 0.0;
+  for (double t : walking.tilt) max_tilt = std::max(max_tilt, std::abs(t));
+  EXPECT_NEAR(max_tilt, u.swing_amplitude, 0.05);
+
+  const auto stepping = generate(synth::ActivityKind::Stepping, 5.0, u);
+  for (double t : stepping.tilt) EXPECT_DOUBLE_EQ(t, 0.0);
+}
+
+TEST(GaitGenerator, QuarterPhaseBetweenBodyChannels) {
+  // The body's vertical and anterior accelerations must be a quarter step
+  // period apart (Kim et al.) — verified on the stepping wrist, which
+  // rides the body.
+  const synth::UserProfile u = clean_user();
+  const auto path = generate(synth::ActivityKind::Stepping, 12.0, u);
+  const double fs = 400.0;
+  // Differentiate positions twice.
+  std::vector<double> av(path.wrist.size(), 0.0);
+  std::vector<double> aa(path.wrist.size(), 0.0);
+  for (std::size_t i = 1; i + 1 < path.wrist.size(); ++i) {
+    av[i] = (path.wrist[i + 1].z - 2 * path.wrist[i].z + path.wrist[i - 1].z) *
+            fs * fs;
+    aa[i] = (path.wrist[i + 1].x - 2 * path.wrist[i].x + path.wrist[i - 1].x) *
+            fs * fs;
+  }
+  // Quarter of a step period, in samples.
+  const double step_period = 1.0 / u.cadence;
+  const double quarter = step_period / 4.0 * fs;
+  // Find the lag with the best cross-correlation near +-quarter.
+  double best = -2.0;
+  int best_lag = 0;
+  const int search = static_cast<int>(step_period * fs / 2.0);
+  for (int lag = -search; lag <= search; ++lag) {
+    double acc = 0.0;
+    for (std::size_t i = 2000; i + 2000 < av.size(); ++i) {
+      const int j = static_cast<int>(i) + lag;
+      acc += av[i] * aa[static_cast<std::size_t>(j)];
+    }
+    if (acc > best) {
+      best = acc;
+      best_lag = lag;
+    }
+  }
+  EXPECT_NEAR(std::abs(static_cast<double>(best_lag)), quarter, quarter * 0.2);
+}
+
+TEST(GaitGenerator, RejectsInterferenceKinds) {
+  synth::GaitParams p;
+  p.kind = synth::ActivityKind::Eating;
+  Rng rng(1);
+  EXPECT_THROW(synth::generate_gait(p, clean_user(), rng), InvalidArgument);
+}

@@ -1,0 +1,102 @@
+// Unit tests for user profiles and the Eq. (2) bounce/stride coupling.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synth/profile.hpp"
+#include "synth/scenario.hpp"
+#include "synth/truth.hpp"
+
+using namespace ptrack;
+
+TEST(Profile, BounceStrideRoundTrip) {
+  synth::UserProfile p;
+  const double stride = 0.72;
+  const double bounce = p.bounce_for_stride(stride);
+  EXPECT_GT(bounce, 0.0);
+  EXPECT_LT(bounce, p.leg_length);
+  EXPECT_NEAR(p.stride_for_bounce(bounce), stride, 1e-9);
+}
+
+TEST(Profile, LongerStrideNeedsBiggerBounce) {
+  synth::UserProfile p;
+  EXPECT_GT(p.bounce_for_stride(0.85), p.bounce_for_stride(0.65));
+}
+
+TEST(Profile, BounceForStridePreconditions) {
+  synth::UserProfile p;
+  EXPECT_THROW(p.bounce_for_stride(0.0), InvalidArgument);
+  EXPECT_THROW(p.bounce_for_stride(10.0), InvalidArgument);
+  EXPECT_THROW(p.stride_for_bounce(-0.1), InvalidArgument);
+}
+
+TEST(Profile, MeanStride) {
+  synth::UserProfile p;
+  p.speed = 1.4;
+  p.cadence = 2.0;
+  EXPECT_DOUBLE_EQ(p.mean_stride(), 0.7);
+}
+
+TEST(Profile, RandomUsersArePlausible) {
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    const synth::UserProfile p = synth::random_user(rng);
+    EXPECT_GT(p.height, 1.4);
+    EXPECT_LT(p.height, 2.0);
+    EXPECT_GT(p.arm_length, 0.5);
+    EXPECT_LT(p.arm_length, 0.9);
+    EXPECT_GT(p.leg_length, 0.7);
+    EXPECT_LT(p.leg_length, 1.1);
+    EXPECT_GT(p.mean_stride(), 0.4);
+    EXPECT_LT(p.mean_stride(), 1.1);
+    // The implied bounce must be solvable.
+    EXPECT_NO_THROW(p.bounce_for_stride(p.mean_stride()));
+  }
+}
+
+TEST(Truth, IsGait) {
+  EXPECT_TRUE(synth::is_gait(synth::ActivityKind::Walking));
+  EXPECT_TRUE(synth::is_gait(synth::ActivityKind::Stepping));
+  EXPECT_FALSE(synth::is_gait(synth::ActivityKind::Eating));
+  EXPECT_FALSE(synth::is_gait(synth::ActivityKind::Spoofer));
+  EXPECT_FALSE(synth::is_gait(synth::ActivityKind::SwingOnly));
+}
+
+TEST(Truth, NamesAreStable) {
+  EXPECT_EQ(synth::to_string(synth::ActivityKind::Walking), "walking");
+  EXPECT_EQ(synth::to_string(synth::ActivityKind::Poker), "poker");
+}
+
+TEST(Truth, DistanceAndWindowQueries) {
+  synth::GroundTruth truth;
+  truth.steps.push_back({1.0, 0.7, 0.06, 0});
+  truth.steps.push_back({2.0, 0.8, 0.07, 0});
+  truth.steps.push_back({3.0, 0.75, 0.065, 0});
+  EXPECT_DOUBLE_EQ(truth.total_distance(), 2.25);
+  EXPECT_EQ(truth.step_count(), 3u);
+  EXPECT_EQ(truth.steps_in(0.5, 2.5), 2u);
+  EXPECT_EQ(truth.steps_in(5.0, 9.0), 0u);
+}
+
+TEST(Scenario, BuilderAccumulates) {
+  synth::Scenario s;
+  s.walk(10.0).step(5.0).activity(synth::ActivityKind::Eating, 7.0,
+                                  synth::Posture::Seated);
+  ASSERT_EQ(s.segments().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.total_duration(), 22.0);
+  EXPECT_EQ(s.segments()[2].posture, synth::Posture::Seated);
+}
+
+TEST(Scenario, RejectsNonPositiveDuration) {
+  synth::Scenario s;
+  EXPECT_THROW(s.walk(0.0), InvalidArgument);
+}
+
+TEST(Scenario, MixedGaitAlternatesAndCoversDuration) {
+  const synth::Scenario s = synth::Scenario::mixed_gait(60.0);
+  EXPECT_NEAR(s.total_duration(), 60.0, 1e-9);
+  ASSERT_GE(s.segments().size(), 3u);
+  for (std::size_t i = 1; i < s.segments().size(); ++i) {
+    EXPECT_NE(s.segments()[i].kind, s.segments()[i - 1].kind);
+  }
+}

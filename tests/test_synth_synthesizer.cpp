@@ -1,0 +1,169 @@
+// Unit tests for the full wrist-IMU synthesizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "imu/noise.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+synth::SynthOptions clean_options() {
+  synth::SynthOptions opt;
+  opt.noise = imu::noiseless();
+  opt.random_mount = false;
+  opt.attitude_leak = 0.0;
+  return opt;
+}
+
+}  // namespace
+
+TEST(Synthesizer, TraceSizeMatchesDuration) {
+  Rng rng(1);
+  synth::UserProfile user;
+  const auto r = synth::synthesize(synth::Scenario::pure_walking(10.0), user,
+                                   clean_options(), rng);
+  EXPECT_NEAR(static_cast<double>(r.trace.size()), 10.0 * 100.0, 5.0);
+  EXPECT_DOUBLE_EQ(r.trace.fs(), 100.0);
+  EXPECT_EQ(r.body_path.size(), r.trace.size());
+}
+
+TEST(Synthesizer, TruthSegmentsMatchScenario) {
+  Rng rng(2);
+  synth::UserProfile user;
+  synth::Scenario scenario;
+  scenario.walk(5.0).activity(synth::ActivityKind::Eating, 4.0).step(6.0);
+  const auto r = synth::synthesize(scenario, user, clean_options(), rng);
+  ASSERT_EQ(r.truth.segments.size(), 3u);
+  EXPECT_EQ(r.truth.segments[0].kind, synth::ActivityKind::Walking);
+  EXPECT_EQ(r.truth.segments[1].kind, synth::ActivityKind::Eating);
+  EXPECT_EQ(r.truth.segments[2].kind, synth::ActivityKind::Stepping);
+  EXPECT_DOUBLE_EQ(r.truth.segments[0].t_begin, 0.0);
+  EXPECT_DOUBLE_EQ(r.truth.segments[1].t_begin, 5.0);
+  EXPECT_DOUBLE_EQ(r.truth.segments[2].t_end, 15.0);
+}
+
+TEST(Synthesizer, StepsOnlyDuringGaitSegments) {
+  Rng rng(3);
+  synth::UserProfile user;
+  synth::Scenario scenario;
+  scenario.walk(8.0).activity(synth::ActivityKind::Poker, 8.0);
+  const auto r = synth::synthesize(scenario, user, clean_options(), rng);
+  EXPECT_GT(r.truth.steps_in(0.0, 8.0), 10u);
+  EXPECT_EQ(r.truth.steps_in(8.0, 16.0), 0u);
+}
+
+TEST(Synthesizer, GravityBaselinePresent) {
+  Rng rng(4);
+  synth::UserProfile user;
+  const auto r = synth::synthesize(
+      synth::Scenario::interference(synth::ActivityKind::Idle, 5.0,
+                                    synth::Posture::Seated),
+      user, clean_options(), rng);
+  const auto mag = r.trace.accel_magnitude();
+  EXPECT_NEAR(stats::mean(mag), kGravity, 0.1);
+}
+
+TEST(Synthesizer, DeterministicGivenSeed) {
+  synth::UserProfile user;
+  Rng a(42);
+  Rng b(42);
+  const auto ra = synth::synthesize(synth::Scenario::pure_walking(5.0), user,
+                                    synth::SynthOptions{}, a);
+  const auto rb = synth::synthesize(synth::Scenario::pure_walking(5.0), user,
+                                    synth::SynthOptions{}, b);
+  ASSERT_EQ(ra.trace.size(), rb.trace.size());
+  for (std::size_t i = 0; i < ra.trace.size(); ++i) {
+    EXPECT_EQ(ra.trace[i].accel, rb.trace[i].accel);
+  }
+  EXPECT_EQ(ra.truth.step_count(), rb.truth.step_count());
+}
+
+TEST(Synthesizer, MountRotationPreservesMagnitude) {
+  synth::UserProfile user;
+  synth::SynthOptions mounted = clean_options();
+  mounted.random_mount = true;
+  Rng a(7);
+  Rng b(7);
+  const auto plain = synth::synthesize(synth::Scenario::pure_walking(6.0),
+                                       user, clean_options(), a);
+  const auto rotated =
+      synth::synthesize(synth::Scenario::pure_walking(6.0), user, mounted, b);
+  // A constant rotation cannot change the specific-force magnitude.
+  const auto m0 = plain.trace.accel_magnitude();
+  const auto m1 = rotated.trace.accel_magnitude();
+  ASSERT_EQ(m0.size(), m1.size());
+  for (std::size_t i = 0; i < m0.size(); ++i) {
+    EXPECT_NEAR(m0[i], m1[i], 1e-6);
+  }
+}
+
+TEST(Synthesizer, AttitudeLeakChangesChannelsNotEnergyMuch) {
+  synth::UserProfile user;
+  synth::SynthOptions leak = clean_options();
+  leak.attitude_leak = 0.2;
+  Rng a(9);
+  Rng b(9);
+  const auto plain = synth::synthesize(synth::Scenario::pure_walking(6.0),
+                                       user, clean_options(), a);
+  const auto leaked =
+      synth::synthesize(synth::Scenario::pure_walking(6.0), user, leak, b);
+  // The leak rotates the specific force per sample: magnitudes equal,
+  // components differ.
+  const auto m0 = plain.trace.accel_magnitude();
+  const auto m1 = leaked.trace.accel_magnitude();
+  double max_component_diff = 0.0;
+  for (std::size_t i = 0; i < m0.size(); ++i) {
+    EXPECT_NEAR(m0[i], m1[i], 1e-6);
+    max_component_diff =
+        std::max(max_component_diff,
+                 (plain.trace[i].accel - leaked.trace[i].accel).norm());
+  }
+  EXPECT_GT(max_component_diff, 0.5);
+}
+
+TEST(Synthesizer, BodyPathAdvancesWhenWalking) {
+  Rng rng(10);
+  synth::UserProfile user;
+  const auto r = synth::synthesize(synth::Scenario::pure_walking(10.0), user,
+                                   clean_options(), rng);
+  const double travel =
+      (r.body_path.back() - r.body_path.front()).norm();
+  EXPECT_NEAR(travel, user.speed * 10.0, 1.5);
+}
+
+TEST(Synthesizer, EmptyScenarioThrows) {
+  Rng rng(1);
+  synth::UserProfile user;
+  EXPECT_THROW(
+      synth::synthesize(synth::Scenario{}, user, synth::SynthOptions{}, rng),
+      InvalidArgument);
+}
+
+TEST(Synthesizer, InvalidOptionsThrow) {
+  Rng rng(1);
+  synth::UserProfile user;
+  synth::SynthOptions opt;
+  opt.internal_fs = 50.0;  // below device_fs
+  EXPECT_THROW(synth::synthesize(synth::Scenario::pure_walking(1.0), user, opt,
+                                 rng),
+               InvalidArgument);
+}
+
+TEST(Synthesizer, MultiSegmentContinuity) {
+  // Accelerations at the segment seam must stay physical (no teleporting):
+  // bounded by a generous multiple of gravity.
+  Rng rng(11);
+  synth::UserProfile user;
+  synth::Scenario scenario;
+  scenario.walk(5.0).activity(synth::ActivityKind::Eating, 5.0).walk(5.0);
+  const auto r = synth::synthesize(scenario, user, clean_options(), rng);
+  for (const auto& s : r.trace.samples()) {
+    EXPECT_LT(s.accel.norm(), 6.0 * kGravity);
+  }
+}

@@ -1,0 +1,52 @@
+#include <iostream>
+#include "bench_util.hpp"
+#include "core/frontend.hpp"
+#include "core/gait_id.hpp"
+#include "core/segmentation.hpp"
+#include "core/critical_points.hpp"
+#include "synth/synthesizer.hpp"
+using namespace ptrack;
+
+int main() {
+  core::StepCounterConfig cfg;
+  Rng rng(42);
+  auto user = bench::make_users(1)[0];
+  for (auto kind : {synth::ActivityKind::Walking, synth::ActivityKind::Eating,
+                    synth::ActivityKind::SwingOnly, synth::ActivityKind::Poker}) {
+    synth::Scenario sc;
+    if (kind == synth::ActivityKind::Walking) sc = synth::Scenario::pure_walking(30);
+    else sc = synth::Scenario{}.activity(kind, 30, synth::Posture::Standing);
+    auto r = synth::synthesize(sc, user, bench::standard_options(), rng);
+    auto proj = core::project_trace(r.trace, cfg.lowpass_hz);
+    auto cycles = core::segment_cycles(proj.vertical, proj.fs, cfg);
+    std::cout << "=== " << to_string(kind) << " (" << cycles.size() << " cycles)\n";
+    int shown = 0;
+    for (auto& c : cycles) {
+      size_t n = c.end - c.begin;
+      if (n < 8) continue;
+      std::span<const double> v(proj.vertical.data()+c.begin, n);
+      std::span<const double> a(proj.anterior.data()+c.begin, n);
+      core::CriticalPointOptions qo; qo.prominence_fraction = cfg.query_prominence;
+      core::CriticalPointOptions mo; mo.prominence_fraction = cfg.match_prominence; mo.hysteresis_fraction = cfg.match_hysteresis;
+      auto vp = core::critical_points(v, qo, false);
+      auto ap = core::critical_points(a, mo, true);
+      auto an = core::analyze_cycle(v, a, cfg);
+      if (shown++ >= 4) break;
+      std::cout << "n=" << n << " offset=" << an.offset << "  q:[";
+      for (auto& p : vp) std::cout << p.index << (p.kind==core::CriticalKind::Maximum?"M ":"m ");
+      std::cout << "]  m:[";
+      for (auto& p : ap) std::cout << p.index << (p.kind==core::CriticalKind::Zero?"z ":(p.kind==core::CriticalKind::Maximum?"M ":"m "));
+      std::cout << "]\n";
+      // per-query distances
+      std::cout << "   dist:";
+      size_t prev=0;
+      for (auto& q : vp) {
+        double best=n;
+        for (auto& mpt : ap) best = std::min(best, std::abs((double)mpt.index-(double)q.index));
+        std::cout << " " << best << "(w=" << double(q.index-prev)/n << ")";
+        prev=q.index;
+      }
+      std::cout << "\n";
+    }
+  }
+}

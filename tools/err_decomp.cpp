@@ -1,0 +1,52 @@
+#include <iostream>
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/ptrack.hpp"
+#include "imu/noise.hpp"
+#include "synth/synthesizer.hpp"
+using namespace ptrack;
+
+double run_case(const std::string&, bool jit, bool cushion, bool wander,
+                bool noise, bool mount, double leak) {
+  Rng rng(2024);
+  std::vector<double> errs;
+  for (int u = 0; u < 3; ++u) {
+    auto user = synth::random_user(rng);
+    if (!jit) { user.step_time_jitter = 0; user.stride_jitter = 0; }
+    if (!cushion) user.swing_cushion = 0;
+    if (!wander) user.arm_phase_jitter = 0;
+    synth::SynthOptions opt = bench::standard_options();
+    if (!noise) opt.noise = imu::noiseless();
+    opt.random_mount = mount;
+    opt.attitude_leak = leak;
+    auto r = synth::synthesize(synth::Scenario::pure_walking(60), user, opt, rng);
+    core::PTrackConfig cfg;
+    cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+    core::PTrack pt(cfg);
+    auto res = pt.process(r.trace);
+    for (auto& e : res.events) {
+      if (e.stride <= 0) continue;
+      double best = 1e9, bs = 0;
+      for (auto& st : r.truth.steps)
+        if (std::abs(st.t - e.t) < best) { best = std::abs(st.t - e.t); bs = st.stride; }
+      if (best < 0.6) errs.push_back(std::abs(e.stride - bs));
+    }
+  }
+  return errs.empty() ? -1 : stats::mean(errs) * 100;
+}
+
+int main() {
+  struct C { const char* name; bool jit, cushion, wander, noise, mount; double leak; };
+  const C cases[] = {
+    {"all-off (clean)",      false,false,false,false,false,0.0},
+    {"+step/stride jitter",  true, false,false,false,false,0.0},
+    {"+cushion",             false,true, false,false,false,0.0},
+    {"+wander",              false,false,true, false,false,0.0},
+    {"+sensor noise",        false,false,false,true, false,0.0},
+    {"+mount",               false,false,false,false,true, 0.0},
+    {"+leak 0.2",            false,false,false,false,false,0.2},
+    {"all-on",               true, true, true, true, true, 0.2},
+  };
+  for (auto& c : cases)
+    std::cout << c.name << ": " << run_case(c.name,c.jit,c.cushion,c.wander,c.noise,c.mount,c.leak) << " cm\n";
+}

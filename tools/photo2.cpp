@@ -1,0 +1,22 @@
+#include <iostream>
+#include "bench_util.hpp"
+#include "core/ptrack.hpp"
+#include "synth/synthesizer.hpp"
+using namespace ptrack;
+int main() {
+  synth::UserProfile user;
+  Rng rng(77);
+  synth::Scenario day;
+  day.walk(90.0).activity(synth::ActivityKind::Gaming, 120.0, synth::Posture::Seated)
+     .activity(synth::ActivityKind::Eating, 120.0, synth::Posture::Seated)
+     .step(60.0).activity(synth::ActivityKind::Photo, 60.0, synth::Posture::Standing).walk(90.0);
+  auto r = synth::synthesize(day, user, rng);
+  core::PTrack pt;
+  auto res = pt.process(r.trace);
+  for (auto& c : res.cycles) {
+    double t = (double)c.begin / 100.0;
+    if (t > 385 && t < 455 && c.type != core::GaitType::Interference)
+      std::cout << "t=" << t << " type=" << to_string(c.type) << " offset=" << c.offset
+                << " C=" << c.half_cycle_corr << " phase=" << c.phase_ok << "\n";
+  }
+}

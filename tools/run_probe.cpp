@@ -1,0 +1,17 @@
+#include <iostream>
+#include "bench_util.hpp"
+#include "core/ptrack.hpp"
+#include "synth/synthesizer.hpp"
+using namespace ptrack;
+int main() {
+  Rng rng(999);
+  for (auto& user : bench::make_users(3)) {
+    auto r = synth::synthesize(synth::Scenario{}.run(60.0), user, bench::standard_options(), rng);
+    core::PTrackConfig cfg; cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+    cfg.counter.min_step_interval_s = 0.25;  // run-tuned refractory
+    core::PTrack pt(cfg);
+    auto res = pt.process(r.trace);
+    std::cout << "truth=" << r.truth.step_count() << " counted=" << res.steps
+              << " dist_true=" << r.truth.total_distance() << " dist=" << res.distance() << "\n";
+  }
+}

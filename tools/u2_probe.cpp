@@ -1,0 +1,36 @@
+#include <iostream>
+#include "bench_util.hpp"
+#include "core/ptrack.hpp"
+#include "nav/route.hpp"
+#include "synth/synthesizer.hpp"
+using namespace ptrack;
+int main() {
+  const nav::Route route = nav::shopping_center_route();
+  auto users = bench::make_users(3);
+  Rng rng(bench::kBenchSeed ^ 0x99);
+  for (size_t u = 0; u < 3; ++u) {
+    auto& user = users[u];
+    synth::Scenario sc;
+    for (size_t leg = 0; leg < route.legs(); ++leg)
+      sc.walk(route.leg_length(leg) / user.speed, 0.0, route.leg_heading(leg));
+    auto r = synth::synthesize(sc, user, bench::standard_options(), rng);
+    if (u != 1) continue;
+    core::PTrackConfig cfg;
+    cfg.stride.profile = {user.arm_length, user.leg_length, 2.0};
+    cfg.counter.anterior_window_s = 10.0;
+    core::PTrack pt(cfg);
+    auto res = pt.process(r.trace);
+    int w=0,s=0,i=0; for (auto& c : res.cycles){ if(c.type==core::GaitType::Walking)w++; else if(c.type==core::GaitType::Stepping)s++; else i++; }
+    std::cout << "user2: swing=" << user.swing_amplitude << " cad=" << user.cadence
+              << " truth=" << r.truth.step_count() << " counted=" << res.steps
+              << " W/S/I=" << w << "/" << s << "/" << i << "\n";
+    // where are interference cycles / gaps?
+    size_t covered = 0;
+    for (auto& c : res.cycles) covered += c.end - c.begin;
+    std::cout << "samples covered by candidates: " << covered << " / " << r.trace.size() << "\n";
+    // mean stride of events vs truth
+    double acc=0; for (auto& e : res.events) acc += e.stride;
+    std::cout << "mean stride est=" << (res.events.empty()?0:acc/res.events.size())
+              << " truth=" << user.mean_stride() << "\n";
+  }
+}

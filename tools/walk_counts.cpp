@@ -1,0 +1,24 @@
+#include <iostream>
+#include "bench_util.hpp"
+#include "core/ptrack.hpp"
+#include "models/gfit.hpp"
+#include "models/montage.hpp"
+#include "synth/synthesizer.hpp"
+using namespace ptrack;
+int main() {
+  Rng rng(555);
+  for (auto& user : bench::make_users(6)) {
+    auto r = synth::synthesize(synth::Scenario::pure_walking(120), user, bench::standard_options(), rng);
+    models::PeakCounter gfit(models::gfit_watch_config());
+    models::MontageCounter mt;
+    core::PTrack pt;
+    auto res = pt.process(r.trace);
+    int w=0,s=0,i=0;
+    for (auto& c : res.cycles){ if(c.type==core::GaitType::Walking)w++; else if(c.type==core::GaitType::Stepping)s++; else i++; }
+    std::cout << "truth=" << r.truth.step_count()
+              << " gfit=" << gfit.count_steps(r.trace).count
+              << " mtage=" << mt.count_steps(r.trace).count
+              << " ptrack=" << res.steps << " (W/S/I=" << w << "/" << s << "/" << i << ")"
+              << " cad=" << user.cadence << " speed=" << user.speed << " swing=" << user.swing_amplitude << "\n";
+  }
+}
