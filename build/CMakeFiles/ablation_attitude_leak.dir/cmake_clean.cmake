@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attitude_leak.dir/bench/ablation_attitude_leak.cpp.o"
+  "CMakeFiles/ablation_attitude_leak.dir/bench/ablation_attitude_leak.cpp.o.d"
+  "bench/ablation_attitude_leak"
+  "bench/ablation_attitude_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attitude_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

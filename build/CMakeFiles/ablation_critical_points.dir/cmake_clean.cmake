@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_critical_points.dir/bench/ablation_critical_points.cpp.o"
+  "CMakeFiles/ablation_critical_points.dir/bench/ablation_critical_points.cpp.o.d"
+  "bench/ablation_critical_points"
+  "bench/ablation_critical_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_critical_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delta_sweep.dir/bench/ablation_delta_sweep.cpp.o"
+  "CMakeFiles/ablation_delta_sweep.dir/bench/ablation_delta_sweep.cpp.o.d"
+  "bench/ablation_delta_sweep"
+  "bench/ablation_delta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

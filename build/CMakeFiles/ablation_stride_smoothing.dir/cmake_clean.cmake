@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stride_smoothing.dir/bench/ablation_stride_smoothing.cpp.o"
+  "CMakeFiles/ablation_stride_smoothing.dir/bench/ablation_stride_smoothing.cpp.o.d"
+  "bench/ablation_stride_smoothing"
+  "bench/ablation_stride_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stride_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_wearable_miscounts.dir/bench/fig1a_wearable_miscounts.cpp.o"
+  "CMakeFiles/fig1a_wearable_miscounts.dir/bench/fig1a_wearable_miscounts.cpp.o.d"
+  "bench/fig1a_wearable_miscounts"
+  "bench/fig1a_wearable_miscounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_wearable_miscounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_mobile_miscounts.dir/bench/fig1b_mobile_miscounts.cpp.o"
+  "CMakeFiles/fig1b_mobile_miscounts.dir/bench/fig1b_mobile_miscounts.cpp.o.d"
+  "bench/fig1b_mobile_miscounts"
+  "bench/fig1b_mobile_miscounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_mobile_miscounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_spoofing.dir/bench/fig1c_spoofing.cpp.o"
+  "CMakeFiles/fig1c_spoofing.dir/bench/fig1c_spoofing.cpp.o.d"
+  "bench/fig1c_spoofing"
+  "bench/fig1c_spoofing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_spoofing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

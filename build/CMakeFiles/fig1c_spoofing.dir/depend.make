@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1c_spoofing.
+# This may be replaced when dependencies are built.

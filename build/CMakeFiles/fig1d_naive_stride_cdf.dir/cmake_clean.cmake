@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1d_naive_stride_cdf.dir/bench/fig1d_naive_stride_cdf.cpp.o"
+  "CMakeFiles/fig1d_naive_stride_cdf.dir/bench/fig1d_naive_stride_cdf.cpp.o.d"
+  "bench/fig1d_naive_stride_cdf"
+  "bench/fig1d_naive_stride_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1d_naive_stride_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

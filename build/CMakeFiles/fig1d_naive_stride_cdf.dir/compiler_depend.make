@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1d_naive_stride_cdf.
+# This may be replaced when dependencies are built.

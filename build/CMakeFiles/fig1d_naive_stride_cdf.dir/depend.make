@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1d_naive_stride_cdf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_offset_separation.dir/bench/fig3_offset_separation.cpp.o"
+  "CMakeFiles/fig3_offset_separation.dir/bench/fig3_offset_separation.cpp.o.d"
+  "bench/fig3_offset_separation"
+  "bench/fig3_offset_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_offset_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_step_accuracy.dir/bench/fig6a_step_accuracy.cpp.o"
+  "CMakeFiles/fig6a_step_accuracy.dir/bench/fig6a_step_accuracy.cpp.o.d"
+  "bench/fig6a_step_accuracy"
+  "bench/fig6a_step_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_step_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_gait_breakdown.dir/bench/fig6b_gait_breakdown.cpp.o"
+  "CMakeFiles/fig6b_gait_breakdown.dir/bench/fig6b_gait_breakdown.cpp.o.d"
+  "bench/fig6b_gait_breakdown"
+  "bench/fig6b_gait_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_gait_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_interference.dir/bench/fig7a_interference.cpp.o"
+  "CMakeFiles/fig7a_interference.dir/bench/fig7a_interference.cpp.o.d"
+  "bench/fig7a_interference"
+  "bench/fig7a_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_spoofing.dir/bench/fig7b_spoofing.cpp.o"
+  "CMakeFiles/fig7b_spoofing.dir/bench/fig7b_spoofing.cpp.o.d"
+  "bench/fig7b_spoofing"
+  "bench/fig7b_spoofing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_spoofing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

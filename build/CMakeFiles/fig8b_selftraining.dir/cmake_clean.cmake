@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_selftraining.dir/bench/fig8b_selftraining.cpp.o"
+  "CMakeFiles/fig8b_selftraining.dir/bench/fig8b_selftraining.cpp.o.d"
+  "bench/fig8b_selftraining"
+  "bench/fig8b_selftraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_selftraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_navigation.dir/bench/fig9_navigation.cpp.o"
+  "CMakeFiles/fig9_navigation.dir/bench/fig9_navigation.cpp.o.d"
+  "bench/fig9_navigation"
+  "bench/fig9_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_error_rate.dir/bench/headline_error_rate.cpp.o"
+  "CMakeFiles/headline_error_rate.dir/bench/headline_error_rate.cpp.o.d"
+  "bench/headline_error_rate"
+  "bench/headline_error_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_error_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

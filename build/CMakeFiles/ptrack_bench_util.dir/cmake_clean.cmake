@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_bench_util.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/ptrack_bench_util.dir/bench/bench_util.cpp.o.d"
+  "libptrack_bench_util.a"
+  "libptrack_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

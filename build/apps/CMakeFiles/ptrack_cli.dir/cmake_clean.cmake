@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_cli.dir/ptrack_cli.cpp.o"
+  "CMakeFiles/ptrack_cli.dir/ptrack_cli.cpp.o.d"
+  "ptrack_cli"
+  "ptrack_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_cli.dir/synth_cli.cpp.o"
+  "CMakeFiles/synth_cli.dir/synth_cli.cpp.o.d"
+  "synth_cli"
+  "synth_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

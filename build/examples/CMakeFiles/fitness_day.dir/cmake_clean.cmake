@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fitness_day.dir/fitness_day.cpp.o"
+  "CMakeFiles/fitness_day.dir/fitness_day.cpp.o.d"
+  "fitness_day"
+  "fitness_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fitness_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

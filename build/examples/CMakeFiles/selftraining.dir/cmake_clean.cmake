@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selftraining.dir/selftraining.cpp.o"
+  "CMakeFiles/selftraining.dir/selftraining.cpp.o.d"
+  "selftraining"
+  "selftraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selftraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoof_audit.dir/spoof_audit.cpp.o"
+  "CMakeFiles/spoof_audit.dir/spoof_audit.cpp.o.d"
+  "spoof_audit"
+  "spoof_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoof_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_common.dir/cdf.cpp.o"
+  "CMakeFiles/ptrack_common.dir/cdf.cpp.o.d"
+  "CMakeFiles/ptrack_common.dir/cli.cpp.o"
+  "CMakeFiles/ptrack_common.dir/cli.cpp.o.d"
+  "CMakeFiles/ptrack_common.dir/csv.cpp.o"
+  "CMakeFiles/ptrack_common.dir/csv.cpp.o.d"
+  "CMakeFiles/ptrack_common.dir/json.cpp.o"
+  "CMakeFiles/ptrack_common.dir/json.cpp.o.d"
+  "CMakeFiles/ptrack_common.dir/stats.cpp.o"
+  "CMakeFiles/ptrack_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ptrack_common.dir/table.cpp.o"
+  "CMakeFiles/ptrack_common.dir/table.cpp.o.d"
+  "libptrack_common.a"
+  "libptrack_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

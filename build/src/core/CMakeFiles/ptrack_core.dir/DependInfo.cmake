@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_delta.cpp" "src/core/CMakeFiles/ptrack_core.dir/adaptive_delta.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/adaptive_delta.cpp.o.d"
+  "/root/repo/src/core/bounce.cpp" "src/core/CMakeFiles/ptrack_core.dir/bounce.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/bounce.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/ptrack_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/critical_points.cpp" "src/core/CMakeFiles/ptrack_core.dir/critical_points.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/critical_points.cpp.o.d"
+  "/root/repo/src/core/frontend.cpp" "src/core/CMakeFiles/ptrack_core.dir/frontend.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/frontend.cpp.o.d"
+  "/root/repo/src/core/gait_id.cpp" "src/core/CMakeFiles/ptrack_core.dir/gait_id.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/gait_id.cpp.o.d"
+  "/root/repo/src/core/offset_metric.cpp" "src/core/CMakeFiles/ptrack_core.dir/offset_metric.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/offset_metric.cpp.o.d"
+  "/root/repo/src/core/ptrack.cpp" "src/core/CMakeFiles/ptrack_core.dir/ptrack.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/ptrack.cpp.o.d"
+  "/root/repo/src/core/segmentation.cpp" "src/core/CMakeFiles/ptrack_core.dir/segmentation.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/segmentation.cpp.o.d"
+  "/root/repo/src/core/self_training.cpp" "src/core/CMakeFiles/ptrack_core.dir/self_training.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/self_training.cpp.o.d"
+  "/root/repo/src/core/step_counter.cpp" "src/core/CMakeFiles/ptrack_core.dir/step_counter.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/step_counter.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/ptrack_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/stride_estimator.cpp" "src/core/CMakeFiles/ptrack_core.dir/stride_estimator.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/stride_estimator.cpp.o.d"
+  "/root/repo/src/core/summary.cpp" "src/core/CMakeFiles/ptrack_core.dir/summary.cpp.o" "gcc" "src/core/CMakeFiles/ptrack_core.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptrack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ptrack_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/ptrack_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ptrack_models.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_core.dir/adaptive_delta.cpp.o"
+  "CMakeFiles/ptrack_core.dir/adaptive_delta.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/bounce.cpp.o"
+  "CMakeFiles/ptrack_core.dir/bounce.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/calibration.cpp.o"
+  "CMakeFiles/ptrack_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/critical_points.cpp.o"
+  "CMakeFiles/ptrack_core.dir/critical_points.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/frontend.cpp.o"
+  "CMakeFiles/ptrack_core.dir/frontend.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/gait_id.cpp.o"
+  "CMakeFiles/ptrack_core.dir/gait_id.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/offset_metric.cpp.o"
+  "CMakeFiles/ptrack_core.dir/offset_metric.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/ptrack.cpp.o"
+  "CMakeFiles/ptrack_core.dir/ptrack.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/segmentation.cpp.o"
+  "CMakeFiles/ptrack_core.dir/segmentation.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/self_training.cpp.o"
+  "CMakeFiles/ptrack_core.dir/self_training.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/step_counter.cpp.o"
+  "CMakeFiles/ptrack_core.dir/step_counter.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/streaming.cpp.o"
+  "CMakeFiles/ptrack_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/stride_estimator.cpp.o"
+  "CMakeFiles/ptrack_core.dir/stride_estimator.cpp.o.d"
+  "CMakeFiles/ptrack_core.dir/summary.cpp.o"
+  "CMakeFiles/ptrack_core.dir/summary.cpp.o.d"
+  "libptrack_core.a"
+  "libptrack_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

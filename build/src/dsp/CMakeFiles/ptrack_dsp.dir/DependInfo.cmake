@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/attitude.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/attitude.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/attitude.cpp.o.d"
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/butterworth.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/butterworth.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/butterworth.cpp.o.d"
+  "/root/repo/src/dsp/correlate.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/correlate.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/correlate.cpp.o.d"
+  "/root/repo/src/dsp/detrend.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/detrend.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/detrend.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filtfilt.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/filtfilt.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/filtfilt.cpp.o.d"
+  "/root/repo/src/dsp/integrate.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/integrate.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/integrate.cpp.o.d"
+  "/root/repo/src/dsp/moving.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/moving.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/moving.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/projection.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/projection.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/projection.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/windows.cpp" "src/dsp/CMakeFiles/ptrack_dsp.dir/windows.cpp.o" "gcc" "src/dsp/CMakeFiles/ptrack_dsp.dir/windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptrack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_dsp.dir/attitude.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/attitude.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/butterworth.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/butterworth.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/correlate.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/correlate.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/detrend.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/detrend.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/fft.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/filtfilt.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/filtfilt.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/integrate.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/integrate.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/moving.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/moving.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/projection.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/projection.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/resample.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/ptrack_dsp.dir/windows.cpp.o"
+  "CMakeFiles/ptrack_dsp.dir/windows.cpp.o.d"
+  "libptrack_dsp.a"
+  "libptrack_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptrack_dsp.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imu/faults.cpp" "src/imu/CMakeFiles/ptrack_imu.dir/faults.cpp.o" "gcc" "src/imu/CMakeFiles/ptrack_imu.dir/faults.cpp.o.d"
+  "/root/repo/src/imu/noise.cpp" "src/imu/CMakeFiles/ptrack_imu.dir/noise.cpp.o" "gcc" "src/imu/CMakeFiles/ptrack_imu.dir/noise.cpp.o.d"
+  "/root/repo/src/imu/trace.cpp" "src/imu/CMakeFiles/ptrack_imu.dir/trace.cpp.o" "gcc" "src/imu/CMakeFiles/ptrack_imu.dir/trace.cpp.o.d"
+  "/root/repo/src/imu/trace_io.cpp" "src/imu/CMakeFiles/ptrack_imu.dir/trace_io.cpp.o" "gcc" "src/imu/CMakeFiles/ptrack_imu.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptrack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ptrack_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_imu.dir/faults.cpp.o"
+  "CMakeFiles/ptrack_imu.dir/faults.cpp.o.d"
+  "CMakeFiles/ptrack_imu.dir/noise.cpp.o"
+  "CMakeFiles/ptrack_imu.dir/noise.cpp.o.d"
+  "CMakeFiles/ptrack_imu.dir/trace.cpp.o"
+  "CMakeFiles/ptrack_imu.dir/trace.cpp.o.d"
+  "CMakeFiles/ptrack_imu.dir/trace_io.cpp.o"
+  "CMakeFiles/ptrack_imu.dir/trace_io.cpp.o.d"
+  "libptrack_imu.a"
+  "libptrack_imu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

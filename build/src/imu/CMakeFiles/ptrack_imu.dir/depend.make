@@ -1,0 +1,2 @@
+# Empty dependencies file for ptrack_imu.
+# This may be replaced when dependencies are built.

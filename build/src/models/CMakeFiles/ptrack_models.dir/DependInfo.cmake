@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/gfit.cpp" "src/models/CMakeFiles/ptrack_models.dir/gfit.cpp.o" "gcc" "src/models/CMakeFiles/ptrack_models.dir/gfit.cpp.o.d"
+  "/root/repo/src/models/montage.cpp" "src/models/CMakeFiles/ptrack_models.dir/montage.cpp.o" "gcc" "src/models/CMakeFiles/ptrack_models.dir/montage.cpp.o.d"
+  "/root/repo/src/models/scar.cpp" "src/models/CMakeFiles/ptrack_models.dir/scar.cpp.o" "gcc" "src/models/CMakeFiles/ptrack_models.dir/scar.cpp.o.d"
+  "/root/repo/src/models/stride_baselines.cpp" "src/models/CMakeFiles/ptrack_models.dir/stride_baselines.cpp.o" "gcc" "src/models/CMakeFiles/ptrack_models.dir/stride_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptrack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ptrack_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/ptrack_imu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

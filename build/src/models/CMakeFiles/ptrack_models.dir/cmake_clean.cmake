@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_models.dir/gfit.cpp.o"
+  "CMakeFiles/ptrack_models.dir/gfit.cpp.o.d"
+  "CMakeFiles/ptrack_models.dir/montage.cpp.o"
+  "CMakeFiles/ptrack_models.dir/montage.cpp.o.d"
+  "CMakeFiles/ptrack_models.dir/scar.cpp.o"
+  "CMakeFiles/ptrack_models.dir/scar.cpp.o.d"
+  "CMakeFiles/ptrack_models.dir/stride_baselines.cpp.o"
+  "CMakeFiles/ptrack_models.dir/stride_baselines.cpp.o.d"
+  "libptrack_models.a"
+  "libptrack_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

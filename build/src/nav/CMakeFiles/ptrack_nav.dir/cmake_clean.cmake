@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_nav.dir/dead_reckoning.cpp.o"
+  "CMakeFiles/ptrack_nav.dir/dead_reckoning.cpp.o.d"
+  "CMakeFiles/ptrack_nav.dir/route.cpp.o"
+  "CMakeFiles/ptrack_nav.dir/route.cpp.o.d"
+  "libptrack_nav.a"
+  "libptrack_nav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_nav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

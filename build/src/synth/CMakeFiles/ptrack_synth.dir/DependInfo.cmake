@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/arc_motion.cpp" "src/synth/CMakeFiles/ptrack_synth.dir/arc_motion.cpp.o" "gcc" "src/synth/CMakeFiles/ptrack_synth.dir/arc_motion.cpp.o.d"
+  "/root/repo/src/synth/gait_generator.cpp" "src/synth/CMakeFiles/ptrack_synth.dir/gait_generator.cpp.o" "gcc" "src/synth/CMakeFiles/ptrack_synth.dir/gait_generator.cpp.o.d"
+  "/root/repo/src/synth/interference.cpp" "src/synth/CMakeFiles/ptrack_synth.dir/interference.cpp.o" "gcc" "src/synth/CMakeFiles/ptrack_synth.dir/interference.cpp.o.d"
+  "/root/repo/src/synth/profile.cpp" "src/synth/CMakeFiles/ptrack_synth.dir/profile.cpp.o" "gcc" "src/synth/CMakeFiles/ptrack_synth.dir/profile.cpp.o.d"
+  "/root/repo/src/synth/scenario.cpp" "src/synth/CMakeFiles/ptrack_synth.dir/scenario.cpp.o" "gcc" "src/synth/CMakeFiles/ptrack_synth.dir/scenario.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "src/synth/CMakeFiles/ptrack_synth.dir/synthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/ptrack_synth.dir/synthesizer.cpp.o.d"
+  "/root/repo/src/synth/truth.cpp" "src/synth/CMakeFiles/ptrack_synth.dir/truth.cpp.o" "gcc" "src/synth/CMakeFiles/ptrack_synth.dir/truth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptrack_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ptrack_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/ptrack_imu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

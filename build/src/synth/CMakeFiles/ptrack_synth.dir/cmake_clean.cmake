@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptrack_synth.dir/arc_motion.cpp.o"
+  "CMakeFiles/ptrack_synth.dir/arc_motion.cpp.o.d"
+  "CMakeFiles/ptrack_synth.dir/gait_generator.cpp.o"
+  "CMakeFiles/ptrack_synth.dir/gait_generator.cpp.o.d"
+  "CMakeFiles/ptrack_synth.dir/interference.cpp.o"
+  "CMakeFiles/ptrack_synth.dir/interference.cpp.o.d"
+  "CMakeFiles/ptrack_synth.dir/profile.cpp.o"
+  "CMakeFiles/ptrack_synth.dir/profile.cpp.o.d"
+  "CMakeFiles/ptrack_synth.dir/scenario.cpp.o"
+  "CMakeFiles/ptrack_synth.dir/scenario.cpp.o.d"
+  "CMakeFiles/ptrack_synth.dir/synthesizer.cpp.o"
+  "CMakeFiles/ptrack_synth.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/ptrack_synth.dir/truth.cpp.o"
+  "CMakeFiles/ptrack_synth.dir/truth.cpp.o.d"
+  "libptrack_synth.a"
+  "libptrack_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptrack_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_adaptive_delta.dir/test_core_adaptive_delta.cpp.o"
+  "CMakeFiles/test_core_adaptive_delta.dir/test_core_adaptive_delta.cpp.o.d"
+  "test_core_adaptive_delta"
+  "test_core_adaptive_delta.pdb"
+  "test_core_adaptive_delta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_adaptive_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bounce.dir/test_core_bounce.cpp.o"
+  "CMakeFiles/test_core_bounce.dir/test_core_bounce.cpp.o.d"
+  "test_core_bounce"
+  "test_core_bounce.pdb"
+  "test_core_bounce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bounce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

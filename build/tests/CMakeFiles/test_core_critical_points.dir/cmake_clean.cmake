@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_critical_points.dir/test_core_critical_points.cpp.o"
+  "CMakeFiles/test_core_critical_points.dir/test_core_critical_points.cpp.o.d"
+  "test_core_critical_points"
+  "test_core_critical_points.pdb"
+  "test_core_critical_points[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_critical_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_gait_id.dir/test_core_gait_id.cpp.o"
+  "CMakeFiles/test_core_gait_id.dir/test_core_gait_id.cpp.o.d"
+  "test_core_gait_id"
+  "test_core_gait_id.pdb"
+  "test_core_gait_id[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_gait_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_self_training.dir/test_core_self_training.cpp.o"
+  "CMakeFiles/test_core_self_training.dir/test_core_self_training.cpp.o.d"
+  "test_core_self_training"
+  "test_core_self_training.pdb"
+  "test_core_self_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_self_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

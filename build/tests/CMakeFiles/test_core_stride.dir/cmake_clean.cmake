@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_stride.dir/test_core_stride.cpp.o"
+  "CMakeFiles/test_core_stride.dir/test_core_stride.cpp.o.d"
+  "test_core_stride"
+  "test_core_stride.pdb"
+  "test_core_stride[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_summary.dir/test_core_summary.cpp.o"
+  "CMakeFiles/test_core_summary.dir/test_core_summary.cpp.o.d"
+  "test_core_summary"
+  "test_core_summary.pdb"
+  "test_core_summary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

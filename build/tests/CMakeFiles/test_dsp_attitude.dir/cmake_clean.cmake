@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_attitude.dir/test_dsp_attitude.cpp.o"
+  "CMakeFiles/test_dsp_attitude.dir/test_dsp_attitude.cpp.o.d"
+  "test_dsp_attitude"
+  "test_dsp_attitude.pdb"
+  "test_dsp_attitude[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_attitude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_integrate.dir/test_dsp_integrate.cpp.o"
+  "CMakeFiles/test_dsp_integrate.dir/test_dsp_integrate.cpp.o.d"
+  "test_dsp_integrate"
+  "test_dsp_integrate.pdb"
+  "test_dsp_integrate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_integrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_projection.dir/test_dsp_projection.cpp.o"
+  "CMakeFiles/test_dsp_projection.dir/test_dsp_projection.cpp.o.d"
+  "test_dsp_projection"
+  "test_dsp_projection.pdb"
+  "test_dsp_projection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

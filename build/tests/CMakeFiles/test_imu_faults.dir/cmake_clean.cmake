@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imu_faults.dir/test_imu_faults.cpp.o"
+  "CMakeFiles/test_imu_faults.dir/test_imu_faults.cpp.o.d"
+  "test_imu_faults"
+  "test_imu_faults.pdb"
+  "test_imu_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imu_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

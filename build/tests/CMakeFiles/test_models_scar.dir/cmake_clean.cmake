@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_scar.dir/test_models_scar.cpp.o"
+  "CMakeFiles/test_models_scar.dir/test_models_scar.cpp.o.d"
+  "test_models_scar"
+  "test_models_scar.pdb"
+  "test_models_scar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_scar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

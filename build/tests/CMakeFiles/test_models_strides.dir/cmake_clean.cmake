@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_strides.dir/test_models_strides.cpp.o"
+  "CMakeFiles/test_models_strides.dir/test_models_strides.cpp.o.d"
+  "test_models_strides"
+  "test_models_strides.pdb"
+  "test_models_strides[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_strides.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

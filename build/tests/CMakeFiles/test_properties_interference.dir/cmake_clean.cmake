@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_interference.dir/test_properties_interference.cpp.o"
+  "CMakeFiles/test_properties_interference.dir/test_properties_interference.cpp.o.d"
+  "test_properties_interference"
+  "test_properties_interference.pdb"
+  "test_properties_interference[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

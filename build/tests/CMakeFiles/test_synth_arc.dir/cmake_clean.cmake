@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_arc.dir/test_synth_arc.cpp.o"
+  "CMakeFiles/test_synth_arc.dir/test_synth_arc.cpp.o.d"
+  "test_synth_arc"
+  "test_synth_arc.pdb"
+  "test_synth_arc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_arc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

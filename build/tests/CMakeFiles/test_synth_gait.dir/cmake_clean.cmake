@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_gait.dir/test_synth_gait.cpp.o"
+  "CMakeFiles/test_synth_gait.dir/test_synth_gait.cpp.o.d"
+  "test_synth_gait"
+  "test_synth_gait.pdb"
+  "test_synth_gait[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_gait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

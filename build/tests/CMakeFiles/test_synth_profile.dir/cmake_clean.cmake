@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_profile.dir/test_synth_profile.cpp.o"
+  "CMakeFiles/test_synth_profile.dir/test_synth_profile.cpp.o.d"
+  "test_synth_profile"
+  "test_synth_profile.pdb"
+  "test_synth_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_running.dir/test_synth_running.cpp.o"
+  "CMakeFiles/test_synth_running.dir/test_synth_running.cpp.o.d"
+  "test_synth_running"
+  "test_synth_running.pdb"
+  "test_synth_running[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_running.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_synthesizer.dir/test_synth_synthesizer.cpp.o"
+  "CMakeFiles/test_synth_synthesizer.dir/test_synth_synthesizer.cpp.o.d"
+  "test_synth_synthesizer"
+  "test_synth_synthesizer.pdb"
+  "test_synth_synthesizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_synthesizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

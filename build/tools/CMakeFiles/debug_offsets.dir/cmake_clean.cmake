@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_offsets.dir/debug_offsets.cpp.o"
+  "CMakeFiles/debug_offsets.dir/debug_offsets.cpp.o.d"
+  "debug_offsets"
+  "debug_offsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_offsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/err_decomp.dir/err_decomp.cpp.o"
+  "CMakeFiles/err_decomp.dir/err_decomp.cpp.o.d"
+  "err_decomp"
+  "err_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/err_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

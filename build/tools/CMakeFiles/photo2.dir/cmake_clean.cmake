@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo2.dir/photo2.cpp.o"
+  "CMakeFiles/photo2.dir/photo2.cpp.o.d"
+  "photo2"
+  "photo2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

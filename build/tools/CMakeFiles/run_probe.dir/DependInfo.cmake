@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/run_probe.cpp" "tools/CMakeFiles/run_probe.dir/run_probe.cpp.o" "gcc" "tools/CMakeFiles/run_probe.dir/run_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/ptrack_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ptrack_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/nav/CMakeFiles/ptrack_nav.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptrack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ptrack_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/imu/CMakeFiles/ptrack_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/ptrack_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptrack_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_probe.dir/run_probe.cpp.o"
+  "CMakeFiles/run_probe.dir/run_probe.cpp.o.d"
+  "run_probe"
+  "run_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u2_probe.dir/u2_probe.cpp.o"
+  "CMakeFiles/u2_probe.dir/u2_probe.cpp.o.d"
+  "u2_probe"
+  "u2_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u2_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

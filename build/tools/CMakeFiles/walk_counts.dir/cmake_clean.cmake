@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_counts.dir/walk_counts.cpp.o"
+  "CMakeFiles/walk_counts.dir/walk_counts.cpp.o.d"
+  "walk_counts"
+  "walk_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
