@@ -1,13 +1,25 @@
-// ptrack_cli — run the PTrack pipeline over a recorded trace.
+// ptrack_cli — run the PTrack pipeline over recorded traces.
 //
+// Single-trace mode:
 //   ptrack_cli --input trace.csv --arm 0.72 --leg 0.93 [--json out.json]
 //              [--events out.csv] [--self-train-distance 140]
+//
+// Batch mode (cohort-scale processing):
+//   ptrack_cli --batch traces_dir [--threads 4] [--json out.json]
+//
+// --batch processes every .csv file in the directory (sorted by file name)
+// through the multi-threaded runtime::BatchRunner and prints one summary
+// line per trace; --threads picks the worker count (0 = one per hardware
+// thread). Results are deterministic and independent of the thread count.
+// With --json the per-trace summaries (name, steps, distance) are written
+// as a JSON array.
 //
 // The input is the CSV interchange format of imu::save_csv (header
 // t,ax,ay,az,gx,gy,gz with a leading metadata row carrying the sample
 // rate). With --self-train-distance the arm/leg options are ignored and
 // the profile is learned from the trace itself (which must contain gait
-// and is treated as a calibration walk of the given length in metres).
+// and is treated as a calibration walk of the given length in metres;
+// single-trace mode only).
 
 #include <fstream>
 #include <iostream>
@@ -19,14 +31,66 @@
 #include "core/ptrack.hpp"
 #include "core/self_training.hpp"
 #include "imu/trace_io.hpp"
+#include "runtime/batch_runner.hpp"
 
 using namespace ptrack;
 
 namespace {
 
+int run_batch(const cli::Args& args, const core::PTrackConfig& config) {
+  const std::string dir = args.get_string("batch");
+  const auto named = runtime::load_trace_dir(dir);
+  if (named.empty()) {
+    std::cerr << "ptrack_cli: no .csv traces in " << dir << "\n";
+    return 1;
+  }
+
+  std::vector<imu::Trace> traces;
+  traces.reserve(named.size());
+  for (const auto& nt : named) traces.push_back(nt.trace);
+
+  runtime::BatchOptions opt;
+  opt.threads = static_cast<std::size_t>(args.get_int("threads"));
+  runtime::BatchRunner runner(config, opt);
+  const auto results = runner.run(traces);
+
+  if (!args.get_bool("quiet")) {
+    std::cout << "batch:    " << named.size() << " traces, "
+              << runner.threads() << " worker thread(s)\n";
+    for (std::size_t i = 0; i < named.size(); ++i) {
+      std::cout << named[i].name << ": " << results[i].steps << " steps, "
+                << results[i].distance() << " m\n";
+    }
+  }
+
+  if (args.has("json")) {
+    std::ofstream out(args.get_string("json"));
+    if (!out) throw Error("cannot open " + args.get_string("json"));
+    json::Writer w(out);
+    w.begin_array();
+    for (std::size_t i = 0; i < named.size(); ++i) {
+      w.begin_object();
+      w.key("trace").value(named[i].name);
+      w.key("steps").value(results[i].steps);
+      w.key("distance_m").value(results[i].distance());
+      w.end_object();
+    }
+    w.end_array();
+    check(w.complete(), "ptrack_cli: complete JSON document");
+    out << '\n';
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   cli::Args args(argc, argv,
                  {{"input", "trace CSV (imu::save_csv format)", "", false},
+                  {"batch",
+                   "process every .csv in this directory instead of --input",
+                   "", false},
+                  {"threads",
+                   "batch worker threads (0 = one per hardware thread)", "0",
+                   false},
                   {"arm", "arm length m in metres", "0.70", false},
                   {"leg", "leg length l in metres", "0.90", false},
                   {"k", "Eq. (2) calibration factor", "2.0", false},
@@ -44,12 +108,14 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  const imu::Trace trace = imu::load_csv(args.get_string("input"));
-
   core::PTrackConfig config;
   config.stride.profile.arm_length = args.get_double("arm");
   config.stride.profile.leg_length = args.get_double("leg");
   config.stride.profile.k = args.get_double("k");
+
+  if (args.has("batch")) return run_batch(args, config);
+
+  const imu::Trace trace = imu::load_csv(args.get_string("input"));
 
   core::SelfTrainingResult trained{};
   const bool self_trained = args.has("self-train-distance");

@@ -2,10 +2,21 @@
 // the full PTrack pipeline. A smartwatch streams 100 samples/s, so a
 // pipeline that processes minutes of trace in milliseconds leaves orders
 // of magnitude of headroom for wearable-class CPUs.
+//
+// Besides the console table, the binary writes BENCH_throughput.json
+// (override the path with the PTRACK_BENCH_JSON environment variable):
+// one record per benchmark with items/sec and ns/iteration, so the perf
+// trajectory is machine-trackable across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
 #include "bench_util.hpp"
+#include "common/json.hpp"
 #include "core/ptrack.hpp"
 #include "dsp/butterworth.hpp"
 #include "dsp/correlate.hpp"
@@ -13,7 +24,9 @@
 #include "dsp/filtfilt.hpp"
 #include "dsp/integrate.hpp"
 #include "dsp/projection.hpp"
+#include "dsp/workspace.hpp"
 #include "models/gfit.hpp"
+#include "runtime/batch_runner.hpp"
 #include "synth/synthesizer.hpp"
 
 using namespace ptrack;
@@ -30,6 +43,25 @@ const synth::SynthResult& walking_minute() {
   return r;
 }
 
+/// Independent one-minute walking traces for the batch-scaling benchmark
+/// (distinct users — trace lengths and content differ realistically).
+const std::vector<imu::Trace>& walking_batch() {
+  static const std::vector<imu::Trace> traces = [] {
+    const std::size_t kTraces = 8;
+    std::vector<imu::Trace> out;
+    out.reserve(kTraces);
+    const auto users = bench::make_users(kTraces);
+    for (std::size_t i = 0; i < kTraces; ++i) {
+      Rng rng(bench::kBenchSeed ^ (0x5a5a + i));
+      out.push_back(synth::synthesize(synth::Scenario::pure_walking(60.0),
+                                      users[i], bench::standard_options(), rng)
+                        .trace);
+    }
+    return out;
+  }();
+  return traces;
+}
+
 void BM_ButterworthFiltfilt(benchmark::State& state) {
   const auto xs = walking_minute().trace.accel_magnitude();
   const auto cascade = dsp::butterworth_lowpass(4, 3.0, 100.0);
@@ -40,6 +72,18 @@ void BM_ButterworthFiltfilt(benchmark::State& state) {
                           static_cast<int64_t>(xs.size()));
 }
 BENCHMARK(BM_ButterworthFiltfilt);
+
+void BM_ButterworthFiltfiltWorkspace(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const auto cascade = dsp::butterworth_lowpass(4, 3.0, 100.0);
+  dsp::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::filtfilt(cascade, xs, 64, ws));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xs.size()));
+}
+BENCHMARK(BM_ButterworthFiltfiltWorkspace);
 
 void BM_Projection(benchmark::State& state) {
   const auto vectors = walking_minute().trace.accel_vectors();
@@ -69,6 +113,58 @@ void BM_AutocorrCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_AutocorrCycle);
 
+// The gait-ID hot path of the acceptance criterion: a 60 s / 100 Hz trace,
+// all lags up to 2 s. Naive = direct lag loop (the pre-FFT kernel, mean and
+// variance hoisted); FFT = Wiener-Khinchin through the workspace-cached
+// plan. Items = samples of the input trace.
+void BM_AutocorrNaive(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::size_t max_lag = 200;  // 2 s at 100 Hz
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::autocorr_naive(xs, max_lag));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xs.size()));
+}
+BENCHMARK(BM_AutocorrNaive);
+
+void BM_AutocorrFFT(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::size_t max_lag = 200;  // 2 s at 100 Hz
+  dsp::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::autocorr_fft(xs, max_lag, ws));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xs.size()));
+}
+BENCHMARK(BM_AutocorrFFT);
+
+void BM_XcorrNaive(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::span<const double> a(xs.data(), 3000);
+  const std::span<const double> b(xs.data() + 3000, 3000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::xcorr_naive(a, b, 200));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.size()));
+}
+BENCHMARK(BM_XcorrNaive);
+
+void BM_XcorrFFT(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::span<const double> a(xs.data(), 3000);
+  const std::span<const double> b(xs.data() + 3000, 3000);
+  dsp::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::xcorr_fft(a, b, 200, ws));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.size()));
+}
+BENCHMARK(BM_XcorrFFT);
+
 void BM_MeanRemovalIntegration(benchmark::State& state) {
   const auto xs = walking_minute().trace.accel_magnitude();
   const std::span<const double> seg(xs.data(), 55);
@@ -96,6 +192,31 @@ void BM_PTrackPipelineMinute(benchmark::State& state) {
 }
 BENCHMARK(BM_PTrackPipelineMinute);
 
+// Batch fan-out scaling: 8 one-minute traces through runtime::BatchRunner
+// at 1/2/4/8 worker threads. Items = total samples in the batch. Real time
+// (not CPU time) is the relevant axis for a scaling benchmark.
+void BM_PipelineBatch(benchmark::State& state) {
+  const std::vector<imu::Trace>& traces = walking_batch();
+  int64_t total_samples = 0;
+  for (const auto& t : traces) total_samples += static_cast<int64_t>(t.size());
+
+  runtime::BatchOptions opt;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  runtime::BatchRunner runner({}, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(traces));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          total_samples);
+}
+BENCHMARK(BM_PipelineBatch)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 void BM_SynthesizeMinute(benchmark::State& state) {
   const auto user = bench::make_users(1).front();
   std::uint64_t seed = 1;
@@ -108,6 +229,68 @@ void BM_SynthesizeMinute(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeMinute);
 
+/// Console output as usual, plus one JSON record per benchmark run with
+/// the throughput counters.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      // Plain runs are recorded directly; with --benchmark_repetitions the
+      // median aggregate is recorded instead (suffix "_median" in the name).
+      const bool plain = run.run_type == Run::RT_Iteration;
+      const bool median = run.run_type == Run::RT_Aggregate &&
+                          run.aggregate_name == "median";
+      if (!plain && !median) continue;
+      Record rec;
+      rec.name = run.benchmark_name();
+      rec.real_time_ns = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) rec.items_per_second = it->second.value;
+      records_.push_back(rec);
+    }
+  }
+
+  void write_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "micro_throughput: cannot open " << path << "\n";
+      return;
+    }
+    json::Writer w(out);
+    w.begin_object();
+    w.key("benchmarks").begin_array();
+    for (const Record& rec : records_) {
+      w.begin_object();
+      w.key("name").value(rec.name);
+      w.key("items_per_second").value(rec.items_per_second);
+      w.key("real_time_ns").value(rec.real_time_ns);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << '\n';
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    double items_per_second = 0.0;
+    double real_time_ns = 0.0;
+  };
+  std::vector<Record> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("PTRACK_BENCH_JSON");
+  reporter.write_json(path != nullptr ? path : "BENCH_throughput.json");
+  benchmark::Shutdown();
+  return 0;
+}

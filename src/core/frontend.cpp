@@ -11,23 +11,54 @@ namespace ptrack::core {
 
 namespace {
 
+/// Per-sample up-direction field: either one constant direction (batch
+/// gravity estimate) or a per-sample track (attitude filter). Avoids
+/// materializing a vector of identical copies for the constant case.
+class UpField {
+ public:
+  explicit UpField(const Vec3& constant) : constant_(constant) {}
+  explicit UpField(const std::vector<Vec3>& per_sample)
+      : per_sample_(&per_sample) {}
+
+  const Vec3& operator[](std::size_t i) const {
+    return per_sample_ ? (*per_sample_)[i] : constant_;
+  }
+
+  /// Normalized mean direction over [begin, end) — the representative up
+  /// for a projection window (per-sample ups vary slowly).
+  [[nodiscard]] Vec3 window_mean(std::size_t begin, std::size_t end) const {
+    Vec3 up{};
+    for (std::size_t i = begin; i < end; ++i) up += (*this)[i];
+    return up.normalized();
+  }
+
+ private:
+  Vec3 constant_{};
+  const std::vector<Vec3>* per_sample_ = nullptr;
+};
+
 /// Decomposes pre-computed vertical/anterior raw channels into the final
 /// band-limited ProjectedTrace.
 ProjectedTrace finish(std::vector<double> vertical,
                       std::vector<double> anterior, double fs,
-                      double lowpass_hz) {
+                      double lowpass_hz, dsp::Workspace* ws) {
   ProjectedTrace out;
   out.fs = fs;
   const double fc = std::min(lowpass_hz, 0.45 * fs);
-  out.vertical = dsp::zero_phase_lowpass(vertical, fc, fs, 4);
-  out.anterior = dsp::zero_phase_lowpass(anterior, fc, fs, 4);
+  if (ws) {
+    out.vertical = dsp::zero_phase_lowpass(vertical, fc, fs, 4, *ws);
+    out.anterior = dsp::zero_phase_lowpass(anterior, fc, fs, 4, *ws);
+  } else {
+    out.vertical = dsp::zero_phase_lowpass(vertical, fc, fs, 4);
+    out.anterior = dsp::zero_phase_lowpass(anterior, fc, fs, 4);
+  }
   return out;
 }
 
 /// Anterior projection of gravity-removed residuals, either with one global
 /// principal direction or re-fit per window with sign continuity.
 std::vector<double> anterior_channel(const std::vector<Vec3>& forces,
-                                     const std::vector<Vec3>& ups, double fs,
+                                     const UpField& ups, double fs,
                                      double anterior_window_s) {
   const std::size_t n = forces.size();
   std::vector<double> anterior(n, 0.0);
@@ -35,10 +66,7 @@ std::vector<double> anterior_channel(const std::vector<Vec3>& forces,
   const auto project_range = [&](std::size_t begin, std::size_t end,
                                  Vec3& prev_dir) {
     const std::span<const Vec3> window(forces.data() + begin, end - begin);
-    // Representative up for the window (they vary slowly).
-    Vec3 up{};
-    for (std::size_t i = begin; i < end; ++i) up += ups[i];
-    up = up.normalized();
+    const Vec3 up = ups.window_mean(begin, end);
     Vec3 dir = dsp::principal_horizontal_direction(window, up);
     // Sign continuity: PCA is sign-ambiguous; align with the previous
     // window so the channel doesn't flip mid-trace.
@@ -69,8 +97,8 @@ std::vector<double> anterior_channel(const std::vector<Vec3>& forces,
 }
 
 ProjectedTrace project_common(const imu::Trace& trace, double lowpass_hz,
-                              double anterior_window_s,
-                              const std::vector<Vec3>& ups) {
+                              double anterior_window_s, const UpField& ups,
+                              dsp::Workspace* ws) {
   const double fs = trace.fs();
   const auto forces = trace.accel_vectors();
 
@@ -80,23 +108,23 @@ ProjectedTrace project_common(const imu::Trace& trace, double lowpass_hz,
   }
   std::vector<double> anterior =
       anterior_channel(forces, ups, fs, anterior_window_s);
-  return finish(std::move(vertical), std::move(anterior), fs, lowpass_hz);
+  return finish(std::move(vertical), std::move(anterior), fs, lowpass_hz, ws);
 }
 
 }  // namespace
 
 ProjectedTrace project_trace(const imu::Trace& trace, double lowpass_hz,
-                             double anterior_window_s) {
+                             double anterior_window_s, dsp::Workspace* ws) {
   expects(trace.size() >= 16, "project_trace: >= 16 samples");
   expects(lowpass_hz > 0.0, "project_trace: lowpass_hz > 0");
   const Vec3 up = dsp::estimate_up(trace.accel_vectors(), trace.fs());
-  const std::vector<Vec3> ups(trace.size(), up);
-  return project_common(trace, lowpass_hz, anterior_window_s, ups);
+  return project_common(trace, lowpass_hz, anterior_window_s, UpField(up), ws);
 }
 
 ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
                                            double lowpass_hz,
-                                           double anterior_window_s) {
+                                           double anterior_window_s,
+                                           dsp::Workspace* ws) {
   expects(trace.size() >= 16, "project_trace_with_attitude: >= 16 samples");
   expects(lowpass_hz > 0.0, "project_trace_with_attitude: lowpass_hz > 0");
   dsp::AttitudeEstimator estimator;
@@ -106,7 +134,7 @@ ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
   for (const imu::Sample& s : trace.samples()) {
     ups.push_back(estimator.update(s.gyro, s.accel, dt));
   }
-  return project_common(trace, lowpass_hz, anterior_window_s, ups);
+  return project_common(trace, lowpass_hz, anterior_window_s, UpField(ups), ws);
 }
 
 }  // namespace ptrack::core

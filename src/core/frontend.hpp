@@ -4,6 +4,7 @@
 #pragma once
 
 #include "dsp/projection.hpp"
+#include "dsp/workspace.hpp"
 #include "imu/trace.hpp"
 
 namespace ptrack::core {
@@ -24,8 +25,13 @@ struct ProjectedTrace {
 /// straight walks); > 0 re-fits it per window of that many seconds with
 /// sign continuity across windows, which keeps the anterior channel
 /// faithful on routes with turns.
+///
+/// `ws` (optional) provides reusable scratch for the zero-phase filters so
+/// repeated calls (streaming windows, batch traces) avoid the per-call
+/// padding allocations.
 ProjectedTrace project_trace(const imu::Trace& trace, double lowpass_hz,
-                             double anterior_window_s = 0.0);
+                             double anterior_window_s = 0.0,
+                             dsp::Workspace* ws = nullptr);
 
 /// Projection for *raw device-frame* streams: tracks the up direction per
 /// sample with a gyro/accel complementary filter (dsp::AttitudeEstimator)
@@ -34,6 +40,7 @@ ProjectedTrace project_trace(const imu::Trace& trace, double lowpass_hz,
 /// platform's gravity-referenced output.
 ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
                                            double lowpass_hz,
-                                           double anterior_window_s = 0.0);
+                                           double anterior_window_s = 0.0,
+                                           dsp::Workspace* ws = nullptr);
 
 }  // namespace ptrack::core

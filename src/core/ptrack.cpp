@@ -18,9 +18,10 @@ TrackResult PTrack::process(const imu::Trace& trace) const {
   const ProjectedTrace projected =
       cfg_.counter.use_attitude_filter
           ? project_trace_with_attitude(trace, cfg_.counter.lowpass_hz,
-                                        cfg_.counter.anterior_window_s)
+                                        cfg_.counter.anterior_window_s,
+                                        &workspace_)
           : project_trace(trace, cfg_.counter.lowpass_hz,
-                          cfg_.counter.anterior_window_s);
+                          cfg_.counter.anterior_window_s, &workspace_);
   TrackResult result = counter_.process_projected(projected);
 
   // Events were emitted two per counted cycle, chronologically, and

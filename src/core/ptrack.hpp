@@ -14,6 +14,7 @@
 #include "core/step_counter.hpp"
 #include "core/stride_estimator.hpp"
 #include "core/types.hpp"
+#include "dsp/workspace.hpp"
 #include "imu/trace.hpp"
 #include "models/step_counter.hpp"
 
@@ -27,6 +28,13 @@ struct PTrackConfig {
 
 /// The full PTrack pipeline: projection -> segmentation -> gait
 /// identification -> step counting -> per-step stride estimation.
+///
+/// Each instance owns a dsp::Workspace that process() reuses across calls,
+/// so repeated invocations (streaming hops, batch traces) run without the
+/// per-window scratch allocations. Consequently an instance is NOT safe for
+/// concurrent process() calls — give each thread its own PTrack (see
+/// runtime::BatchRunner, which does exactly that). Results are a pure
+/// function of the input trace either way.
 class PTrack {
  public:
   explicit PTrack(PTrackConfig cfg = {});
@@ -42,6 +50,7 @@ class PTrack {
   PTrackConfig cfg_;
   StepCounter counter_;
   StrideEstimator estimator_;
+  mutable dsp::Workspace workspace_;  ///< scratch reused across process()
 };
 
 /// models::IStepCounter adapter over the PTrack pipeline.

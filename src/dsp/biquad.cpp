@@ -74,6 +74,10 @@ std::vector<double> Biquad::process(std::span<const double> xs) {
   return out;
 }
 
+void Biquad::process_inplace(std::span<double> xs) {
+  for (double& x : xs) x = step(x);
+}
+
 BiquadCascade::BiquadCascade(std::vector<BiquadCoeffs> sections) {
   sections_.reserve(sections.size());
   for (const auto& c : sections) sections_.emplace_back(c);
@@ -84,6 +88,10 @@ std::vector<double> BiquadCascade::process(std::span<const double> xs) {
   out.reserve(xs.size());
   for (double x : xs) out.push_back(step(x));
   return out;
+}
+
+void BiquadCascade::process_inplace(std::span<double> xs) {
+  for (double& x : xs) x = step(x);
 }
 
 void BiquadCascade::reset() {

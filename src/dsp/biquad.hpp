@@ -48,6 +48,9 @@ class Biquad {
   /// Filters a whole buffer (stateful: continues from previous state).
   std::vector<double> process(std::span<const double> xs);
 
+  /// Filters a buffer in place (stateful); allocation-free.
+  void process_inplace(std::span<double> xs);
+
   /// Clears internal state.
   void reset() { s1_ = s2_ = 0.0; }
 
@@ -71,6 +74,10 @@ class BiquadCascade {
   }
 
   std::vector<double> process(std::span<const double> xs);
+
+  /// Filters a buffer in place (stateful); allocation-free.
+  void process_inplace(std::span<double> xs);
+
   void reset();
 
   [[nodiscard]] std::size_t order() const { return 2 * sections_.size(); }

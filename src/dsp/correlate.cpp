@@ -2,12 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "dsp/fft.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/workspace.hpp"
 
 namespace ptrack::dsp {
+
+namespace {
+
+/// Naive multiply-add count above which the O(n log n) FFT kernel wins over
+/// the direct lag loop (measured crossover is lower; the margin keeps small
+/// per-cycle gait tests on the allocation-free naive path).
+constexpr std::size_t kFftWorkCutoff = 1 << 15;
+
+bool fft_pays_off(std::size_t n, std::size_t lags) {
+  return lags >= 8 && n * lags >= kFftWorkCutoff;
+}
+
+/// Dispatch helpers share one workspace per thread so the no-workspace entry
+/// points are also allocation-free in steady state.
+Workspace& thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+/// Unbiased normalization of the raw lag sums: the lag-l sum covers n-l
+/// terms, the variance n, so rescale — a perfectly periodic signal then
+/// scores ~1 at its period even for large lags (PTrack evaluates C at the
+/// half-cycle lag, where the biased estimator would cap at 0.5).
+double normalize_lag(double raw, std::size_t n, std::size_t lag, double den) {
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(n - lag);
+  return std::clamp(raw * scale / den, -1.0, 1.0);
+}
+
+}  // namespace
 
 double autocorr_at(std::span<const double> xs, std::size_t lag) {
   expects(lag < xs.size(), "autocorr_at: lag < size");
@@ -23,25 +56,78 @@ double autocorr_at(std::span<const double> xs, std::size_t lag) {
   for (std::size_t i = 0; i + lag < n; ++i) {
     num += (xs[i] - m) * (xs[i + lag] - m);
   }
-  // Unbiased normalization: the sum covers n-lag terms, the variance n, so
-  // rescale — a perfectly periodic signal then scores ~1 at its period even
-  // for large lags (PTrack evaluates C at the half-cycle lag, where the
-  // biased estimator would cap at 0.5).
-  const double scale = static_cast<double>(n) / static_cast<double>(n - lag);
-  return std::clamp(num * scale / den, -1.0, 1.0);
+  return normalize_lag(num, n, lag, den);
 }
 
-std::vector<double> autocorr(std::span<const double> xs, std::size_t max_lag) {
+std::vector<double> autocorr_naive(std::span<const double> xs,
+                                   std::size_t max_lag) {
   expects(max_lag < xs.size(), "autocorr: max_lag < size");
-  std::vector<double> out;
-  out.reserve(max_lag + 1);
-  for (std::size_t lag = 0; lag <= max_lag; ++lag)
-    out.push_back(autocorr_at(xs, lag));
+  const std::size_t n = xs.size();
+  const double m = stats::mean(xs);
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = xs[i] - m;
+    den += d * d;
+  }
+  std::vector<double> out(max_lag + 1, 0.0);
+  if (den == 0.0) return out;
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    double num = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      num += (xs[i] - m) * (xs[i + lag] - m);
+    }
+    out[lag] = normalize_lag(num, n, lag, den);
+  }
   return out;
 }
 
-std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
-                          std::size_t max_lag) {
+std::vector<double> autocorr_fft(std::span<const double> xs,
+                                 std::size_t max_lag, Workspace& ws) {
+  expects(max_lag < xs.size(), "autocorr: max_lag < size");
+  const std::size_t n = xs.size();
+  const double m = stats::mean(xs);
+
+  // Linear (not circular) correlation up to max_lag needs nfft >= n + max_lag.
+  const std::size_t nfft = std::max<std::size_t>(next_pow2(n + max_lag + 1), 2);
+  auto& padded = ws.real_scratch(1, nfft);
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = xs[i] - m;
+    den += d * d;
+    padded[i] = d;
+  }
+  std::fill(padded.begin() + static_cast<std::ptrdiff_t>(n), padded.end(), 0.0);
+
+  std::vector<double> out(max_lag + 1, 0.0);
+  if (den == 0.0) return out;
+
+  // Wiener-Khinchin on the real half-spectrum: the power spectrum of a real
+  // signal is real and hermitian, so both transforms run at half size.
+  const FftPlan& plan = ws.fft_plan(nfft);
+  auto& spec = ws.complex_scratch(0, nfft / 2 + 1);
+  rfft(padded, plan, spec);
+  for (auto& c : spec) c = {std::norm(c), 0.0};
+  irfft(spec, plan, padded);
+
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    out[lag] = normalize_lag(padded[lag], n, lag, den);
+  }
+  return out;
+}
+
+std::vector<double> autocorr(std::span<const double> xs, std::size_t max_lag,
+                             Workspace& ws) {
+  if (fft_pays_off(xs.size(), max_lag)) return autocorr_fft(xs, max_lag, ws);
+  return autocorr_naive(xs, max_lag);
+}
+
+std::vector<double> autocorr(std::span<const double> xs, std::size_t max_lag) {
+  return autocorr(xs, max_lag, thread_workspace());
+}
+
+std::vector<double> xcorr_naive(std::span<const double> a,
+                                std::span<const double> b,
+                                std::size_t max_lag) {
   expects(a.size() == b.size(), "xcorr: equal sizes");
   expects(!a.empty(), "xcorr: non-empty");
   expects(max_lag < a.size(), "xcorr: max_lag < size");
@@ -70,6 +156,79 @@ std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
   return out;
 }
 
+std::vector<double> xcorr_fft(std::span<const double> a,
+                              std::span<const double> b, std::size_t max_lag,
+                              Workspace& ws) {
+  expects(a.size() == b.size(), "xcorr: equal sizes");
+  expects(!a.empty(), "xcorr: non-empty");
+  expects(max_lag < a.size(), "xcorr: max_lag < size");
+  const std::size_t n = a.size();
+  const double ma = stats::mean(a);
+  const double mb = stats::mean(b);
+
+  const std::size_t nfft = std::max<std::size_t>(next_pow2(n + max_lag + 1), 2);
+  // Two-for-one: both demeaned real signals ride one complex transform.
+  auto& packed = ws.complex_scratch(0, nfft);
+  double da = 0.0;
+  double db = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xa = a[i] - ma;
+    const double xb = b[i] - mb;
+    da += xa * xa;
+    db += xb * xb;
+    packed[i] = {xa, xb};
+  }
+  std::fill(packed.begin() + static_cast<std::ptrdiff_t>(n), packed.end(),
+            std::complex<double>{0.0, 0.0});
+
+  const double norm = std::sqrt(da * db);
+  std::vector<double> out(2 * max_lag + 1, 0.0);
+  if (norm == 0.0) return out;
+
+  const FftPlan& plan = ws.fft_plan(nfft);
+  fft(packed, plan);
+
+  // Unpack A[k], B[k] from the packed spectrum and form the cross spectrum
+  // conj(A[k]) * B[k]; its inverse transform is r[k] = sum_i a[i] b[i+k]
+  // (negative lags wrap to the top of the buffer). The correlation sequence
+  // is real, so the cross spectrum is hermitian: only the half-spectrum is
+  // materialized and the inverse runs at half size through irfft.
+  auto& cross = ws.complex_scratch(1, nfft / 2 + 1);
+  for (std::size_t k = 0; k <= nfft / 2; ++k) {
+    const std::complex<double> pk = packed[k];
+    const std::complex<double> pc =
+        std::conj(packed[k == 0 ? 0 : nfft - k]);
+    const std::complex<double> ak = 0.5 * (pk + pc);
+    const std::complex<double> bk =
+        std::complex<double>(0.0, -0.5) * (pk - pc);
+    cross[k] = std::conj(ak) * bk;
+  }
+  auto& r = ws.real_scratch(1, nfft);
+  irfft(cross, plan, r);
+
+  for (std::size_t li = 0; li < out.size(); ++li) {
+    const int lag = static_cast<int>(li) - static_cast<int>(max_lag);
+    const std::size_t idx =
+        lag >= 0 ? static_cast<std::size_t>(lag)
+                 : nfft - static_cast<std::size_t>(-lag);
+    out[li] = r[idx] / norm;
+  }
+  return out;
+}
+
+std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
+                          std::size_t max_lag, Workspace& ws) {
+  if (fft_pays_off(a.size(), 2 * max_lag + 1)) {
+    return xcorr_fft(a, b, max_lag, ws);
+  }
+  return xcorr_naive(a, b, max_lag);
+}
+
+std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
+                          std::size_t max_lag) {
+  return xcorr(a, b, max_lag, thread_workspace());
+}
+
 int best_lag(std::span<const double> a, std::span<const double> b,
              std::size_t max_lag) {
   const auto c = xcorr(a, b, max_lag);
@@ -78,11 +237,11 @@ int best_lag(std::span<const double> a, std::span<const double> b,
 }
 
 std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
-                            std::size_t max_lag) {
+                            std::size_t max_lag, Workspace& ws) {
   if (xs.size() < 4 || min_lag >= xs.size()) return 0;
   max_lag = std::min(max_lag, xs.size() - 1);
   if (min_lag > max_lag) return 0;
-  const auto ac = autocorr(xs, max_lag);
+  const auto ac = autocorr(xs, max_lag, ws);
   const auto peaks = find_peaks(ac);
   std::size_t best = 0;
   double best_val = 0.0;
@@ -94,6 +253,11 @@ std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
     }
   }
   return best;
+}
+
+std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
+                            std::size_t max_lag) {
+  return dominant_period(xs, min_lag, max_lag, thread_workspace());
 }
 
 }  // namespace ptrack::dsp

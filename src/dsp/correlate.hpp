@@ -5,6 +5,16 @@
 // (co)sine pattern of stepping; arm gestures are not guaranteed positive)
 // and a cross-correlation lag to verify the fixed quarter-period phase
 // difference between vertical and anterior body accelerations (Kim et al.).
+//
+// Two kernel families compute the same quantities:
+//  * `*_naive` — direct O(n * lags) lag loops; the reference oracle.
+//  * `*_fft`   — Wiener-Khinchin: zero-pad to next_pow2(n + max_lag + 1),
+//    forward FFT, multiply by the conjugate spectrum, inverse FFT,
+//    normalize. O(n log n) regardless of the lag count.
+// The un-suffixed entry points dispatch on problem size: small cycles (the
+// per-cycle gait tests) stay on the cache-friendly naive loops, long traces
+// (dominant-period search, SCAR features, batch analytics) go through the
+// FFT. Both paths agree to ~1e-9 (validated by tests/test_dsp_correlate_fft).
 
 #pragma once
 
@@ -14,19 +24,55 @@
 
 namespace ptrack::dsp {
 
+class Workspace;
+
 /// Normalized autocorrelation at a single lag (mean removed, normalized by
 /// variance; result in [-1, 1]). Requires lag < xs.size() and a non-constant
 /// signal (returns 0 for constant input).
 double autocorr_at(std::span<const double> xs, std::size_t lag);
 
-/// Normalized autocorrelation for all lags in [0, max_lag].
+/// Normalized autocorrelation for all lags in [0, max_lag] (unbiased
+/// normalization, clamped to [-1, 1]; all zeros for a constant signal).
+/// Dispatches between the naive and FFT kernels on problem size.
 std::vector<double> autocorr(std::span<const double> xs, std::size_t max_lag);
+
+/// As above, with caller-provided scratch (allocation-free steady state
+/// apart from the returned vector). Uses workspace complex slot 0.
+std::vector<double> autocorr(std::span<const double> xs, std::size_t max_lag,
+                             Workspace& ws);
+
+/// Direct O(n * max_lag) reference kernel (mean and variance hoisted out of
+/// the lag loop). Exposed as the oracle for tests and benchmarks.
+std::vector<double> autocorr_naive(std::span<const double> xs,
+                                   std::size_t max_lag);
+
+/// Wiener-Khinchin kernel, always FFT regardless of size. Exposed for tests
+/// and benchmarks. Uses workspace complex slot 0.
+std::vector<double> autocorr_fft(std::span<const double> xs,
+                                 std::size_t max_lag, Workspace& ws);
 
 /// Normalized cross-correlation of a and b (equal sizes) at integer lag k in
 /// [-max_lag, max_lag]; positive k means b is delayed relative to a.
-/// Output index i corresponds to lag (i - max_lag).
+/// Output index i corresponds to lag (i - max_lag). Dispatches between the
+/// naive and FFT kernels on problem size.
 std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
                           std::size_t max_lag);
+
+/// As above, with caller-provided scratch. Uses workspace complex slots 0-1.
+std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
+                          std::size_t max_lag, Workspace& ws);
+
+/// Direct O(n * max_lag) reference kernel (oracle for tests/benchmarks).
+std::vector<double> xcorr_naive(std::span<const double> a,
+                                std::span<const double> b,
+                                std::size_t max_lag);
+
+/// FFT kernel: both real signals packed into one complex forward transform
+/// (two-for-one), cross-spectrum, one inverse transform. Uses workspace
+/// complex slots 0-1.
+std::vector<double> xcorr_fft(std::span<const double> a,
+                              std::span<const double> b, std::size_t max_lag,
+                              Workspace& ws);
 
 /// The lag in [-max_lag, max_lag] that maximizes xcorr(a, b).
 int best_lag(std::span<const double> a, std::span<const double> b,
@@ -36,5 +82,9 @@ int best_lag(std::span<const double> a, std::span<const double> b,
 /// peak in [min_lag, max_lag]; returns 0 when no peak exists.
 std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
                             std::size_t max_lag);
+
+/// As above, with caller-provided scratch for the autocorrelation.
+std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
+                            std::size_t max_lag, Workspace& ws);
 
 }  // namespace ptrack::dsp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsp/butterworth.hpp"
+#include "dsp/workspace.hpp"
 
 namespace ptrack::dsp {
 
@@ -10,16 +11,28 @@ namespace {
 
 // Odd (point-reflected) padding as used by scipy.signal.filtfilt: mirrors
 // the signal about its end values, which keeps level and slope continuous.
-std::vector<double> pad_reflect(std::span<const double> xs, std::size_t pad) {
-  std::vector<double> out;
-  out.reserve(xs.size() + 2 * pad);
-  for (std::size_t i = pad; i >= 1; --i)
-    out.push_back(2.0 * xs.front() - xs[i]);
-  out.insert(out.end(), xs.begin(), xs.end());
+// Writes into `out`, which must have size xs.size() + 2 * pad.
+void pad_reflect_into(std::span<const double> xs, std::size_t pad,
+                      std::span<double> out) {
   const std::size_t n = xs.size();
-  for (std::size_t i = 1; i <= pad; ++i)
-    out.push_back(2.0 * xs.back() - xs[n - 1 - i]);
-  return out;
+  for (std::size_t i = 0; i < pad; ++i) {
+    out[i] = 2.0 * xs.front() - xs[pad - i];
+  }
+  std::copy(xs.begin(), xs.end(), out.begin() + static_cast<std::ptrdiff_t>(pad));
+  for (std::size_t i = 1; i <= pad; ++i) {
+    out[pad + n - 1 + i] = 2.0 * xs.back() - xs[n - 1 - i];
+  }
+}
+
+// Forward-backward pass over the padded buffer, in place.
+void filtfilt_inplace(const BiquadCascade& cascade, std::span<double> padded) {
+  BiquadCascade f = cascade;
+  f.reset();
+  f.process_inplace(padded);
+  std::reverse(padded.begin(), padded.end());
+  f.reset();
+  f.process_inplace(padded);
+  std::reverse(padded.begin(), padded.end());
 }
 
 }  // namespace
@@ -29,25 +42,37 @@ std::vector<double> filtfilt(const BiquadCascade& cascade,
   if (xs.empty()) return {};
   pad = std::min(pad, xs.size() - 1);
 
-  std::vector<double> padded = pad_reflect(xs, pad);
+  std::vector<double> padded(xs.size() + 2 * pad);
+  pad_reflect_into(xs, pad, padded);
+  filtfilt_inplace(cascade, padded);
 
-  BiquadCascade fwd = cascade;
-  fwd.reset();
-  std::vector<double> y = fwd.process(padded);
+  return {padded.begin() + static_cast<std::ptrdiff_t>(pad),
+          padded.begin() + static_cast<std::ptrdiff_t>(pad + xs.size())};
+}
 
-  std::reverse(y.begin(), y.end());
-  BiquadCascade bwd = cascade;
-  bwd.reset();
-  y = bwd.process(y);
-  std::reverse(y.begin(), y.end());
+std::vector<double> filtfilt(const BiquadCascade& cascade,
+                             std::span<const double> xs, std::size_t pad,
+                             Workspace& ws) {
+  if (xs.empty()) return {};
+  pad = std::min(pad, xs.size() - 1);
 
-  return {y.begin() + static_cast<std::ptrdiff_t>(pad),
-          y.begin() + static_cast<std::ptrdiff_t>(pad + xs.size())};
+  auto& padded = ws.real_scratch(0, xs.size() + 2 * pad);
+  pad_reflect_into(xs, pad, padded);
+  filtfilt_inplace(cascade, padded);
+
+  return {padded.begin() + static_cast<std::ptrdiff_t>(pad),
+          padded.begin() + static_cast<std::ptrdiff_t>(pad + xs.size())};
 }
 
 std::vector<double> zero_phase_lowpass(std::span<const double> xs,
                                        double cutoff_hz, double fs, int order) {
   return filtfilt(butterworth_lowpass(order, cutoff_hz, fs), xs);
+}
+
+std::vector<double> zero_phase_lowpass(std::span<const double> xs,
+                                       double cutoff_hz, double fs, int order,
+                                       Workspace& ws) {
+  return filtfilt(butterworth_lowpass(order, cutoff_hz, fs), xs, 64, ws);
 }
 
 }  // namespace ptrack::dsp

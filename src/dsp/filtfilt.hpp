@@ -14,15 +14,29 @@
 
 namespace ptrack::dsp {
 
+class Workspace;
+
 /// Applies `cascade` forward and backward over `xs` with reflected padding of
 /// `pad` samples on each side (clamped to xs.size()-1). The cascade is copied
 /// internally, so the caller's filter state is untouched.
 std::vector<double> filtfilt(const BiquadCascade& cascade,
                              std::span<const double> xs, std::size_t pad = 64);
 
+/// As above, with caller-provided scratch for the padded working buffer
+/// (workspace real slot 0) — repeated calls allocate only the returned
+/// output vector.
+std::vector<double> filtfilt(const BiquadCascade& cascade,
+                             std::span<const double> xs, std::size_t pad,
+                             Workspace& ws);
+
 /// Convenience: zero-phase Butterworth low-pass of the given order.
 std::vector<double> zero_phase_lowpass(std::span<const double> xs,
                                        double cutoff_hz, double fs,
                                        int order = 4);
+
+/// Workspace variant of zero_phase_lowpass.
+std::vector<double> zero_phase_lowpass(std::span<const double> xs,
+                                       double cutoff_hz, double fs, int order,
+                                       Workspace& ws);
 
 }  // namespace ptrack::dsp

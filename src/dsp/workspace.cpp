@@ -1,0 +1,30 @@
+#include "dsp/workspace.hpp"
+
+#include "common/error.hpp"
+
+namespace ptrack::dsp {
+
+std::vector<std::complex<double>>& Workspace::complex_scratch(std::size_t slot,
+                                                              std::size_t n) {
+  expects(slot < kComplexSlots, "Workspace::complex_scratch: valid slot");
+  auto& buf = complex_[slot];
+  buf.resize(n);
+  return buf;
+}
+
+std::vector<double>& Workspace::real_scratch(std::size_t slot, std::size_t n) {
+  expects(slot < kRealSlots, "Workspace::real_scratch: valid slot");
+  auto& buf = real_[slot];
+  buf.resize(n);
+  return buf;
+}
+
+const FftPlan& Workspace::fft_plan(std::size_t nfft) {
+  for (const auto& p : plans_) {
+    if (p->n == nfft) return *p;
+  }
+  plans_.push_back(std::make_unique<FftPlan>(make_fft_plan(nfft)));
+  return *plans_.back();
+}
+
+}  // namespace ptrack::dsp

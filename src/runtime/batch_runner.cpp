@@ -1,0 +1,51 @@
+#include "runtime/batch_runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "imu/trace_io.hpp"
+
+namespace ptrack::runtime {
+
+BatchRunner::BatchRunner(core::PTrackConfig cfg, BatchOptions opt)
+    : cfg_(cfg), pool_(ThreadPool::resolve_threads(opt.threads)) {}
+
+std::vector<core::TrackResult> BatchRunner::run(
+    const std::vector<imu::Trace>& traces) {
+  std::vector<core::TrackResult> results(traces.size());
+  if (traces.empty()) return results;
+
+  // One pipeline (and thus one scratch workspace) per worker: no sharing,
+  // no locks, and buffer capacities amortize across that worker's traces.
+  std::vector<core::PTrack> trackers(pool_.size(), core::PTrack(cfg_));
+  pool_.run(traces.size(), [&](std::size_t task, std::size_t worker) {
+    results[task] = trackers[worker].process(traces[task]);
+  });
+  return results;
+}
+
+std::vector<NamedTrace> load_trace_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw Error("load_trace_dir: not a directory: " + dir);
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) throw Error("load_trace_dir: cannot read " + dir + ": " + ec.message());
+  std::sort(files.begin(), files.end());
+
+  std::vector<NamedTrace> out;
+  out.reserve(files.size());
+  for (const fs::path& p : files) {
+    out.push_back({p.filename().string(), imu::load_csv(p.string())});
+  }
+  return out;
+}
+
+}  // namespace ptrack::runtime

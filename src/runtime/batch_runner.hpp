@@ -1,0 +1,58 @@
+// Cohort-scale batch execution of the PTrack pipeline.
+//
+// Related wearable studies process thousands of independent wrist traces
+// through one DSP front end (Urbanek et al.; Straczkiewicz et al.) — the
+// workload this runner serves. Each worker thread owns a private
+// core::PTrack instance (and therefore a private dsp::Workspace), traces
+// are fanned out dynamically, and results come back in input order.
+//
+// Determinism: PTrack::process is a pure function of the input trace, and
+// no state is shared between workers, so the result vector is bit-identical
+// regardless of thread count or scheduling (validated by
+// tests/test_runtime_batch).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ptrack.hpp"
+#include "imu/trace.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace ptrack::runtime {
+
+struct BatchOptions {
+  /// Worker threads; 0 = one per hardware thread.
+  std::size_t threads = 0;
+};
+
+/// Fans independent traces across a fixed-size thread pool through the full
+/// PTrack pipeline.
+class BatchRunner {
+ public:
+  explicit BatchRunner(core::PTrackConfig cfg = {}, BatchOptions opt = {});
+
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+  [[nodiscard]] const core::PTrackConfig& config() const { return cfg_; }
+
+  /// Processes every trace; results[i] corresponds to traces[i].
+  std::vector<core::TrackResult> run(const std::vector<imu::Trace>& traces);
+
+ private:
+  core::PTrackConfig cfg_;
+  ThreadPool pool_;
+};
+
+/// A trace tagged with the file it came from.
+struct NamedTrace {
+  std::string name;  ///< file name without directory
+  imu::Trace trace;
+};
+
+/// Loads every `.csv` file in `dir` (imu::load_csv format), sorted by file
+/// name so batch runs are reproducible across platforms. Throws
+/// ptrack::Error when the directory cannot be read or a file is malformed.
+std::vector<NamedTrace> load_trace_dir(const std::string& dir);
+
+}  // namespace ptrack::runtime

@@ -1,0 +1,187 @@
+// Runtime tests: the thread pool runs every task exactly once and
+// propagates failures, and BatchRunner is deterministic — the same batch
+// produces bit-identical TrackResults at 1 and 8 worker threads, in input
+// order, matching a direct single-threaded PTrack run.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/ptrack.hpp"
+#include "imu/trace_io.hpp"
+#include "runtime/batch_runner.hpp"
+#include "runtime/thread_pool.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+std::vector<imu::Trace> make_batch(std::size_t count) {
+  std::vector<imu::Trace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(0x5eed + i);
+    synth::UserProfile user;
+    user.arm_length = 0.62 + 0.02 * static_cast<double>(i);
+    user.leg_length = 0.85 + 0.015 * static_cast<double>(i);
+    // Mix of activities and durations so trace lengths and content differ.
+    const double dur = 20.0 + 5.0 * static_cast<double>(i % 3);
+    const auto scenario = (i % 2 == 0) ? synth::Scenario::pure_walking(dur)
+                                       : synth::Scenario::pure_stepping(dur);
+    traces.push_back(
+        synth::synthesize(scenario, user, synth::SynthOptions{}, rng).trace);
+  }
+  return traces;
+}
+
+void expect_identical(const core::TrackResult& a, const core::TrackResult& b) {
+  EXPECT_EQ(a.steps, b.steps);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    // Bit-identical, not merely close: determinism is the contract.
+    EXPECT_EQ(a.events[i].t, b.events[i].t);
+    EXPECT_EQ(a.events[i].stride, b.events[i].stride);
+    EXPECT_EQ(a.events[i].type, b.events[i].type);
+  }
+  ASSERT_EQ(a.cycles.size(), b.cycles.size());
+  for (std::size_t i = 0; i < a.cycles.size(); ++i) {
+    EXPECT_EQ(a.cycles[i].begin, b.cycles[i].begin);
+    EXPECT_EQ(a.cycles[i].end, b.cycles[i].end);
+    EXPECT_EQ(a.cycles[i].type, b.cycles[i].type);
+    EXPECT_EQ(a.cycles[i].offset, b.cycles[i].offset);
+    EXPECT_EQ(a.cycles[i].half_cycle_corr, b.cycles[i].half_cycle_corr);
+  }
+}
+
+}  // namespace
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  runtime::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+
+  const std::size_t n_tasks = 100;  // far more tasks than workers
+  std::vector<std::atomic<int>> hits(n_tasks);
+  pool.run(n_tasks, [&](std::size_t task, std::size_t worker) {
+    ASSERT_LT(task, n_tasks);
+    ASSERT_LT(worker, pool.size());
+    hits[task].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n_tasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  runtime::ThreadPool pool(1);
+  const auto main_id = std::this_thread::get_id();
+  pool.run(10, [&](std::size_t, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+  });
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  runtime::ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::size_t> total{0};
+    pool.run(17, [&](std::size_t task, std::size_t) {
+      total.fetch_add(task + 1);
+    });
+    EXPECT_EQ(total.load(), 17u * 18u / 2u);
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  runtime::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(50,
+               [&](std::size_t task, std::size_t) {
+                 if (task == 23) throw std::runtime_error("task 23 failed");
+               }),
+      std::runtime_error);
+  // The pool must remain usable after a failed run.
+  std::atomic<int> ok{0};
+  pool.run(8, [&](std::size_t, std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(runtime::ThreadPool::resolve_threads(3), 3u);
+  EXPECT_GE(runtime::ThreadPool::resolve_threads(0), 1u);
+}
+
+TEST(BatchRunner, MatchesDirectPipelineInInputOrder) {
+  const auto traces = make_batch(5);
+  runtime::BatchRunner runner({}, {.threads = 4});
+  const auto results = runner.run(traces);
+  ASSERT_EQ(results.size(), traces.size());
+
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    core::PTrack direct;
+    const auto expected = direct.process(traces[i]);
+    expect_identical(expected, results[i]);
+  }
+}
+
+TEST(BatchRunner, ThreadCountDoesNotChangeResults) {
+  const auto traces = make_batch(9);
+  runtime::BatchRunner serial({}, {.threads = 1});
+  runtime::BatchRunner wide({}, {.threads = 8});
+  const auto r1 = serial.run(traces);
+  const auto r8 = wide.run(traces);
+  ASSERT_EQ(r1.size(), traces.size());
+  ASSERT_EQ(r8.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    expect_identical(r1[i], r8[i]);
+  }
+  // A repeated run on a warm runner must also be identical (workspace reuse
+  // must not leak state between batches).
+  const auto r8_again = wide.run(traces);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    expect_identical(r8[i], r8_again[i]);
+  }
+}
+
+TEST(BatchRunner, EmptyBatchYieldsEmptyResults) {
+  runtime::BatchRunner runner;
+  EXPECT_TRUE(runner.run({}).empty());
+}
+
+TEST(LoadTraceDir, LoadsCsvFilesSortedByName) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "ptrack_test_batch_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const auto traces = make_batch(3);
+  // Intentionally created out of order; the loader must sort by file name.
+  imu::save_csv(traces[2], (dir / "c_trace.csv").string());
+  imu::save_csv(traces[0], (dir / "a_trace.csv").string());
+  imu::save_csv(traces[1], (dir / "b_trace.csv").string());
+  {  // Non-CSV clutter must be ignored.
+    std::FILE* f = std::fopen((dir / "notes.txt").string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a trace\n", f);
+    std::fclose(f);
+  }
+
+  const auto named = runtime::load_trace_dir(dir.string());
+  ASSERT_EQ(named.size(), 3u);
+  EXPECT_EQ(named[0].name, "a_trace.csv");
+  EXPECT_EQ(named[1].name, "b_trace.csv");
+  EXPECT_EQ(named[2].name, "c_trace.csv");
+  EXPECT_EQ(named[0].trace.size(), traces[0].size());
+  EXPECT_EQ(named[1].trace.size(), traces[1].size());
+  EXPECT_EQ(named[2].trace.size(), traces[2].size());
+
+  fs::remove_all(dir);
+}
+
+TEST(LoadTraceDir, MissingDirectoryThrows) {
+  EXPECT_THROW(runtime::load_trace_dir("/nonexistent/ptrack/dir"), Error);
+}
