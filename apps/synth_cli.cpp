@@ -1,7 +1,7 @@
 // synth_cli — generate wrist-IMU traces with ground truth from the
 // bundled biomechanical synthesizer.
 //
-//   synth_cli --scenario "walk:60,eat:30,step:45" --seed 7 \
+//   synth_cli --scenario "walk:60,eat:30,step:45" --seed 7
 //             --output trace.csv [--truth truth.csv] [--user-seed 3]
 //
 // Scenario syntax: comma-separated "<activity>:<seconds>" with activities

@@ -1,0 +1,54 @@
+// Fuzz target: cli::Args parsing over an arbitrary argv vector.
+//
+// The input bytes are split on newlines into argv tokens and parsed against
+// a spec set covering every option flavor (boolean, valued, defaulted).
+// Unknown flags, missing values and malformed numbers must surface as
+// ptrack::Error; nothing may crash or read out of bounds.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // argv[0] is the program name; tokens follow, one per input line.
+  std::vector<std::string> tokens = {"fuzz_cli"};
+  std::string current;
+  for (std::size_t i = 0; i < size; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      tokens.push_back(current);
+      current.clear();
+    } else if (c != '\0') {
+      current += c;
+    }
+    if (tokens.size() > 64) break;  // bound argv growth, not a parse error
+  }
+  if (!current.empty()) tokens.push_back(current);
+
+  std::vector<const char*> argv;
+  argv.reserve(tokens.size());
+  for (const std::string& t : tokens) argv.push_back(t.c_str());
+
+  const std::vector<ptrack::cli::OptionSpec> specs = {
+      {"input", "input path", "", false},
+      {"scale", "scale factor", "1.0", false},
+      {"count", "repeat count", "3", false},
+      {"verbose", "chatty output", "", true},
+  };
+  try {
+    const ptrack::cli::Args args(static_cast<int>(argv.size()), argv.data(),
+                                 specs);
+    if (args.has("scale")) (void)args.get_double("scale");
+    if (args.has("count")) (void)args.get_int("count");
+    if (args.has("input")) (void)args.get_string("input");
+    (void)args.get_bool("verbose");
+  } catch (const ptrack::Error&) {
+    // Rejecting malformed command lines is the expected behavior.
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fuzz target: csv::parse on arbitrary bytes.
+//
+// The parser is the trust boundary for every on-disk artifact, so it must
+// reject arbitrary garbage with ptrack::Error — never crash, loop, or hand
+// non-finite/ragged data to a caller. Built two ways (see CMakeLists.txt):
+// with libFuzzer under Clang, and with the replay driver everywhere else so
+// the committed corpus runs as the deterministic `fuzz_regression` test.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const ptrack::csv::Document doc = ptrack::csv::parse(in, "fuzz-input");
+    // Surviving documents must honor the rectangularity postcondition.
+    for (const auto& row : doc.rows) {
+      if (row.size() != doc.header.size()) __builtin_trap();
+    }
+  } catch (const ptrack::Error&) {
+    // Rejecting malformed input is the expected behavior.
+  }
+  return 0;
+}

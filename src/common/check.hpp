@@ -1,0 +1,98 @@
+// Contract macros for internal invariants.
+//
+// PTRACK_CHECK / PTRACK_CHECK_MSG complement the always-on ptrack::expects
+// (argument validation at API boundaries) with *internal* invariant
+// assertions that are free in optimized production builds:
+//
+//  * Compiled IN whenever PTRACK_ENABLE_CHECKS is defined. The build system
+//    defines it for Debug builds, for every sanitizer build
+//    (PTRACK_SANITIZE != ""), and for the default RelWithDebInfo developer
+//    configuration (PTRACK_CHECKS=AUTO), so ctest always exercises the
+//    contracts.
+//  * Compiled OUT (condition not evaluated) for Release/MinSizeRel or
+//    -DPTRACK_CHECKS=OFF, so a violated-contract expression may not have
+//    side effects.
+//
+// A failed check throws ptrack::InvariantViolation carrying the expression
+// text and source location, matching the error.hpp policy: a tracking
+// system must never silently continue with corrupted state.
+
+#pragma once
+
+#include "common/error.hpp"
+
+namespace ptrack {
+
+/// True when contract checks are compiled into this translation unit.
+/// Lets tests (and callers choosing an algorithmic fallback) branch on the
+/// active contract mode instead of duplicating the preprocessor logic.
+constexpr bool checks_enabled() noexcept {
+#ifdef PTRACK_ENABLE_CHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+[[noreturn]] inline void fail_contract(const char* expr, std::string_view msg,
+                                       const std::source_location& loc) {
+  std::string what = "contract violated: (";
+  what += expr;
+  what += ") at ";
+  what += loc.file_name();
+  what += ":";
+  what += std::to_string(loc.line());
+  what += " (";
+  what += loc.function_name();
+  what += ")";
+  if (!msg.empty()) {
+    what += ": ";
+    what += msg;
+  }
+  throw InvariantViolation(what);
+}
+
+}  // namespace detail
+}  // namespace ptrack
+
+#ifdef PTRACK_ENABLE_CHECKS
+
+#define PTRACK_CHECK(cond)                                        \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::ptrack::detail::fail_contract(#cond, {},                  \
+                                      std::source_location::current()); \
+    }                                                             \
+  } while (false)
+
+#define PTRACK_CHECK_MSG(cond, msg)                               \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::ptrack::detail::fail_contract(#cond, (msg),               \
+                                      std::source_location::current()); \
+    }                                                             \
+  } while (false)
+
+#else
+
+// Checks compiled out: the condition is NOT evaluated (contract expressions
+// must be side-effect free), but it stays visible to the compiler so the
+// code keeps type-checking in every configuration.
+#define PTRACK_CHECK(cond) \
+  do {                     \
+    if (false) {           \
+      (void)(cond);        \
+    }                      \
+  } while (false)
+
+#define PTRACK_CHECK_MSG(cond, msg) \
+  do {                              \
+    if (false) {                    \
+      (void)(cond);                 \
+      (void)(msg);                  \
+    }                               \
+  } while (false)
+
+#endif  // PTRACK_ENABLE_CHECKS

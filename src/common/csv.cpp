@@ -1,11 +1,47 @@
 #include "common/csv.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace ptrack::csv {
+
+namespace {
+
+// std::stod accepts leading whitespace, trailing junk ("1.5x"), hex floats
+// and "nan"/"inf" spellings. None of those belong in a trace file, so cells
+// are converted under a full-match rule and non-finite values are rejected
+// at the boundary (the pipeline's contracts assume finite samples).
+double parse_cell(const std::string& cell, std::size_t row,
+                  const std::string& name) {
+  if (cell.empty() || cell.size() > kMaxCellChars) {
+    throw Error("csv: empty or oversized cell in row " + std::to_string(row) +
+                " of " + name);
+  }
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    throw Error("csv: non-numeric cell '" + cell + "' in row " +
+                std::to_string(row) + " of " + name);
+  }
+  if (consumed != cell.size()) {
+    throw Error("csv: trailing junk in cell '" + cell + "' in row " +
+                std::to_string(row) + " of " + name);
+  }
+  if (!std::isfinite(value)) {
+    throw Error("csv: non-finite cell '" + cell + "' in row " +
+                std::to_string(row) + " of " + name);
+  }
+  return value;
+}
+
+}  // namespace
 
 void write(const std::string& path, const std::vector<std::string>& header,
            const std::vector<std::vector<double>>& rows) {
@@ -28,35 +64,66 @@ void write(const std::string& path, const std::vector<std::string>& header,
   if (!out) throw Error("csv::write: write failed for " + path);
 }
 
-Document read(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("csv::read: cannot open " + path);
+Document parse(std::istream& in, const std::string& name) {
   Document doc;
   std::string line;
-  if (!std::getline(in, line)) throw Error("csv::read: empty file " + path);
+  if (!std::getline(in, line)) throw Error("csv: empty document " + name);
   {
     std::stringstream ss(line);
     std::string cell;
-    while (std::getline(ss, cell, ',')) doc.header.push_back(cell);
+    while (std::getline(ss, cell, ',')) {
+      if (doc.header.size() >= kMaxColumns) {
+        throw Error("csv: too many columns in " + name);
+      }
+      doc.header.push_back(cell);
+    }
   }
+  if (doc.header.empty()) throw Error("csv: empty header in " + name);
+
+  std::size_t row_number = 1;
   while (std::getline(in, line)) {
+    ++row_number;
     if (line.empty()) continue;
+    if (doc.rows.size() >= kMaxRows) {
+      throw Error("csv: too many rows in " + name);
+    }
     std::vector<double> row;
     row.reserve(doc.header.size());
     std::stringstream ss(line);
     std::string cell;
+    bool extra_cells = false;
     while (std::getline(ss, cell, ',')) {
-      try {
-        row.push_back(std::stod(cell));
-      } catch (const std::exception&) {
-        throw Error("csv::read: non-numeric cell '" + cell + "' in " + path);
+      if (row.size() >= doc.header.size()) {
+        extra_cells = true;
+        break;
       }
+      row.push_back(parse_cell(cell, row_number, name));
     }
-    if (row.size() != doc.header.size())
-      throw Error("csv::read: ragged row in " + path);
+    // A trailing comma yields a final empty cell that getline never
+    // surfaces (it hits EOF first), so it is checked on the raw line.
+    if (extra_cells || row.size() != doc.header.size() ||
+        line.back() == ',') {
+      throw Error("csv: ragged row " + std::to_string(row_number) + " in " +
+                  name + " (expected " + std::to_string(doc.header.size()) +
+                  " cells)");
+    }
     doc.rows.push_back(std::move(row));
   }
+
+  // Parse postcondition relied on by every consumer: rectangular output.
+  PTRACK_CHECK_MSG(
+      std::all_of(doc.rows.begin(), doc.rows.end(),
+                  [&](const std::vector<double>& r) {
+                    return r.size() == doc.header.size();
+                  }),
+      "csv::parse: document is rectangular");
   return doc;
+}
+
+Document read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("csv::read: cannot open " + path);
+  return parse(in, path);
 }
 
 }  // namespace ptrack::csv

@@ -1,8 +1,15 @@
 // Minimal CSV reader/writer used for trace I/O and bench exports.
 // Handles plain numeric CSV (no quoting/escapes — traces never need them).
+//
+// The reader is deliberately strict: it is the trust boundary between
+// on-disk data (possibly truncated, corrupted, or hostile) and the numeric
+// pipeline, so every malformed shape is rejected with a ptrack::Error
+// instead of propagating garbage values downstream. The fuzz harnesses in
+// fuzz/ drive parse() directly with arbitrary bytes.
 
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -14,13 +21,26 @@ struct Document {
   std::vector<std::vector<double>> rows;
 };
 
+/// Hard limits on accepted documents. Generous for every legitimate trace
+/// (days of 100 Hz data), small enough to reject absurd or adversarial
+/// inputs before they allocate unbounded memory.
+inline constexpr std::size_t kMaxColumns = 4096;
+inline constexpr std::size_t kMaxRows = 50'000'000;
+inline constexpr std::size_t kMaxCellChars = 64;
+
 /// Writes rows of doubles with a header line. Throws ptrack::Error on I/O
 /// failure.
 void write(const std::string& path, const std::vector<std::string>& header,
            const std::vector<std::vector<double>>& rows);
 
-/// Reads a CSV written by write(); throws ptrack::Error on I/O or parse
-/// failure (including ragged rows).
+/// Parses CSV from a stream. `name` labels the source in error messages.
+/// Throws ptrack::Error on malformed input: empty document, ragged rows,
+/// non-numeric or non-finite cells, oversized cells, or documents exceeding
+/// kMaxColumns / kMaxRows.
+Document parse(std::istream& in, const std::string& name);
+
+/// Reads a CSV file via parse(); throws ptrack::Error on I/O or parse
+/// failure.
 Document read(const std::string& path);
 
 }  // namespace ptrack::csv

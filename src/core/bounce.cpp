@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace ptrack::core {
@@ -61,6 +62,12 @@ BounceSolution solve_bounce(double h1, double h2, double d, double m) {
   }
   out.bounce = 0.5 * (lo + hi);
   out.valid = true;
+  // Eq. (3)-(5) solve for a physical vertical bounce: a non-negative length
+  // inside the bracketing branch [b_lo, b_hi].
+  PTRACK_CHECK_MSG(std::isfinite(out.bounce) && out.bounce >= 0.0,
+                   "solve_bounce: bounce is a non-negative length");
+  PTRACK_CHECK_MSG(out.bounce >= b_lo && out.bounce <= b_hi,
+                   "solve_bounce: root stays inside the physical branch");
   return out;
 }
 
@@ -69,7 +76,14 @@ double stride_from_bounce(double bounce, double leg_length, double k) {
   expects(k > 0.0, "stride_from_bounce: k > 0");
   bounce = std::clamp(bounce, 0.0, leg_length);
   const double lb = leg_length - bounce;
-  return k * std::sqrt(std::max(leg_length * leg_length - lb * lb, 0.0));
+  const double stride =
+      k * std::sqrt(std::max(leg_length * leg_length - lb * lb, 0.0));
+  // Eq. (2): the stride is a chord of the leg's inverted-pendulum arc — a
+  // non-negative length bounded by the full diameter k * l.
+  PTRACK_CHECK_MSG(std::isfinite(stride) && stride >= 0.0 &&
+                       stride <= k * leg_length + 1e-12,
+                   "stride_from_bounce: stride is a bounded length");
+  return stride;
 }
 
 }  // namespace ptrack::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/stats.hpp"
 #include "dsp/peaks.hpp"
 
@@ -34,6 +35,16 @@ std::vector<CriticalPoint> critical_points(std::span<const double> cycle,
             [](const CriticalPoint& a, const CriticalPoint& b) {
               return a.index < b.index;
             });
+  // Downstream matching (offset metric, cycle pairing) relies on the points
+  // being time-ordered extrema/crossings inside the cycle.
+  PTRACK_CHECK_MSG(
+      std::is_sorted(out.begin(), out.end(),
+                     [](const CriticalPoint& a, const CriticalPoint& b) {
+                       return a.index < b.index;
+                     }),
+      "critical_points: output is time-ordered");
+  PTRACK_CHECK_MSG(out.empty() || out.back().index < cycle.size(),
+                   "critical_points: indices lie inside the cycle");
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "core/critical_points.hpp"
@@ -83,6 +84,15 @@ GaitIdentifier::GaitIdentifier(StepCounterConfig cfg) : cfg_(cfg) {
 
 GaitIdentifier::Decision GaitIdentifier::classify(
     const CycleAnalysis& analysis) {
+  PTRACK_CHECK_MSG(std::isfinite(analysis.offset) && analysis.offset >= 0.0,
+                   "classify: cycle offset is finite and non-negative");
+  // Streak bookkeeping invariants: the stepping streak counter never
+  // reaches the confirmation threshold (it resets to 0 on confirmation),
+  // and hysteresis credit never exceeds its configured grant.
+  PTRACK_CHECK_MSG(streak_count_ < cfg_.streak,
+                   "classify: stepping streak counter below threshold");
+  PTRACK_CHECK_MSG(walking_credit_ <= cfg_.walking_hysteresis_credit,
+                   "classify: hysteresis credit within its grant");
   Decision d;
   if (analysis.offset > cfg_.delta) {
     // Asynchronous critical points: genuine arm-swing walking.

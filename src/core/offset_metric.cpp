@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace ptrack::core {
@@ -11,6 +12,21 @@ double cycle_offset(std::span<const CriticalPoint> vertical_points,
                     std::span<const CriticalPoint> anterior_points,
                     std::size_t n, bool use_weighting, double weight_cap) {
   expects(n >= 1, "cycle_offset: n >= 1");
+  // Both point sets come out of critical_points(), which sorts by index;
+  // the weighting below reads consecutive index gaps and would underflow
+  // on unsorted input.
+  PTRACK_CHECK_MSG(
+      std::is_sorted(vertical_points.begin(), vertical_points.end(),
+                     [](const CriticalPoint& a, const CriticalPoint& b) {
+                       return a.index < b.index;
+                     }),
+      "cycle_offset: vertical critical points are time-ordered");
+  PTRACK_CHECK_MSG(
+      std::is_sorted(anterior_points.begin(), anterior_points.end(),
+                     [](const CriticalPoint& a, const CriticalPoint& b) {
+                       return a.index < b.index;
+                     }),
+      "cycle_offset: anterior critical points are time-ordered");
   if (vertical_points.empty()) return 0.0;
   if (anterior_points.empty()) return 1.0;
 
@@ -32,6 +48,15 @@ double cycle_offset(std::span<const CriticalPoint> vertical_points,
             : 1.0;
     offset += w * best / nd;
     prev_index = nv.index;
+  }
+  // Eq. (1) is a normalized weighted score: every term is >= 0, and with
+  // the weighting active the weights sum to at most max_index/n <= 1 while
+  // each distance term is <= 1, so the total stays inside [0, 1].
+  PTRACK_CHECK_MSG(std::isfinite(offset) && offset >= 0.0,
+                   "cycle_offset is non-negative and finite");
+  if (use_weighting && weight_cap <= 1.0) {
+    PTRACK_CHECK_MSG(offset <= 1.0 + 1e-9,
+                     "weighted cycle_offset is normalized to [0, 1]");
   }
   return offset;
 }

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "core/bounce.hpp"
@@ -174,6 +175,10 @@ std::vector<SweepEstimate> StrideEstimator::walking_cycle(
   const double stride = stride_from_bounce(
       sol.bounce, cfg_.profile.leg_length, cfg_.profile.k);
 
+  // Eq. (3)-(5) outputs are lengths: the bounce and stride handed to the
+  // facade must be non-negative even when the solve is flagged invalid.
+  PTRACK_CHECK_MSG(sol.bounce >= 0.0 && stride >= 0.0,
+                   "walking_cycle: bounce and stride are non-negative");
   std::vector<SweepEstimate> out;
   for (const SweepMeasure& m : measures) {
     SweepEstimate est;
@@ -205,6 +210,8 @@ std::vector<SweepEstimate> StrideEstimator::stepping_cycle(
     est.valid = est.bounce > 0.0 && est.bounce < cfg_.profile.leg_length;
     est.stride = stride_from_bounce(est.bounce, cfg_.profile.leg_length,
                                     cfg_.profile.k);
+    PTRACK_CHECK_MSG(!est.valid || (est.bounce > 0.0 && est.stride > 0.0),
+                     "stepping_cycle: valid estimates carry positive lengths");
     out.push_back(est);
   }
   return out;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/angles.hpp"
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace ptrack::dsp {
@@ -36,6 +37,11 @@ FftPlan make_fft_plan(std::size_t n) {
       tw[k] = {std::cos(a), std::sin(a)};
     }
   }
+  // The per-stage tables are packed back to back: sum over stages of len/2
+  // twiddles is exactly n - 1, and every kernel indexes relative to that
+  // layout (tw = data + len/2 - 1).
+  PTRACK_CHECK_MSG(plan.twiddles.size() == plan.n - 1,
+                   "make_fft_plan: packed twiddle table covers all stages");
   return plan;
 }
 
@@ -217,6 +223,8 @@ std::size_t next_pow2(std::size_t n) {
   expects(n >= 1, "next_pow2: n >= 1");
   std::size_t p = 1;
   while (p < n) p <<= 1;
+  PTRACK_CHECK_MSG((p & (p - 1)) == 0 && p >= n && p < 2 * n,
+                   "next_pow2: tightest covering power of two");
   return p;
 }
 

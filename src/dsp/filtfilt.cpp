@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "dsp/butterworth.hpp"
 #include "dsp/workspace.hpp"
 
@@ -15,6 +16,13 @@ namespace {
 void pad_reflect_into(std::span<const double> xs, std::size_t pad,
                       std::span<double> out) {
   const std::size_t n = xs.size();
+  // Edge-pad bounds: the reflection reads xs[pad - i] and xs[n - 1 - i] for
+  // i up to pad, so the pad must leave at least one interior sample, and the
+  // destination must hold signal + both pads exactly.
+  PTRACK_CHECK_MSG(n >= 1 && pad < n,
+                   "pad_reflect_into: pad shorter than the signal");
+  PTRACK_CHECK_MSG(out.size() == n + 2 * pad,
+                   "pad_reflect_into: output sized to signal + both pads");
   for (std::size_t i = 0; i < pad; ++i) {
     out[i] = 2.0 * xs.front() - xs[pad - i];
   }

@@ -1,14 +1,25 @@
 #include "imu/trace_io.hpp"
 
+#include <cmath>
+
+#include "common/check.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
 
 namespace ptrack::imu {
 
 namespace {
+
 const std::vector<std::string> kHeader = {"t",  "ax", "ay", "az",
                                           "gx", "gy", "gz"};
-}
+
+// Sampling rates outside this band are either metadata corruption or an
+// attempt to drive the resampler/FFT into absurd allocation sizes. Real
+// wearable IMUs sit in [10, 1000] Hz; the band is deliberately wider.
+constexpr double kMinFs = 1e-3;
+constexpr double kMaxFs = 1e6;
+
+}  // namespace
 
 void save_csv(const Trace& trace, const std::string& path) {
   std::vector<std::vector<double>> rows;
@@ -22,23 +33,53 @@ void save_csv(const Trace& trace, const std::string& path) {
   csv::write(path, kHeader, rows);
 }
 
-Trace load_csv(const std::string& path) {
-  const csv::Document doc = csv::read(path);
-  if (doc.header != kHeader) throw Error("load_csv: unexpected header in " + path);
-  if (doc.rows.empty()) throw Error("load_csv: missing metadata row in " + path);
+Trace trace_from_document(const csv::Document& doc, const std::string& name) {
+  if (doc.header != kHeader) {
+    throw Error("trace_from_document: unexpected header in " + name);
+  }
+  if (doc.rows.empty()) {
+    throw Error("trace_from_document: missing metadata row in " + name);
+  }
   const double fs = doc.rows.front().front();
-  if (fs <= 0.0) throw Error("load_csv: invalid fs in " + path);
+  // csv::parse already rejects non-finite cells; re-check here so documents
+  // built programmatically get the same boundary validation.
+  if (!std::isfinite(fs) || fs <= 0.0) {
+    throw Error("trace_from_document: non-finite or non-positive fs in " +
+                name);
+  }
+  if (fs < kMinFs || fs > kMaxFs) {
+    throw Error("trace_from_document: implausible fs " + std::to_string(fs) +
+                " Hz in " + name);
+  }
+  if (doc.rows.size() - 1 > kMaxTraceSamples) {
+    throw Error("trace_from_document: absurd sample count in " + name);
+  }
   std::vector<Sample> samples;
   samples.reserve(doc.rows.size() - 1);
   for (std::size_t i = 1; i < doc.rows.size(); ++i) {
     const auto& r = doc.rows[i];
     Sample s;
     s.t = r[0];
+    if (!std::isfinite(s.t)) {
+      throw Error("trace_from_document: non-finite timestamp in row " +
+                  std::to_string(i + 1) + " of " + name);
+    }
+    if (!samples.empty() && s.t < samples.back().t) {
+      throw Error("trace_from_document: non-monotonic timestamp in row " +
+                  std::to_string(i + 1) + " of " + name);
+    }
     s.accel = {r[1], r[2], r[3]};
     s.gyro = {r[4], r[5], r[6]};
     samples.push_back(s);
   }
-  return Trace(fs, std::move(samples));
+  Trace trace(fs, std::move(samples));
+  PTRACK_CHECK_MSG(trace.size() + 1 == doc.rows.size(),
+                   "trace_from_document: one sample per data row");
+  return trace;
+}
+
+Trace load_csv(const std::string& path) {
+  return trace_from_document(csv::read(path), path);
 }
 
 }  // namespace ptrack::imu

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "imu/trace_io.hpp"
 
@@ -20,8 +21,14 @@ std::vector<core::TrackResult> BatchRunner::run(
   // no locks, and buffer capacities amortize across that worker's traces.
   std::vector<core::PTrack> trackers(pool_.size(), core::PTrack(cfg_));
   pool_.run(traces.size(), [&](std::size_t task, std::size_t worker) {
+    PTRACK_CHECK_MSG(task < results.size() && worker < trackers.size(),
+                     "BatchRunner: task and worker indices in range");
     results[task] = trackers[worker].process(traces[task]);
   });
+  // Deterministic batch contract: results come back positionally, slot i
+  // holding trace i's result regardless of which worker ran it.
+  PTRACK_CHECK_MSG(results.size() == traces.size(),
+                   "BatchRunner: one result per input trace, in input order");
   return results;
 }
 
@@ -45,6 +52,13 @@ std::vector<NamedTrace> load_trace_dir(const std::string& dir) {
   for (const fs::path& p : files) {
     out.push_back({p.filename().string(), imu::load_csv(p.string())});
   }
+  // Directory iteration order is filesystem-dependent; the sort above is
+  // what makes batch runs reproducible across machines.
+  PTRACK_CHECK_MSG(std::is_sorted(out.begin(), out.end(),
+                                  [](const NamedTrace& a, const NamedTrace& b) {
+                                    return a.name < b.name;
+                                  }),
+                   "load_trace_dir: traces ordered by filename");
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.hpp"
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace ptrack::runtime {
@@ -53,7 +54,13 @@ void ThreadPool::execute(Job& job, std::size_t worker) {
       std::lock_guard<std::mutex> lk(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
     }
-    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n_tasks) {
+    const std::size_t completed =
+        job.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    // Task accounting: each of the n_tasks indices is claimed exactly once
+    // via the next counter, so completions can never exceed the task count.
+    PTRACK_CHECK_MSG(completed <= job.n_tasks,
+                     "ThreadPool: completions never exceed the task count");
+    if (completed == job.n_tasks) {
       std::lock_guard<std::mutex> lk(mutex_);
       done_cv_.notify_all();
     }
@@ -82,6 +89,12 @@ void ThreadPool::run(std::size_t n_tasks, const TaskFn& fn) {
     });
     job_ = nullptr;
   }
+  // On return every task ran to completion and the claim counter moved past
+  // the last index (each worker overshoots by exactly one failed claim).
+  PTRACK_CHECK_MSG(job->done.load(std::memory_order_acquire) == n_tasks,
+                   "ThreadPool::run: all tasks completed");
+  PTRACK_CHECK_MSG(job->next.load(std::memory_order_acquire) >= n_tasks,
+                   "ThreadPool::run: claim counter consumed every index");
   if (job->error) std::rethrow_exception(job->error);
 }
 

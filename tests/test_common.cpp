@@ -155,7 +155,7 @@ TEST(Stats, RunningMatchesBatch) {
 
 TEST(Stats, RunningEmptyThrows) {
   stats::Running r;
-  EXPECT_THROW(r.mean(), InvalidArgument);
+  EXPECT_THROW((void)r.mean(), InvalidArgument);
 }
 
 TEST(Cdf, QuantilesAndAt) {

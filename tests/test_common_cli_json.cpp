@@ -59,7 +59,7 @@ TEST(Cli, UnknownOptionThrows) {
 
 TEST(Cli, MalformedValueThrows) {
   const auto a = parse({"--scale", "abc", "--input", "x"}, kSpecs);
-  EXPECT_THROW(a.get_double("scale"), InvalidArgument);
+  EXPECT_THROW((void)a.get_double("scale"), InvalidArgument);
   const auto b = parse({"--count", "1.5x", "--input", "x"}, kSpecs);
   EXPECT_EQ(b.get_int("count"), 1);  // stol parses the leading digits
 }

@@ -54,7 +54,9 @@ TEST(SegmentCycles, PairsNonOverlapping) {
   for (std::size_t i = 0; i < cycles.size(); ++i) {
     EXPECT_LT(cycles[i].begin, cycles[i].mid);
     EXPECT_LT(cycles[i].mid, cycles[i].end);
-    if (i > 0) EXPECT_EQ(cycles[i].begin, cycles[i - 1].end);
+    if (i > 0) {
+      EXPECT_EQ(cycles[i].begin, cycles[i - 1].end);
+    }
   }
 }
 

@@ -25,9 +25,9 @@ TEST(Profile, LongerStrideNeedsBiggerBounce) {
 
 TEST(Profile, BounceForStridePreconditions) {
   synth::UserProfile p;
-  EXPECT_THROW(p.bounce_for_stride(0.0), InvalidArgument);
-  EXPECT_THROW(p.bounce_for_stride(10.0), InvalidArgument);
-  EXPECT_THROW(p.stride_for_bounce(-0.1), InvalidArgument);
+  EXPECT_THROW((void)p.bounce_for_stride(0.0), InvalidArgument);
+  EXPECT_THROW((void)p.bounce_for_stride(10.0), InvalidArgument);
+  EXPECT_THROW((void)p.stride_for_bounce(-0.1), InvalidArgument);
 }
 
 TEST(Profile, MeanStride) {
@@ -50,7 +50,7 @@ TEST(Profile, RandomUsersArePlausible) {
     EXPECT_GT(p.mean_stride(), 0.4);
     EXPECT_LT(p.mean_stride(), 1.1);
     // The implied bounce must be solvable.
-    EXPECT_NO_THROW(p.bounce_for_stride(p.mean_stride()));
+    EXPECT_NO_THROW((void)p.bounce_for_stride(p.mean_stride()));
   }
 }
 

@@ -40,10 +40,11 @@ int main() {
       // per-query distances
       std::cout << "   dist:";
       size_t prev=0;
+      const double nd = static_cast<double>(n);
       for (auto& q : vp) {
-        double best=n;
+        double best=nd;
         for (auto& mpt : ap) best = std::min(best, std::abs((double)mpt.index-(double)q.index));
-        std::cout << " " << best << "(w=" << double(q.index-prev)/n << ")";
+        std::cout << " " << best << "(w=" << static_cast<double>(q.index-prev)/nd << ")";
         prev=q.index;
       }
       std::cout << "\n";

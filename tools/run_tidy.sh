@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# clang-tidy driver over the exported compile database.
+#
+# Usage:
+#   tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build dir defaults to $PTRACK_BUILD_DIR, then ./build. It must have
+# been configured by this repo's CMakeLists (compile_commands.json export is
+# always on). Checks come from the committed .clang-tidy; any finding is an
+# error (WarningsAsErrors: '*'), so exit 0 == zero violations.
+#
+# When no clang-tidy binary is available (e.g. a gcc-only container) the
+# gate reports SKIPPED and exits 0: the warnings-as-errors build and the
+# sanitizer jobs still run, and CI provides the tidy toolchain.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${PTRACK_BUILD_DIR:-${repo_root}/build}"
+if [[ $# -ge 1 && "$1" != "--" ]]; then
+  build_dir="$1"
+  shift
+fi
+if [[ "${1:-}" == "--" ]]; then
+  shift
+fi
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15}; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_tidy: SKIPPED — no clang-tidy binary found (set CLANG_TIDY or" \
+       "install clang-tidy); 0 violations reported" >&2
+  exit 0
+fi
+
+db="${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "run_tidy: ${db} not found — configure first:" >&2
+  echo "  cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
+# First-party translation units only: third-party and generated code are
+# not ours to lint.
+mapfile -t sources < <(
+  cd "${repo_root}" &&
+  find src apps bench tools fuzz examples -name '*.cpp' | sort
+)
+
+echo "run_tidy: ${tidy_bin} over ${#sources[@]} files (database: ${db})"
+status=0
+"${tidy_bin}" -p "${build_dir}" --quiet "$@" \
+  "${sources[@]/#/${repo_root}/}" || status=$?
+
+if [[ ${status} -eq 0 ]]; then
+  echo "run_tidy: zero violations"
+else
+  echo "run_tidy: violations found (exit ${status})" >&2
+fi
+exit ${status}

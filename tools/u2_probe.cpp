@@ -30,7 +30,10 @@ int main() {
     std::cout << "samples covered by candidates: " << covered << " / " << r.trace.size() << "\n";
     // mean stride of events vs truth
     double acc=0; for (auto& e : res.events) acc += e.stride;
-    std::cout << "mean stride est=" << (res.events.empty()?0:acc/res.events.size())
+    std::cout << "mean stride est="
+              << (res.events.empty()
+                      ? 0.0
+                      : acc / static_cast<double>(res.events.size()))
               << " truth=" << user.mean_stride() << "\n";
   }
 }
