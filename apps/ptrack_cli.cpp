@@ -5,14 +5,21 @@
 //              [--events out.csv] [--self-train-distance 140]
 //
 // Batch mode (cohort-scale processing):
-//   ptrack_cli --batch traces_dir [--threads 4] [--json out.json]
+//   ptrack_cli --batch traces_dir [--threads 4] [--json out.json] [--strict]
 //
 // --batch processes every .csv file in the directory (sorted by file name)
 // through the multi-threaded runtime::BatchRunner and prints one summary
 // line per trace; --threads picks the worker count (0 = one per hardware
 // thread). Results are deterministic and independent of the thread count.
-// With --json the per-trace summaries (name, steps, distance) are written
-// as a JSON array.
+// With --json the per-trace summaries (name, steps, distance, quality) are
+// written as a JSON object with "traces" and "errors" arrays.
+//
+// Fault isolation: a trace that fails to load (malformed CSV) or fails in
+// the pipeline is skipped and reported; the rest of the batch completes.
+// By default the exit code stays 0 and the failures are listed on stderr
+// and in the JSON "errors" array. With --strict any per-trace failure
+// makes the run exit 2 (after still processing everything), for pipelines
+// that must not silently drop subjects.
 //
 // The input is the CSV interchange format of imu::save_csv (header
 // t,ax,ay,az,gx,gy,gz with a leading metadata row carrying the sample
@@ -39,46 +46,92 @@ namespace {
 
 int run_batch(const cli::Args& args, const core::PTrackConfig& config) {
   const std::string dir = args.get_string("batch");
-  const auto named = runtime::load_trace_dir(dir);
-  if (named.empty()) {
+  runtime::TraceDirListing listing = runtime::load_trace_dir(dir);
+  if (listing.traces.empty() && listing.errors.empty()) {
     std::cerr << "ptrack_cli: no .csv traces in " << dir << "\n";
     return 1;
   }
 
   std::vector<imu::Trace> traces;
-  traces.reserve(named.size());
-  for (const auto& nt : named) traces.push_back(nt.trace);
+  traces.reserve(listing.traces.size());
+  for (const auto& nt : listing.traces) traces.push_back(nt.trace);
 
   runtime::BatchOptions opt;
   opt.threads = static_cast<std::size_t>(args.get_int("threads"));
   runtime::BatchRunner runner(config, opt);
   const auto results = runner.run(traces);
 
+  // Collect every per-trace failure — load-stage errors keep the file name
+  // BatchRunner never saw; process-stage errors get theirs attached here.
+  std::vector<runtime::TraceError> errors = listing.errors;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].has_value()) continue;
+    runtime::TraceError err = results[i].error();
+    err.trace = listing.traces[i].name;
+    errors.push_back(std::move(err));
+  }
+
   if (!args.get_bool("quiet")) {
-    std::cout << "batch:    " << named.size() << " traces, "
+    std::cout << "batch:    " << listing.traces.size() << " traces, "
               << runner.threads() << " worker thread(s)\n";
-    for (std::size_t i = 0; i < named.size(); ++i) {
-      std::cout << named[i].name << ": " << results[i].steps << " steps, "
-                << results[i].distance() << " m\n";
+    for (std::size_t i = 0; i < listing.traces.size(); ++i) {
+      if (!results[i].has_value()) continue;
+      const core::TrackResult& r = *results[i];
+      std::cout << listing.traces[i].name << ": " << r.steps << " steps, "
+                << r.distance() << " m";
+      if (r.quality.degraded()) {
+        std::cout << " (degraded: " << r.quality.clean_fraction * 100.0
+                  << "% clean, " << r.degraded_steps() << " masked steps)";
+      }
+      std::cout << "\n";
     }
+  }
+  for (const runtime::TraceError& err : errors) {
+    std::cerr << "ptrack_cli: " << err.trace << ": "
+              << runtime::to_string(err.stage) << " error: " << err.message
+              << "\n";
+  }
+  if (!errors.empty()) {
+    std::cerr << "ptrack_cli: " << errors.size() << " of "
+              << (listing.traces.size() + listing.errors.size())
+              << " trace(s) failed"
+              << (args.get_bool("strict") ? "" : " (skipped)") << "\n";
   }
 
   if (args.has("json")) {
     std::ofstream out(args.get_string("json"));
     if (!out) throw Error("cannot open " + args.get_string("json"));
     json::Writer w(out);
-    w.begin_array();
-    for (std::size_t i = 0; i < named.size(); ++i) {
+    w.begin_object();
+    w.key("traces").begin_array();
+    for (std::size_t i = 0; i < listing.traces.size(); ++i) {
+      if (!results[i].has_value()) continue;
+      const core::TrackResult& r = *results[i];
       w.begin_object();
-      w.key("trace").value(named[i].name);
-      w.key("steps").value(results[i].steps);
-      w.key("distance_m").value(results[i].distance());
+      w.key("trace").value(listing.traces[i].name);
+      w.key("steps").value(r.steps);
+      w.key("distance_m").value(r.distance());
+      w.key("clean_fraction").value(r.quality.clean_fraction);
+      w.key("repaired_fraction").value(r.quality.repaired_fraction);
+      w.key("masked_fraction").value(r.quality.masked_fraction);
+      w.key("degraded_steps").value(r.degraded_steps());
       w.end_object();
     }
     w.end_array();
+    w.key("errors").begin_array();
+    for (const runtime::TraceError& err : errors) {
+      w.begin_object();
+      w.key("trace").value(err.trace);
+      w.key("stage").value(std::string(runtime::to_string(err.stage)));
+      w.key("message").value(err.message);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
     check(w.complete(), "ptrack_cli: complete JSON document");
     out << '\n';
   }
+  if (!errors.empty() && args.get_bool("strict")) return 2;
   return 0;
 }
 
@@ -102,6 +155,10 @@ int run(int argc, char** argv) {
                    false},
                   {"events", "write per-step events as CSV to this file", "",
                    false},
+                  {"strict",
+                   "batch mode: exit 2 when any trace fails (default: skip "
+                   "failed traces and report them)",
+                   "", true},
                   {"quiet", "suppress the console summary", "", true}});
   if (args.help_requested()) {
     std::cout << args.usage("ptrack_cli");

@@ -1,0 +1,83 @@
+// Result-or-error vocabulary type for fault-isolated batch execution.
+//
+// A cohort run must not let one bad trace abort the other ten thousand:
+// runtime::BatchRunner and runtime::load_trace_dir report per-item failures
+// as values instead of exceptions, and Expected<T, E> is the carrier. It is
+// a deliberately small subset of std::expected (C++23, not yet available on
+// every toolchain we target): implicit construction from a value or from
+// Unexpected<E>, observers, and value_or. Accessing the wrong alternative
+// throws ptrack::Error — misuse must be loud, per the error.hpp policy.
+
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+
+namespace ptrack {
+
+/// Wraps an error value so Expected<T, E> construction is unambiguous even
+/// when T and E are convertible to each other.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+[[nodiscard]] Unexpected<std::decay_t<E>> make_unexpected(E&& error) {
+  return Unexpected<std::decay_t<E>>{std::forward<E>(error)};
+}
+
+/// Holds either a success value T or an error E. Default-constructs to a
+/// default T (a success), so vectors of Expected can be sized up front and
+/// filled positionally by worker threads.
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected() : v_(std::in_place_index<0>) {}
+  Expected(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> error)
+      : v_(std::in_place_index<1>, std::move(error.error)) {}
+
+  [[nodiscard]] bool has_value() const { return v_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    expects_value();
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T& value() & {
+    expects_value();
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    expects_value();
+    return std::get<0>(std::move(v_));
+  }
+
+  [[nodiscard]] const E& error() const& {
+    if (has_value()) throw Error("Expected: error() called on a value");
+    return std::get<1>(v_);
+  }
+  [[nodiscard]] E& error() & {
+    if (has_value()) throw Error("Expected: error() called on a value");
+    return std::get<1>(v_);
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(v_) : std::move(fallback);
+  }
+
+ private:
+  void expects_value() const {
+    if (!has_value()) throw Error("Expected: value() called on an error");
+  }
+
+  std::variant<T, E> v_;
+};
+
+}  // namespace ptrack

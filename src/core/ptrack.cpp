@@ -15,6 +15,50 @@ void PTrack::set_profile(const StrideProfile& profile) {
 
 TrackResult PTrack::process(const imu::Trace& trace) const {
   if (trace.size() < 16) return {};
+  if (!cfg_.quality.enabled) return process_repaired(trace);
+
+  const imu::QualityResult repaired =
+      imu::assess_and_repair(trace, cfg_.quality);
+  if (!repaired.report.usable) {
+    throw Error("PTrack::process: trace unusable (" +
+                std::to_string(repaired.report.nonfinite_samples) + " of " +
+                std::to_string(trace.size()) +
+                " samples non-finite or nonphysical)");
+  }
+  TrackResult result = process_repaired(repaired.trace);
+
+  const imu::QualityReport& report = repaired.report;
+  result.quality.clean_fraction = report.clean_fraction;
+  result.quality.repaired_fraction = report.repaired_fraction;
+  result.quality.masked_fraction = report.masked_fraction;
+  result.quality.dropout_samples = report.dropout_samples;
+  result.quality.saturated_samples = report.saturated_samples;
+  result.quality.spike_samples = report.spike_samples;
+  result.quality.nonfinite_samples = report.nonfinite_samples;
+
+  // Per-cycle confidence, and per-step confidence over each step's
+  // half-cycle — events were emitted two per counted cycle ([begin, mid)
+  // then [mid, end)), in cycle order, the same lockstep the stride fill
+  // below relies on.
+  std::size_t event_idx = 0;
+  for (CycleRecord& cycle : result.cycles) {
+    cycle.quality = 1.0 - report.fraction_flagged(cycle.begin, cycle.end);
+    if (cycle.type == GaitType::Interference) continue;
+    check(event_idx + 2 <= result.events.size(),
+          "PTrack::process: events align with counted cycles");
+    const std::size_t bounds[3] = {cycle.begin, cycle.mid, cycle.end};
+    for (std::size_t j = 0; j < 2; ++j) {
+      StepEvent& e = result.events[event_idx + j];
+      e.quality = 1.0 - report.fraction_flagged(bounds[j], bounds[j + 1]);
+      e.degraded = report.fraction_masked(bounds[j], bounds[j + 1]) > 0.5;
+    }
+    event_idx += 2;
+  }
+  return result;
+}
+
+TrackResult PTrack::process_repaired(const imu::Trace& trace) const {
+  if (trace.size() < 16) return {};
   const ProjectedTrace projected =
       cfg_.counter.use_attitude_filter
           ? project_trace_with_attitude(trace, cfg_.counter.lowpass_hz,

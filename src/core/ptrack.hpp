@@ -15,6 +15,7 @@
 #include "core/stride_estimator.hpp"
 #include "core/types.hpp"
 #include "dsp/workspace.hpp"
+#include "imu/quality.hpp"
 #include "imu/trace.hpp"
 #include "models/step_counter.hpp"
 
@@ -24,6 +25,11 @@ namespace ptrack::core {
 struct PTrackConfig {
   StepCounterConfig counter{};
   StrideConfig stride{};
+  /// Signal-quality layer: degraded input (dropouts, saturation, spikes,
+  /// garbage cells) is detected and repaired before the pipeline runs, and
+  /// every emitted step carries a confidence. Set quality.enabled = false
+  /// to process the raw samples verbatim (repair-off ablation).
+  imu::QualityConfig quality{};
 };
 
 /// The full PTrack pipeline: projection -> segmentation -> gait
@@ -40,13 +46,20 @@ class PTrack {
   explicit PTrack(PTrackConfig cfg = {});
 
   /// Runs the full pipeline over a trace. Every counted step's event gets
-  /// its stride filled in (0 when the geometry solve degenerates).
+  /// its stride filled in (0 when the geometry solve degenerates). With the
+  /// quality layer enabled (default) the trace is assessed and repaired
+  /// first, and the result's quality/confidence fields are populated;
+  /// throws ptrack::Error when the trace is unusable (dominated by
+  /// non-finite or nonphysical cells — there is no signal to track).
   [[nodiscard]] TrackResult process(const imu::Trace& trace) const;
 
   [[nodiscard]] const PTrackConfig& config() const { return cfg_; }
   void set_profile(const StrideProfile& profile);
 
  private:
+  /// The pre-quality pipeline body (projection -> counting -> strides).
+  [[nodiscard]] TrackResult process_repaired(const imu::Trace& trace) const;
+
   PTrackConfig cfg_;
   StepCounter counter_;
   StrideEstimator estimator_;

@@ -67,7 +67,10 @@ std::vector<StepEvent> StreamingTracker::poll() {
   std::vector<StepEvent> out;
   out.swap(ready_);
   emitted_steps_ += out.size();
-  for (const StepEvent& e : out) emitted_distance_ += e.stride;
+  for (const StepEvent& e : out) {
+    emitted_distance_ += e.stride;
+    emitted_degraded_ += e.degraded ? 1 : 0;
+  }
   return out;
 }
 

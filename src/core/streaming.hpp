@@ -64,6 +64,13 @@ class StreamingTracker {
   /// Steps emitted so far (confirmed only).
   [[nodiscard]] std::size_t steps() const { return emitted_steps_; }
 
+  /// Emitted steps flagged degraded (their half-cycle was majority-masked
+  /// by the quality layer; see StepEvent::degraded). Each polled event also
+  /// carries its own quality/degraded fields.
+  [[nodiscard]] std::size_t degraded_steps() const {
+    return emitted_degraded_;
+  }
+
   /// Distance walked so far (sum of emitted strides, m).
   [[nodiscard]] double distance() const { return emitted_distance_; }
 
@@ -85,6 +92,7 @@ class StreamingTracker {
   double emit_frontier_ = 0.0;       ///< events up to here were emitted
   std::vector<StepEvent> ready_;     ///< confirmed, not yet polled
   std::size_t emitted_steps_ = 0;
+  std::size_t emitted_degraded_ = 0;
   double emitted_distance_ = 0.0;
 };
 

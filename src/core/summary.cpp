@@ -42,6 +42,15 @@ ActivitySummary summarize(const TrackResult& result, double fs) {
   if (with_stride > 0) {
     s.mean_stride_m /= static_cast<double>(with_stride);
   }
+
+  s.clean_fraction = result.quality.clean_fraction;
+  s.repaired_fraction = result.quality.repaired_fraction;
+  s.masked_fraction = result.quality.masked_fraction;
+  s.degraded_steps = result.degraded_steps();
+  if (!result.events.empty()) {
+    for (const StepEvent& e : result.events) s.mean_step_quality += e.quality;
+    s.mean_step_quality /= static_cast<double>(result.events.size());
+  }
   return s;
 }
 

@@ -19,6 +19,15 @@ struct ActivitySummary {
   double mean_cadence_hz = 0.0;   ///< steps per active second (0 if none)
   double mean_stride_m = 0.0;     ///< mean per-step stride (0 if none)
   double max_stride_m = 0.0;
+
+  // Signal-quality rollup (see core::SignalQuality / imu::QualityReport):
+  // a truthful activity report must say how much of it stands on repaired
+  // or reconstructed data.
+  double clean_fraction = 1.0;    ///< trace samples left untouched
+  double repaired_fraction = 0.0; ///< trace samples gap-filled
+  double masked_fraction = 0.0;   ///< trace samples hard-masked
+  double mean_step_quality = 0.0; ///< mean StepEvent::quality (0 if no steps)
+  std::size_t degraded_steps = 0; ///< steps flagged StepEvent::degraded
 };
 
 /// Builds the summary. `fs` is the trace's sample rate (used to convert the

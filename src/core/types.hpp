@@ -29,6 +29,12 @@ struct StepEvent {
   double t = 0.0;        ///< completion time (s)
   double stride = 0.0;   ///< estimated stride (m); 0 when unavailable
   GaitType type = GaitType::Walking;
+  /// Fraction of the step's half-cycle covered by untouched (neither
+  /// repaired nor masked) samples; 1 on a clean trace.
+  double quality = 1.0;
+  /// True when the majority of the step's half-cycle was hard-masked: the
+  /// step is still reported, but it stands on reconstructed ground.
+  bool degraded = false;
 };
 
 /// One analyzed candidate gait cycle (diagnostics; Fig. 6(b) breakdown).
@@ -40,6 +46,21 @@ struct CycleRecord {
   double offset = 0.0;    ///< Eq. (1) offset of the cycle
   double half_cycle_corr = 0.0;  ///< C at the half-cycle lag
   bool phase_ok = false;  ///< quarter-period phase gate result
+  double quality = 1.0;   ///< fraction of the cycle's samples left untouched
+};
+
+/// Condensed per-trace signal-quality record (mirrors imu::QualityReport
+/// without the per-sample flag vector; fractions are over the trace).
+struct SignalQuality {
+  double clean_fraction = 1.0;     ///< samples passed through untouched
+  double repaired_fraction = 0.0;  ///< samples gap-filled by interpolation
+  double masked_fraction = 0.0;    ///< samples replaced by the neutral value
+  std::size_t dropout_samples = 0;
+  std::size_t saturated_samples = 0;
+  std::size_t spike_samples = 0;
+  std::size_t nonfinite_samples = 0;
+
+  [[nodiscard]] bool degraded() const { return clean_fraction < 1.0; }
 };
 
 /// Step-counter configuration. Defaults follow the paper where it gives
@@ -128,12 +149,20 @@ struct TrackResult {
   std::size_t steps = 0;
   std::vector<StepEvent> events;
   std::vector<CycleRecord> cycles;
+  SignalQuality quality{};  ///< trace-level signal quality (1.0/clean default)
 
   /// Total walked distance (sum of per-step strides).
   [[nodiscard]] double distance() const {
     double d = 0.0;
     for (const StepEvent& e : events) d += e.stride;
     return d;
+  }
+
+  /// Steps whose half-cycle was majority-masked (reported but untrusted).
+  [[nodiscard]] std::size_t degraded_steps() const {
+    std::size_t n = 0;
+    for (const StepEvent& e : events) n += e.degraded ? 1 : 0;
+    return n;
   }
 };
 

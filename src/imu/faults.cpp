@@ -42,8 +42,19 @@ Trace clip_acceleration(const Trace& trace, double limit) {
   return Trace(trace.fs(), std::move(samples));
 }
 
+Trace clip_gyro(const Trace& trace, double limit) {
+  expects(limit > 0.0, "clip_gyro: limit > 0");
+  std::vector<Sample> samples = trace.samples();
+  for (Sample& s : samples) {
+    s.gyro.x = std::clamp(s.gyro.x, -limit, limit);
+    s.gyro.y = std::clamp(s.gyro.y, -limit, limit);
+    s.gyro.z = std::clamp(s.gyro.z, -limit, limit);
+  }
+  return Trace(trace.fs(), std::move(samples));
+}
+
 Trace inject_spikes(const Trace& trace, double rate_per_min, double glitch_g,
-                    Rng& rng) {
+                    Rng& rng, FaultChannels channels) {
   expects(rate_per_min >= 0.0, "inject_spikes: rate >= 0");
   std::vector<Sample> samples = trace.samples();
   if (samples.empty() || rate_per_min == 0.0) {
@@ -56,12 +67,16 @@ Trace inject_spikes(const Trace& trace, double rate_per_min, double glitch_g,
         rng.uniform_int(0, static_cast<int>(samples.size() - 1)));
     const int axis = rng.uniform_int(0, 2);
     const double v = (rng.chance(0.5) ? 1.0 : -1.0) * glitch_g * kGravity;
+    const bool hit_gyro =
+        channels == FaultChannels::Gyro ||
+        (channels == FaultChannels::Both && rng.chance(0.5));
+    Vec3& target = hit_gyro ? samples[i].gyro : samples[i].accel;
     if (axis == 0) {
-      samples[i].accel.x = v;
+      target.x = v;
     } else if (axis == 1) {
-      samples[i].accel.y = v;
+      target.y = v;
     } else {
-      samples[i].accel.z = v;
+      target.z = v;
     }
   }
   return Trace(trace.fs(), std::move(samples));

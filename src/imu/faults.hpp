@@ -2,7 +2,8 @@
 // exhibits beyond Gaussian noise — dropped sample runs (BLE/driver
 // hiccups; the driver repeats the last value), range clipping (cheap
 // accelerometers saturate around +-4g or +-8g) and stuck-at glitches.
-// Used by robustness tests and the fault-injection bench.
+// Used by robustness tests and the fault-injection bench. Each injector has
+// a dual detector in imu/quality.hpp; keep the two in sync.
 
 #pragma once
 
@@ -11,9 +12,15 @@
 
 namespace ptrack::imu {
 
+/// Which sensor channels a fault corrupts. Accel keeps the historical
+/// accelerometer-only behavior; gyroscopes on the same bus glitch the same
+/// way, so Gyro/Both model whole-IMU transport faults.
+enum class FaultChannels { Accel, Gyro, Both };
+
 /// Replaces randomly placed runs of samples with the value preceding the
-/// run (sample-and-hold dropout, as real drivers do). `rate_per_min` runs
-/// per minute on average; each run lasts uniform [min_len, max_len]
+/// run (sample-and-hold dropout, as real drivers do; accel and gyro are
+/// held together — a dropped packet drops the whole sample). `rate_per_min`
+/// runs per minute on average; each run lasts uniform [min_len, max_len]
 /// samples. Deterministic given `rng`.
 Trace inject_dropouts(const Trace& trace, double rate_per_min,
                       std::size_t min_len, std::size_t max_len, Rng& rng);
@@ -22,9 +29,17 @@ Trace inject_dropouts(const Trace& trace, double rate_per_min,
 /// emulating range saturation. limit > 0.
 Trace clip_acceleration(const Trace& trace, double limit);
 
+/// Clips every gyro component into [-limit, +limit] (rad/s), emulating
+/// angular-rate range saturation. limit > 0.
+Trace clip_gyro(const Trace& trace, double limit);
+
 /// Replaces isolated random samples with a large spike (glitch_g times
-/// gravity along a random axis) — transport-layer corruption.
+/// gravity along a random axis) — transport-layer corruption. The glitch
+/// value is glitch_g * kGravity numerically on whichever channel is hit
+/// (m/s^2 on accel, rad/s on gyro): register-level corruption does not
+/// respect units. `channels` selects the corrupted sensor; Accel is the
+/// historical default.
 Trace inject_spikes(const Trace& trace, double rate_per_min, double glitch_g,
-                    Rng& rng);
+                    Rng& rng, FaultChannels channels = FaultChannels::Accel);
 
 }  // namespace ptrack::imu

@@ -1,0 +1,346 @@
+#include "imu/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::imu {
+
+namespace {
+
+void set_flag(std::uint8_t& f, std::uint8_t bit) {
+  f = static_cast<std::uint8_t>(f | bit);
+}
+
+bool finite_and_bounded(double v, double limit) {
+  return std::isfinite(v) && std::abs(v) <= limit;
+}
+
+bool sample_physical(const Sample& s, const QualityConfig& cfg) {
+  return finite_and_bounded(s.accel.x, cfg.nonphysical_accel) &&
+         finite_and_bounded(s.accel.y, cfg.nonphysical_accel) &&
+         finite_and_bounded(s.accel.z, cfg.nonphysical_accel) &&
+         finite_and_bounded(s.gyro.x, cfg.nonphysical_gyro) &&
+         finite_and_bounded(s.gyro.y, cfg.nonphysical_gyro) &&
+         finite_and_bounded(s.gyro.z, cfg.nonphysical_gyro);
+}
+
+double max_abs_accel(const Sample& s) {
+  return std::max({std::abs(s.accel.x), std::abs(s.accel.y),
+                   std::abs(s.accel.z)});
+}
+
+double max_abs_gyro(const Sample& s) {
+  return std::max({std::abs(s.gyro.x), std::abs(s.gyro.y),
+                   std::abs(s.gyro.z)});
+}
+
+void detect_nonfinite(const std::vector<Sample>& samples,
+                      const QualityConfig& cfg,
+                      std::vector<std::uint8_t>& flags) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (!sample_physical(samples[i], cfg)) set_flag(flags[i], kFlagNonFinite);
+  }
+}
+
+void detect_dropouts(const std::vector<Sample>& samples,
+                     const QualityConfig& cfg,
+                     std::vector<std::uint8_t>& flags) {
+  // A held run repeats the *whole* sample (accel and gyro): a dropped
+  // transport packet loses both, and requiring both makes the detector
+  // immune to one quantized channel idling while the other still moves.
+  std::size_t i = 1;
+  while (i < samples.size()) {
+    const bool held = (flags[i] & kFlagNonFinite) == 0 &&
+                      (flags[i - 1] & kFlagNonFinite) == 0 &&
+                      samples[i].accel == samples[i - 1].accel &&
+                      samples[i].gyro == samples[i - 1].gyro;
+    if (!held) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < samples.size() && (flags[j] & kFlagNonFinite) == 0 &&
+           samples[j].accel == samples[j - 1].accel &&
+           samples[j].gyro == samples[j - 1].gyro) {
+      ++j;
+    }
+    if (j - i >= cfg.min_dropout_run) {
+      for (std::size_t k = i; k < j; ++k) set_flag(flags[k], kFlagDropout);
+    }
+    i = j;
+  }
+}
+
+void detect_saturation(const std::vector<Sample>& samples,
+                       const QualityConfig& cfg,
+                       std::vector<std::uint8_t>& flags) {
+  double accel_limit = cfg.saturation_limit;
+  if (accel_limit <= 0.0) {
+    // Auto-detect: clipping pins several samples to the exact same rail
+    // value — a continuous noisy signal never repeats its maximum exactly.
+    double rail = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if ((flags[i] & kFlagNonFinite) == 0) {
+        rail = std::max(rail, max_abs_accel(samples[i]));
+      }
+    }
+    std::size_t at_rail = 0;
+    if (rail > 1.2 * kGravity) {  // below that it is just gravity at rest
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if ((flags[i] & kFlagNonFinite) == 0 &&
+            max_abs_accel(samples[i]) >= rail * (1.0 - 1e-12)) {
+          ++at_rail;
+        }
+      }
+    }
+    if (at_rail >= cfg.min_saturation_plateau) accel_limit = rail;
+  }
+  if (accel_limit > 0.0) {
+    const double thr = accel_limit * (1.0 - 1e-9);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if ((flags[i] & kFlagNonFinite) == 0 &&
+          max_abs_accel(samples[i]) >= thr) {
+        set_flag(flags[i], kFlagSaturated);
+      }
+    }
+  }
+  if (cfg.gyro_saturation_limit > 0.0) {
+    const double thr = cfg.gyro_saturation_limit * (1.0 - 1e-9);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if ((flags[i] & kFlagNonFinite) == 0 &&
+          max_abs_gyro(samples[i]) >= thr) {
+        set_flag(flags[i], kFlagSaturated);
+      }
+    }
+  }
+}
+
+void detect_component_spikes(const std::vector<Sample>& samples,
+                             double delta, double Vec3::*comp,
+                             Vec3 Sample::*channel,
+                             std::vector<std::uint8_t>& flags) {
+  for (std::size_t i = 1; i + 1 < samples.size(); ++i) {
+    if (flags[i] != kFlagClean) continue;
+    if ((flags[i - 1] | flags[i + 1]) & kFlagNonFinite) continue;
+    const double prev = samples[i - 1].*channel.*comp;
+    const double cur = samples[i].*channel.*comp;
+    const double next = samples[i + 1].*channel.*comp;
+    const double d_prev = cur - prev;
+    const double d_next = cur - next;
+    // Excursion-and-return: the sample departs from BOTH neighbors in the
+    // same direction. A genuine fast motion moves the neighbors with it.
+    if (std::abs(d_prev) > delta && std::abs(d_next) > delta &&
+        d_prev * d_next > 0.0) {
+      set_flag(flags[i], kFlagSpike);
+    }
+  }
+}
+
+void detect_spikes(const std::vector<Sample>& samples,
+                   const QualityConfig& cfg,
+                   std::vector<std::uint8_t>& flags) {
+  for (double Vec3::*comp : {&Vec3::x, &Vec3::y, &Vec3::z}) {
+    detect_component_spikes(samples, cfg.spike_delta, comp, &Sample::accel,
+                            flags);
+    detect_component_spikes(samples, cfg.gyro_spike_delta, comp,
+                            &Sample::gyro, flags);
+  }
+}
+
+/// Cubic Hermite fill of one component over the gap [a, b) using the clean
+/// endpoint samples a-1 and b, with one-sided tangents when the outer
+/// neighbors are clean too. For a clipped peak the endpoint slopes point
+/// "into" the gap, so the curve bulges beyond the endpoints — a first-order
+/// reconstruction of the cut-off extremum.
+void hermite_fill(std::vector<Sample>& samples,
+                  const std::vector<std::uint8_t>& flags, std::size_t a,
+                  std::size_t b, double Vec3::*comp, Vec3 Sample::*channel) {
+  const std::size_t n = samples.size();
+  const double p0 = samples[a - 1].*channel.*comp;
+  const double p1 = samples[b].*channel.*comp;
+  const auto span = static_cast<double>(b - a + 1);
+  const double secant = (p1 - p0) / span;
+  const double m0 = (a >= 2 && flags[a - 2] == kFlagClean)
+                        ? samples[a - 1].*channel.*comp -
+                              samples[a - 2].*channel.*comp
+                        : secant;
+  const double m1 = (b + 1 < n && flags[b + 1] == kFlagClean)
+                        ? samples[b + 1].*channel.*comp -
+                              samples[b].*channel.*comp
+                        : secant;
+  for (std::size_t i = a; i < b; ++i) {
+    const double u = static_cast<double>(i - a + 1) / span;
+    const double u2 = u * u;
+    const double u3 = u2 * u;
+    const double h00 = 2.0 * u3 - 3.0 * u2 + 1.0;
+    const double h10 = u3 - 2.0 * u2 + u;
+    const double h01 = -2.0 * u3 + 3.0 * u2;
+    const double h11 = u3 - u2;
+    samples[i].*channel.*comp = h00 * p0 + h10 * (m0 * span) + h01 * p1 +
+                                h11 * (m1 * span);
+  }
+}
+
+void validate(const QualityConfig& cfg) {
+  expects(cfg.min_dropout_run >= 1, "quality: min_dropout_run >= 1");
+  expects(cfg.spike_delta > 0.0 && cfg.gyro_spike_delta > 0.0,
+          "quality: spike thresholds > 0");
+  expects(cfg.nonphysical_accel > 0.0 && cfg.nonphysical_gyro > 0.0,
+          "quality: nonphysical limits > 0");
+  expects(cfg.max_fill_s >= 0.0, "quality: max_fill_s >= 0");
+  expects(cfg.min_usable_fraction >= 0.0 && cfg.min_usable_fraction <= 1.0,
+          "quality: min_usable_fraction in [0,1]");
+  expects(cfg.window_s > 0.0, "quality: window_s > 0");
+}
+
+/// Shared worker: detection, repair planning and (when `repaired` is
+/// non-null) the actual value rewrite.
+QualityReport analyze(const Trace& trace, const QualityConfig& cfg,
+                      std::vector<Sample>* repaired) {
+  validate(cfg);
+  QualityReport report;
+  const std::size_t n = trace.size();
+  report.flags.assign(n, kFlagClean);
+  report.window_s = cfg.window_s;
+  if (!cfg.enabled || n == 0) {
+    if (n > 0) {
+      const auto window_len = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(cfg.window_s * trace.fs())));
+      report.window_flags.assign((n + window_len - 1) / window_len,
+                                 kFlagClean);
+      report.window_s = static_cast<double>(window_len) / trace.fs();
+    }
+    return report;
+  }
+
+  const std::vector<Sample>& samples = trace.samples();
+  std::vector<std::uint8_t>& flags = report.flags;
+  detect_nonfinite(samples, cfg, flags);
+  detect_dropouts(samples, cfg, flags);
+  detect_saturation(samples, cfg, flags);
+  detect_spikes(samples, cfg, flags);
+
+  // Neutral hold value for masked regions: the mean clean sample. With any
+  // gravity-bearing trace that is approximately the gravity vector, i.e. a
+  // stationary device — masked stretches cannot fabricate steps.
+  Vec3 neutral_accel{0.0, 0.0, kGravity};
+  Vec3 neutral_gyro{};
+  std::size_t clean_count = 0;
+  Vec3 accel_sum{};
+  Vec3 gyro_sum{};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (flags[i] == kFlagClean) {
+      accel_sum += samples[i].accel;
+      gyro_sum += samples[i].gyro;
+      ++clean_count;
+    }
+  }
+  if (clean_count > 0) {
+    neutral_accel = accel_sum / static_cast<double>(clean_count);
+    neutral_gyro = gyro_sum / static_cast<double>(clean_count);
+  }
+
+  const auto max_fill = static_cast<std::size_t>(
+      std::llround(cfg.max_fill_s * trace.fs()));
+
+  // Repair plan over maximal flagged runs. Interpolation needs a clean
+  // sample on both sides; runs that are too long, touch a trace edge, or
+  // carry no usable endpoints are hard-masked instead.
+  std::size_t i = 0;
+  while (i < n) {
+    if (flags[i] == kFlagClean) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && flags[j] != kFlagClean) ++j;
+    const bool fillable = (j - i) <= max_fill && i > 0 && j < n;
+    for (std::size_t k = i; k < j; ++k) {
+      set_flag(flags[k], fillable ? kFlagRepaired : kFlagMasked);
+    }
+    if (repaired != nullptr) {
+      if (fillable) {
+        for (double Vec3::*comp : {&Vec3::x, &Vec3::y, &Vec3::z}) {
+          hermite_fill(*repaired, flags, i, j, comp, &Sample::accel);
+          hermite_fill(*repaired, flags, i, j, comp, &Sample::gyro);
+        }
+      } else {
+        for (std::size_t k = i; k < j; ++k) {
+          (*repaired)[k].accel = neutral_accel;
+          (*repaired)[k].gyro = neutral_gyro;
+        }
+      }
+    }
+    i = j;
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    if (flags[k] & kFlagDropout) ++report.dropout_samples;
+    if (flags[k] & kFlagSaturated) ++report.saturated_samples;
+    if (flags[k] & kFlagSpike) ++report.spike_samples;
+    if (flags[k] & kFlagNonFinite) ++report.nonfinite_samples;
+    if (flags[k] & kFlagRepaired) ++report.repaired_samples;
+    if (flags[k] & kFlagMasked) ++report.masked_samples;
+  }
+  PTRACK_CHECK_MSG(report.repaired_samples + report.masked_samples <= n,
+                   "quality: repair plan covers each sample at most once");
+  const auto dn = static_cast<double>(n);
+  report.repaired_fraction = static_cast<double>(report.repaired_samples) / dn;
+  report.masked_fraction = static_cast<double>(report.masked_samples) / dn;
+  report.clean_fraction =
+      1.0 - report.repaired_fraction - report.masked_fraction;
+  // Usability gates on *information content*: held or clipped stretches are
+  // still a (degraded) record of real motion and repair recovers them, but
+  // non-finite/nonphysical cells are pure garbage. A trace dominated by
+  // garbage has nothing to track.
+  report.usable = (dn - static_cast<double>(report.nonfinite_samples)) / dn >=
+                  cfg.min_usable_fraction;
+
+  const auto window_len = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(cfg.window_s * trace.fs())));
+  report.window_s = static_cast<double>(window_len) / trace.fs();
+  report.window_flags.assign((n + window_len - 1) / window_len, kFlagClean);
+  for (std::size_t k = 0; k < n; ++k) {
+    set_flag(report.window_flags[k / window_len], flags[k]);
+  }
+  return report;
+}
+
+double fraction_with(const std::vector<std::uint8_t>& flags,
+                     std::size_t begin, std::size_t end,
+                     std::uint8_t mask) {
+  end = std::min(end, flags.size());
+  if (begin >= end) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (flags[i] & mask) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+double QualityReport::fraction_flagged(std::size_t begin,
+                                       std::size_t end) const {
+  return fraction_with(flags, begin, end, 0xFF);
+}
+
+double QualityReport::fraction_masked(std::size_t begin,
+                                      std::size_t end) const {
+  return fraction_with(flags, begin, end, kFlagMasked);
+}
+
+QualityReport assess(const Trace& trace, const QualityConfig& cfg) {
+  return analyze(trace, cfg, nullptr);
+}
+
+QualityResult assess_and_repair(const Trace& trace, const QualityConfig& cfg) {
+  std::vector<Sample> samples = trace.samples();
+  QualityReport report = analyze(trace, cfg, &samples);
+  return {Trace(trace.fs(), std::move(samples)), std::move(report)};
+}
+
+}  // namespace ptrack::imu

@@ -1,0 +1,143 @@
+// Signal-quality assessment and repair: the detector duals of the fault
+// injectors in imu/faults.hpp.
+//
+// A deployed wearable degrades in mundane ways long before anything is
+// adversarial: BLE dropouts arrive as sample-and-hold runs, cheap MEMS
+// ranges saturate, transport glitches land as isolated spikes, and
+// malformed records carry non-finite or nonphysical values. This module
+// detects those shapes in a raw trace, repairs what is recoverable (short
+// gaps are interpolated; long gaps are hard-masked to a neutral stationary
+// value so they cannot fabricate steps), and reports per-sample and
+// per-window flags so the pipeline can attach a confidence to every step
+// it emits instead of silently counting through garbage.
+//
+// Duality contract (kept in sync with imu/faults.hpp and exercised by
+// tests/test_imu_quality.cpp): every injector's output is detected by the
+// corresponding detector at default thresholds, and the detectors stay
+// silent on clean synthesized traces.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "imu/trace.hpp"
+
+namespace ptrack::imu {
+
+/// Per-sample quality flags (bitmask). Detector bits record *what* was
+/// wrong; Repaired/Masked record what the repair pass did about it.
+enum SampleFlag : std::uint8_t {
+  kFlagClean = 0,
+  kFlagDropout = 1u << 0,    ///< inside a sample-and-hold run
+  kFlagSaturated = 1u << 1,  ///< at the range-clipping plateau
+  kFlagSpike = 1u << 2,      ///< isolated one-sample excursion
+  kFlagNonFinite = 1u << 3,  ///< NaN/Inf or nonphysical magnitude
+  kFlagRepaired = 1u << 4,   ///< value replaced by gap interpolation
+  kFlagMasked = 1u << 5,     ///< value replaced by the neutral hold value
+};
+
+/// Detector and repair thresholds. Defaults are deliberately conservative:
+/// consecutive samples of a noisy real sensor never repeat exactly, never
+/// jump by multiple g within 10 ms, and never dwell at their exact maximum
+/// — so a clean trace produces zero flags.
+struct QualityConfig {
+  /// Master switch: disabled means assess_and_repair is the identity and
+  /// reports a fully clean trace (for ablation and repair-off benching).
+  bool enabled = true;
+
+  /// A run of >= this many *held* samples (identical accel AND gyro to the
+  /// preceding sample) is a dropout.
+  std::size_t min_dropout_run = 3;
+
+  /// Known accelerometer full-scale range (m/s^2); samples at the rail are
+  /// saturated. 0 = auto-detect a clipping plateau (several samples sitting
+  /// exactly at the trace's absolute maximum).
+  double saturation_limit = 0.0;
+  /// Known gyro full-scale range (rad/s); 0 disables gyro saturation
+  /// detection (no auto-detect: wrist rates legitimately dwell near peaks).
+  double gyro_saturation_limit = 0.0;
+  /// Auto-detect needs at least this many samples at the exact rail.
+  std::size_t min_saturation_plateau = 4;
+
+  /// One-sample excursion-and-return beyond this is a spike (m/s^2).
+  double spike_delta = 3.0 * kGravity;
+  /// Gyro spike threshold (rad/s); a wrist peaks around 10 rad/s.
+  double gyro_spike_delta = 25.0;
+
+  /// Accel components beyond this magnitude are transport garbage, not
+  /// motion (m/s^2; ~1000 g — no wearable survives that).
+  double nonphysical_accel = 1.0e4;
+  /// Gyro components beyond this magnitude are garbage (rad/s).
+  double nonphysical_gyro = 1.0e4;
+
+  /// Flagged runs up to this long (s) are gap-filled by interpolation;
+  /// longer runs are hard-masked: no interpolation can invent half a gait
+  /// cycle, and a fabricated bridge would be counted as steps.
+  double max_fill_s = 0.25;
+
+  /// Below this fraction of clean-or-repaired samples the trace carries no
+  /// usable signal; PTrack::process refuses it (QualityReport::usable).
+  double min_usable_fraction = 0.25;
+
+  /// Granularity of QualityReport::window_flags (s).
+  double window_s = 1.0;
+};
+
+/// Per-trace quality assessment. Fractions are over the trace's samples.
+struct QualityReport {
+  std::vector<std::uint8_t> flags;         ///< per-sample SampleFlag bits
+  std::vector<std::uint8_t> window_flags;  ///< OR of flags per window
+  double window_s = 1.0;                   ///< realized window length (s)
+
+  std::size_t dropout_samples = 0;
+  std::size_t saturated_samples = 0;
+  std::size_t spike_samples = 0;
+  std::size_t nonfinite_samples = 0;
+  std::size_t repaired_samples = 0;
+  std::size_t masked_samples = 0;
+
+  double clean_fraction = 1.0;     ///< untouched samples / total
+  double repaired_fraction = 0.0;  ///< interpolated samples / total
+  double masked_fraction = 0.0;    ///< neutralized samples / total
+
+  /// False when fewer than QualityConfig::min_usable_fraction of the
+  /// samples are clean or repaired — the trace is noise, not signal.
+  bool usable = true;
+
+  [[nodiscard]] bool any_fault() const {
+    return dropout_samples + saturated_samples + spike_samples +
+               nonfinite_samples >
+           0;
+  }
+
+  /// Fraction of samples in [begin, end) carrying any flag (clamped to the
+  /// trace; empty or out-of-range intervals yield 0).
+  [[nodiscard]] double fraction_flagged(std::size_t begin,
+                                        std::size_t end) const;
+
+  /// Fraction of samples in [begin, end) that were hard-masked.
+  [[nodiscard]] double fraction_masked(std::size_t begin,
+                                       std::size_t end) const;
+};
+
+/// A repaired trace with its assessment.
+struct QualityResult {
+  Trace trace;
+  QualityReport report;
+};
+
+/// Runs the detectors only (flags and counts; Repaired/Masked bits show
+/// what a repair pass *would* do, but no trace is materialized).
+QualityReport assess(const Trace& trace, const QualityConfig& cfg = {});
+
+/// Runs the detectors and the repair pass: short flagged runs are
+/// interpolated (cubic Hermite through the clean neighbors, falling back
+/// to linear/hold at the trace edges), long runs are replaced by the
+/// trace's neutral stationary value (mean clean accel ~ gravity, mean
+/// clean gyro). Clean samples pass through bit-identical.
+QualityResult assess_and_repair(const Trace& trace,
+                                const QualityConfig& cfg = {});
+
+}  // namespace ptrack::imu

@@ -1,6 +1,7 @@
 #include "runtime/batch_runner.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <filesystem>
 
 #include "common/check.hpp"
@@ -9,12 +10,22 @@
 
 namespace ptrack::runtime {
 
+std::string_view to_string(TraceError::Stage s) {
+  switch (s) {
+    case TraceError::Stage::Load:
+      return "load";
+    case TraceError::Stage::Process:
+      return "process";
+  }
+  return "unknown";
+}
+
 BatchRunner::BatchRunner(core::PTrackConfig cfg, BatchOptions opt)
     : cfg_(cfg), pool_(ThreadPool::resolve_threads(opt.threads)) {}
 
-std::vector<core::TrackResult> BatchRunner::run(
+std::vector<TraceResult> BatchRunner::run(
     const std::vector<imu::Trace>& traces) {
-  std::vector<core::TrackResult> results(traces.size());
+  std::vector<TraceResult> results(traces.size());
   if (traces.empty()) return results;
 
   // One pipeline (and thus one scratch workspace) per worker: no sharing,
@@ -23,7 +34,19 @@ std::vector<core::TrackResult> BatchRunner::run(
   pool_.run(traces.size(), [&](std::size_t task, std::size_t worker) {
     PTRACK_CHECK_MSG(task < results.size() && worker < trackers.size(),
                      "BatchRunner: task and worker indices in range");
-    results[task] = trackers[worker].process(traces[task]);
+    // Exceptions are converted to values here, inside the task, so one bad
+    // trace cannot poison the pool (ThreadPool rethrows escaped exceptions
+    // after the drain, which would abort the whole batch).
+    try {
+      results[task] = trackers[worker].process(traces[task]);
+    } catch (const std::exception& e) {
+      results[task] = make_unexpected(TraceError{
+          TraceError::Stage::Process, "#" + std::to_string(task), e.what()});
+    } catch (...) {
+      results[task] = make_unexpected(
+          TraceError{TraceError::Stage::Process, "#" + std::to_string(task),
+                     "unknown exception"});
+    }
   });
   // Deterministic batch contract: results come back positionally, slot i
   // holding trace i's result regardless of which worker ran it.
@@ -32,7 +55,7 @@ std::vector<core::TrackResult> BatchRunner::run(
   return results;
 }
 
-std::vector<NamedTrace> load_trace_dir(const std::string& dir) {
+TraceDirListing load_trace_dir(const std::string& dir) {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
@@ -47,14 +70,20 @@ std::vector<NamedTrace> load_trace_dir(const std::string& dir) {
   if (ec) throw Error("load_trace_dir: cannot read " + dir + ": " + ec.message());
   std::sort(files.begin(), files.end());
 
-  std::vector<NamedTrace> out;
-  out.reserve(files.size());
+  TraceDirListing out;
+  out.traces.reserve(files.size());
   for (const fs::path& p : files) {
-    out.push_back({p.filename().string(), imu::load_csv(p.string())});
+    std::string name = p.filename().string();
+    try {
+      out.traces.push_back({name, imu::load_csv(p.string())});
+    } catch (const std::exception& e) {
+      out.errors.push_back(
+          {TraceError::Stage::Load, std::move(name), e.what()});
+    }
   }
   // Directory iteration order is filesystem-dependent; the sort above is
   // what makes batch runs reproducible across machines.
-  PTRACK_CHECK_MSG(std::is_sorted(out.begin(), out.end(),
+  PTRACK_CHECK_MSG(std::is_sorted(out.traces.begin(), out.traces.end(),
                                   [](const NamedTrace& a, const NamedTrace& b) {
                                     return a.name < b.name;
                                   }),

@@ -6,6 +6,12 @@
 // core::PTrack instance (and therefore a private dsp::Workspace), traces
 // are fanned out dynamically, and results come back in input order.
 //
+// Fault isolation: one bad trace must not abort the other ten thousand.
+// Every per-trace failure — a malformed file at load time, an exception
+// out of the pipeline at process time — is captured as a value
+// (Expected<TrackResult, TraceError>) attributed to its trace, and the
+// batch completes. Worker-thread exceptions never escape the pool.
+//
 // Determinism: PTrack::process is a pure function of the input trace, and
 // no state is shared between workers, so the result vector is bit-identical
 // regardless of thread count or scheduling (validated by
@@ -14,13 +20,31 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "core/ptrack.hpp"
 #include "imu/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ptrack::runtime {
+
+/// One trace's failure, attributed to where it happened.
+struct TraceError {
+  enum class Stage {
+    Load,     ///< the file could not be read or parsed
+    Process,  ///< the pipeline rejected or crashed on the trace
+  };
+  Stage stage = Stage::Process;
+  std::string trace;    ///< file name or batch index ("#7") of the trace
+  std::string message;  ///< the underlying exception's message
+};
+
+[[nodiscard]] std::string_view to_string(TraceError::Stage s);
+
+/// Per-trace outcome of a batch run.
+using TraceResult = Expected<core::TrackResult, TraceError>;
 
 struct BatchOptions {
   /// Worker threads; 0 = one per hardware thread.
@@ -36,8 +60,10 @@ class BatchRunner {
   [[nodiscard]] std::size_t threads() const { return pool_.size(); }
   [[nodiscard]] const core::PTrackConfig& config() const { return cfg_; }
 
-  /// Processes every trace; results[i] corresponds to traces[i].
-  std::vector<core::TrackResult> run(const std::vector<imu::Trace>& traces);
+  /// Processes every trace; results[i] corresponds to traces[i]. A trace
+  /// whose processing throws yields a TraceError in its slot (stage
+  /// Process, trace "#i"); the remaining traces still complete.
+  std::vector<TraceResult> run(const std::vector<imu::Trace>& traces);
 
  private:
   core::PTrackConfig cfg_;
@@ -50,9 +76,18 @@ struct NamedTrace {
   imu::Trace trace;
 };
 
+/// Outcome of loading a trace directory: the traces that parsed, plus one
+/// TraceError (stage Load) per file that did not.
+struct TraceDirListing {
+  std::vector<NamedTrace> traces;
+  std::vector<TraceError> errors;
+};
+
 /// Loads every `.csv` file in `dir` (imu::load_csv format), sorted by file
-/// name so batch runs are reproducible across platforms. Throws
-/// ptrack::Error when the directory cannot be read or a file is malformed.
-std::vector<NamedTrace> load_trace_dir(const std::string& dir);
+/// name so batch runs are reproducible across platforms. Unreadable or
+/// malformed files are collected into `errors` instead of aborting the
+/// batch. Throws ptrack::Error only when the directory itself cannot be
+/// read.
+TraceDirListing load_trace_dir(const std::string& dir);
 
 }  // namespace ptrack::runtime

@@ -1,0 +1,125 @@
+// End-to-end batch-mode CLI test: a trace directory mixing healthy traces,
+// a corrupt CSV (fails at load) and a nonphysical-values CSV (loads fine,
+// throws in the pipeline) must still produce results for the healthy
+// traces, list both failures, exit 0 by default and exit 2 under --strict.
+//
+// The binary under test is located via the PTRACK_CLI_PATH compile
+// definition ($<TARGET_FILE:ptrack_cli>, resolved at generate time) and
+// driven through std::system — the same code path a shell user exercises,
+// exit codes and all.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "imu/trace_io.hpp"
+#include "synth/synthesizer.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int run_cli(const std::string& args) {
+  const std::string cmd = std::string(PTRACK_CLI_PATH) + " " + args;
+  const int status = std::system(cmd.c_str());
+#ifdef _WIN32
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_text(const fs::path& p, const std::string& text) {
+  std::ofstream out(p);
+  ASSERT_TRUE(out.is_open());
+  out << text;
+}
+
+/// Builds the mixed directory: two healthy walks, one unparseable CSV, one
+/// parseable CSV whose nonphysical magnitudes make PTrack::process throw.
+fs::path make_mixed_dir() {
+  const fs::path dir = fs::temp_directory_path() / "ptrack_test_cli_batch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  for (int i = 0; i < 2; ++i) {
+    Rng rng(0xc11 + static_cast<std::uint64_t>(i));
+    synth::UserProfile user;
+    const auto scenario = synth::Scenario::pure_walking(20.0);
+    const auto synth =
+        synth::synthesize(scenario, user, synth::SynthOptions{}, rng);
+    imu::save_csv(synth.trace,
+                  (dir / ("walk_" + std::to_string(i) + ".csv")).string());
+  }
+
+  write_text(dir / "corrupt.csv", "t,ax\nnot,numbers\n");
+
+  // Finite cells (the CSV boundary accepts it) but register-garbage
+  // magnitudes: the quality layer declares the trace unusable and the
+  // pipeline throws at process time.
+  std::ostringstream poison;
+  poison << "t,ax,ay,az,gx,gy,gz\n100,0,0,0,0,0,0\n";
+  for (int i = 0; i < 256; ++i) {
+    poison << (0.01 * i) << ",1e9,-1e9,1e9,1e9,1e9,-1e9\n";
+  }
+  write_text(dir / "poison.csv", poison.str());
+  return dir;
+}
+
+}  // namespace
+
+TEST(CliBatch, SkipsFailedTracesAndReportsThemInJson) {
+  const fs::path dir = make_mixed_dir();
+  const fs::path json = dir / "out.json";
+
+  const int rc = run_cli("--batch " + dir.string() + " --threads 2 --quiet" +
+                         " --json " + json.string() + " 2>/dev/null");
+  EXPECT_EQ(rc, 0);  // default mode: failures are reported, not fatal
+
+  const std::string doc = slurp(json);
+  // Healthy traces made it through...
+  EXPECT_NE(doc.find("walk_0.csv"), std::string::npos);
+  EXPECT_NE(doc.find("walk_1.csv"), std::string::npos);
+  EXPECT_NE(doc.find("\"clean_fraction\""), std::string::npos);
+  // ...and both failures are attributed with their stage.
+  EXPECT_NE(doc.find("\"errors\""), std::string::npos);
+  EXPECT_NE(doc.find("corrupt.csv"), std::string::npos);
+  EXPECT_NE(doc.find("poison.csv"), std::string::npos);
+  EXPECT_NE(doc.find("\"load\""), std::string::npos);
+  EXPECT_NE(doc.find("\"process\""), std::string::npos);
+
+  fs::remove_all(dir);
+}
+
+TEST(CliBatch, StrictModeExitsTwoOnAnyFailure) {
+  const fs::path dir = make_mixed_dir();
+  const int rc = run_cli("--batch " + dir.string() +
+                         " --threads 2 --quiet --strict 2>/dev/null");
+  EXPECT_EQ(rc, 2);
+  fs::remove_all(dir);
+}
+
+TEST(CliBatch, CleanDirectoryIsStrictClean) {
+  const fs::path dir = make_mixed_dir();
+  fs::remove(dir / "corrupt.csv");
+  fs::remove(dir / "poison.csv");
+  const int rc = run_cli("--batch " + dir.string() +
+                         " --threads 2 --quiet --strict 2>/dev/null");
+  EXPECT_EQ(rc, 0);
+  fs::remove_all(dir);
+}

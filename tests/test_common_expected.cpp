@@ -1,0 +1,76 @@
+// Expected<T, E> tests: the result-or-error carrier used by the
+// fault-isolated batch runtime. Misuse (reading the wrong alternative)
+// must throw, not UB.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/expected.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+struct Err {
+  std::string message;
+};
+
+using IntOrErr = Expected<int, Err>;
+
+}  // namespace
+
+TEST(Expected, HoldsValue) {
+  IntOrErr e(42);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(-1), 42);
+}
+
+TEST(Expected, HoldsError) {
+  IntOrErr e = make_unexpected(Err{"boom"});
+  ASSERT_FALSE(e.has_value());
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(e.error().message, "boom");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, WrongAlternativeThrows) {
+  IntOrErr ok(7);
+  IntOrErr bad = make_unexpected(Err{"x"});
+  EXPECT_THROW(static_cast<void>(ok.error()), Error);
+  EXPECT_THROW(static_cast<void>(bad.value()), Error);
+  EXPECT_THROW(static_cast<void>(*bad), Error);
+}
+
+TEST(Expected, DefaultConstructsToSuccess) {
+  // The batch runner sizes its result vector up front and fills slots from
+  // worker threads; a default slot must be a (default) success, not a trap.
+  std::vector<IntOrErr> results(4);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, 0);
+  }
+  results[2] = make_unexpected(Err{"slot 2"});
+  EXPECT_TRUE(results[1].has_value());
+  EXPECT_FALSE(results[2].has_value());
+  EXPECT_EQ(results[2].error().message, "slot 2");
+}
+
+TEST(Expected, MutableAccessAndMove) {
+  IntOrErr e(5);
+  e.value() = 9;
+  EXPECT_EQ(*e, 9);
+
+  Expected<std::string, Err> s(std::string("payload"));
+  const std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "payload");
+
+  Expected<std::string, Err> err = make_unexpected(Err{"e"});
+  err.error().message = "edited";
+  EXPECT_EQ(err.error().message, "edited");
+}

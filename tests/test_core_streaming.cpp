@@ -1,10 +1,14 @@
 // Tests for the streaming (online) tracker: bounded memory, monotone
-// emission, and batch consistency.
+// emission, batch consistency, and graceful degradation under injected
+// sensor faults (quality flags must ride along on emitted events).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "core/streaming.hpp"
+#include "imu/faults.hpp"
 #include "synth/synthesizer.hpp"
 
 using namespace ptrack;
@@ -121,6 +125,71 @@ TEST(Streaming, InvalidConfigThrows) {
   cfg.window_s = 5.0;  // <= 2 * guard
   EXPECT_THROW(core::StreamingTracker(100.0, cfg), InvalidArgument);
   EXPECT_THROW(core::StreamingTracker(0.0, {}), InvalidArgument);
+}
+
+TEST(Streaming, FaultsAcrossChunkSeamsDegradeGracefully) {
+  // A dropout run straddling a hop boundary (hop_s = 2 s, so the 10 s mark
+  // is a seam) plus a saturated stretch later on: the tracker must keep
+  // emitting monotone, never-retracted events, flag the affected ones, and
+  // agree with the batch pipeline on the overall count.
+  const auto r = make(synth::Scenario::pure_walking(60.0), 508);
+  imu::Trace faulty = r.trace;
+  const double fs = faulty.fs();
+  auto& samples = faulty.samples();
+  const auto at = [&](double t) {
+    return std::min(samples.size() - 1,
+                    static_cast<std::size_t>(t * fs));
+  };
+  // Sample-and-hold dropout from 9.9 s to 10.4 s (spans the 10 s seam).
+  for (std::size_t i = at(9.9); i < at(10.4); ++i) {
+    samples[i].accel = samples[at(9.9) - 1].accel;
+    samples[i].gyro = samples[at(9.9) - 1].gyro;
+  }
+  // Saturated plateau: one accel component pinned at a 2.5 g rail for 1 s.
+  for (std::size_t i = at(30.0); i < at(31.0); ++i) {
+    samples[i].accel.z = 25.0;
+  }
+
+  core::PTrack batch(config_for_user().pipeline);
+  const auto batch_result = batch.process(faulty);
+  EXPECT_TRUE(batch_result.quality.degraded());
+  const auto flagged = [](const std::vector<core::StepEvent>& events) {
+    return std::count_if(events.begin(), events.end(),
+                         [](const core::StepEvent& e) {
+                           return e.quality < 1.0;
+                         });
+  };
+  EXPECT_GE(flagged(batch_result.events), 1);
+
+  core::StreamingTracker stream(fs, config_for_user());
+  std::vector<core::StepEvent> all;
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    stream.push(faulty[i]);
+    if (i % 300 == 0) {
+      for (const auto& e : stream.poll()) all.push_back(e);
+    }
+  }
+  for (const auto& e : stream.finish()) all.push_back(e);
+
+  // No retraction or duplication: strictly increasing timestamps.
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GT(all[i].t, all[i - 1].t - 1e-9);
+  }
+  // Count agrees with batch on the same faulty trace.
+  const double batch_steps = static_cast<double>(batch_result.steps);
+  EXPECT_NEAR(static_cast<double>(all.size()), batch_steps,
+              0.1 * batch_steps + 2.0);
+  // The streaming events around the faults carry the degradation too, and
+  // the tracker's degraded counter is consistent with what it emitted.
+  EXPECT_GE(flagged(all), 1);
+  const auto degraded_emitted = static_cast<std::size_t>(
+      std::count_if(all.begin(), all.end(),
+                    [](const core::StepEvent& e) { return e.degraded; }));
+  EXPECT_EQ(stream.degraded_steps(), degraded_emitted);
+  for (const auto& e : all) {
+    EXPECT_GE(e.quality, 0.0);
+    EXPECT_LE(e.quality, 1.0);
+  }
 }
 
 TEST(Streaming, FinishThenContinue) {

@@ -68,6 +68,61 @@ TEST(Faults, SpikesLandSomewhere) {
   EXPECT_GE(hits, 5u);
 }
 
+TEST(Faults, AccelSpikesLeaveGyroUntouched) {
+  // The historical default corrupts the accelerometer only.
+  const auto r = walking(30, 30.0);
+  Rng rng(8);
+  const auto spiked =
+      imu::inject_spikes(r.trace, 20.0, 8.0, rng, imu::FaultChannels::Accel);
+  for (std::size_t i = 0; i < spiked.size(); ++i) {
+    EXPECT_EQ(spiked[i].gyro, r.trace[i].gyro);
+  }
+}
+
+TEST(Faults, GyroSpikesHitGyroOnly) {
+  const auto r = walking(31, 30.0);
+  Rng rng(9);
+  const auto spiked =
+      imu::inject_spikes(r.trace, 20.0, 8.0, rng, imu::FaultChannels::Gyro);
+  std::size_t gyro_hits = 0;
+  for (std::size_t i = 0; i < spiked.size(); ++i) {
+    EXPECT_EQ(spiked[i].accel, r.trace[i].accel);
+    if (!(spiked[i].gyro == r.trace[i].gyro)) ++gyro_hits;
+  }
+  EXPECT_GE(gyro_hits, 5u);
+}
+
+TEST(Faults, BothChannelsSpreadsAcrossSensors) {
+  const auto r = walking(32, 60.0);
+  Rng rng(10);
+  const auto spiked =
+      imu::inject_spikes(r.trace, 40.0, 8.0, rng, imu::FaultChannels::Both);
+  std::size_t accel_hits = 0;
+  std::size_t gyro_hits = 0;
+  for (std::size_t i = 0; i < spiked.size(); ++i) {
+    if (!(spiked[i].accel == r.trace[i].accel)) ++accel_hits;
+    if (!(spiked[i].gyro == r.trace[i].gyro)) ++gyro_hits;
+  }
+  // With a fair coin per spike and ~40 spikes, both sensors get hit.
+  EXPECT_GE(accel_hits, 3u);
+  EXPECT_GE(gyro_hits, 3u);
+}
+
+TEST(Faults, ClipGyroBoundsComponents) {
+  const auto r = walking(33, 10.0);
+  const double limit = 1.5;
+  const auto clipped = imu::clip_gyro(r.trace, limit);
+  for (const auto& s : clipped.samples()) {
+    EXPECT_LE(std::abs(s.gyro.x), limit);
+    EXPECT_LE(std::abs(s.gyro.y), limit);
+    EXPECT_LE(std::abs(s.gyro.z), limit);
+  }
+  // Accelerations pass through untouched.
+  for (std::size_t i = 0; i < clipped.size(); ++i) {
+    EXPECT_EQ(clipped[i].accel, r.trace[i].accel);
+  }
+}
+
 TEST(Faults, Preconditions) {
   const auto r = walking(25, 5.0);
   Rng rng(4);
@@ -76,6 +131,7 @@ TEST(Faults, Preconditions) {
   EXPECT_THROW(imu::inject_dropouts(r.trace, 1.0, 10, 5, rng),
                InvalidArgument);
   EXPECT_THROW(imu::clip_acceleration(r.trace, 0.0), InvalidArgument);
+  EXPECT_THROW(imu::clip_gyro(r.trace, 0.0), InvalidArgument);
 }
 
 // --------------------------------------------------------------------------

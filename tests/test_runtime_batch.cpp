@@ -1,7 +1,9 @@
 // Runtime tests: the thread pool runs every task exactly once and
 // propagates failures, and BatchRunner is deterministic — the same batch
 // produces bit-identical TrackResults at 1 and 8 worker threads, in input
-// order, matching a direct single-threaded PTrack run.
+// order, matching a direct single-threaded PTrack run. Fault isolation:
+// a trace that throws in the pipeline or a CSV that fails to parse is
+// reported in its own slot and the rest of the batch still completes.
 
 #include <gtest/gtest.h>
 
@@ -123,7 +125,8 @@ TEST(BatchRunner, MatchesDirectPipelineInInputOrder) {
   for (std::size_t i = 0; i < traces.size(); ++i) {
     core::PTrack direct;
     const auto expected = direct.process(traces[i]);
-    expect_identical(expected, results[i]);
+    ASSERT_TRUE(results[i].has_value());
+    expect_identical(expected, *results[i]);
   }
 }
 
@@ -136,14 +139,61 @@ TEST(BatchRunner, ThreadCountDoesNotChangeResults) {
   ASSERT_EQ(r1.size(), traces.size());
   ASSERT_EQ(r8.size(), traces.size());
   for (std::size_t i = 0; i < traces.size(); ++i) {
-    expect_identical(r1[i], r8[i]);
+    ASSERT_TRUE(r1[i].has_value());
+    ASSERT_TRUE(r8[i].has_value());
+    expect_identical(*r1[i], *r8[i]);
   }
   // A repeated run on a warm runner must also be identical (workspace reuse
   // must not leak state between batches).
   const auto r8_again = wide.run(traces);
   for (std::size_t i = 0; i < traces.size(); ++i) {
-    expect_identical(r8[i], r8_again[i]);
+    expect_identical(*r8[i], *r8_again[i]);
   }
+}
+
+// A trace the CSV layer accepts (all cells finite) but the pipeline rejects:
+// nonphysical register-garbage magnitudes make the quality layer declare it
+// unusable, and PTrack::process throws.
+imu::Trace make_poison_trace() {
+  std::vector<imu::Sample> samples(256);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i].t = static_cast<double>(i) / 100.0;
+    samples[i].accel = {1.0e9, -1.0e9, 1.0e9};
+    samples[i].gyro = {1.0e9, 1.0e9, -1.0e9};
+  }
+  return imu::Trace(100.0, std::move(samples));
+}
+
+TEST(BatchRunner, IsolatesThrowingTraceAndCompletesTheRest) {
+  auto traces = make_batch(5);
+  const std::size_t poison = 2;
+  traces.insert(traces.begin() + static_cast<std::ptrdiff_t>(poison),
+                make_poison_trace());
+
+  runtime::BatchRunner runner({}, {.threads = 4});
+  const auto results = runner.run(traces);
+  ASSERT_EQ(results.size(), traces.size());
+
+  ASSERT_FALSE(results[poison].has_value());
+  EXPECT_EQ(results[poison].error().stage,
+            runtime::TraceError::Stage::Process);
+  EXPECT_EQ(results[poison].error().trace, "#2");
+  EXPECT_FALSE(results[poison].error().message.empty());
+
+  // Every other slot holds exactly the result a direct run produces, in
+  // input order — the failure neither shifts nor corrupts its neighbors.
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i == poison) continue;
+    core::PTrack direct;
+    ASSERT_TRUE(results[i].has_value()) << "slot " << i;
+    expect_identical(direct.process(traces[i]), *results[i]);
+  }
+
+  // The runner (and its pool) must stay usable after a poisoned batch.
+  const auto again = runner.run(make_batch(2));
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_TRUE(again[0].has_value());
+  EXPECT_TRUE(again[1].has_value());
 }
 
 TEST(BatchRunner, EmptyBatchYieldsEmptyResults) {
@@ -170,7 +220,9 @@ TEST(LoadTraceDir, LoadsCsvFilesSortedByName) {
     std::fclose(f);
   }
 
-  const auto named = runtime::load_trace_dir(dir.string());
+  const auto listing = runtime::load_trace_dir(dir.string());
+  EXPECT_TRUE(listing.errors.empty());
+  const auto& named = listing.traces;
   ASSERT_EQ(named.size(), 3u);
   EXPECT_EQ(named[0].name, "a_trace.csv");
   EXPECT_EQ(named[1].name, "b_trace.csv");
@@ -178,6 +230,43 @@ TEST(LoadTraceDir, LoadsCsvFilesSortedByName) {
   EXPECT_EQ(named[0].trace.size(), traces[0].size());
   EXPECT_EQ(named[1].trace.size(), traces[1].size());
   EXPECT_EQ(named[2].trace.size(), traces[2].size());
+
+  fs::remove_all(dir);
+}
+
+TEST(LoadTraceDir, CollectsCorruptFilesInsteadOfAborting) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "ptrack_test_mixed_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const auto traces = make_batch(2);
+  imu::save_csv(traces[0], (dir / "a_good.csv").string());
+  imu::save_csv(traces[1], (dir / "d_good.csv").string());
+  const auto write_text = [&](const char* name, const char* text) {
+    std::FILE* f = std::fopen((dir / name).string().c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(text, f);
+    std::fclose(f);
+  };
+  // One file that is not a trace at all, one truncated mid-row.
+  write_text("b_garbage.csv", "this,is,not\na,trace,file\n");
+  write_text("c_truncated.csv",
+             "t,ax,ay,az,gx,gy,gz\n100,0,0,0,0,0,0\n"
+             "0,0,0,9.81,0,0,0\n0.01,0,0");
+
+  const auto listing = runtime::load_trace_dir(dir.string());
+  ASSERT_EQ(listing.traces.size(), 2u);
+  EXPECT_EQ(listing.traces[0].name, "a_good.csv");
+  EXPECT_EQ(listing.traces[1].name, "d_good.csv");
+  ASSERT_EQ(listing.errors.size(), 2u);
+  EXPECT_EQ(listing.errors[0].trace, "b_garbage.csv");
+  EXPECT_EQ(listing.errors[1].trace, "c_truncated.csv");
+  for (const auto& err : listing.errors) {
+    EXPECT_EQ(err.stage, runtime::TraceError::Stage::Load);
+    EXPECT_FALSE(err.message.empty());
+  }
 
   fs::remove_all(dir);
 }
