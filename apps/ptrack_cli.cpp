@@ -21,6 +21,12 @@
 // makes the run exit 2 (after still processing everything), for pipelines
 // that must not silently drop subjects.
 //
+// Observability (both modes): --metrics-out FILE writes a JSON snapshot of
+// every pipeline counter/gauge/histogram; --trace-out FILE writes the
+// recorded stage spans as Chrome trace_event JSON (open in chrome://tracing
+// or Perfetto). With -DPTRACK_OBS=OFF both flags still work but produce
+// empty documents. See DESIGN.md "Observability".
+//
 // The input is the CSV interchange format of imu::save_csv (header
 // t,ax,ay,az,gx,gy,gz with a leading metadata row carrying the sample
 // rate). With --self-train-distance the arm/leg options are ignored and
@@ -38,17 +44,62 @@
 #include "core/ptrack.hpp"
 #include "core/self_training.hpp"
 #include "imu/trace_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/batch_runner.hpp"
 
 using namespace ptrack;
 
 namespace {
 
+/// Writes the observability outputs requested on the command line: a
+/// metrics snapshot (--metrics-out) and a Chrome trace_event document
+/// (--trace-out). Called once, after all pipeline work has finished, so no
+/// spans are open and the worker threads are quiescent.
+void write_obs_outputs(const cli::Args& args) {
+  if (args.has("metrics-out")) {
+    const std::string path = args.get_string("metrics-out");
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open " + path);
+    json::Writer w(out);
+    w.begin_object();
+    w.key("schema").value("ptrack.metrics.v1");
+    w.key("obs_compiled").value(PTRACK_OBS_ENABLED != 0);
+    w.key("metrics");
+    obs::Registry::instance().write_json(w);
+    w.end_object();
+    check(w.complete(), "ptrack_cli: complete metrics document");
+    out << '\n';
+  }
+  if (args.has("trace-out")) {
+    const std::string path = args.get_string("trace-out");
+    std::ofstream out(path);
+    if (!out) throw Error("cannot open " + path);
+    obs::write_chrome_trace(out);
+    out << '\n';
+  }
+}
+
+/// Emits a TrackResult's per-stage wall-clock block (all zeros when the
+/// observability layer is off). Telemetry, not payload: these are the one
+/// run-dependent part of the batch JSON, excluded from the thread-count
+/// determinism contract.
+void write_timing(json::Writer& w, const core::StageTiming& t) {
+  w.key("timing").begin_object();
+  w.key("quality_us").value(t.quality_us);
+  w.key("project_us").value(t.project_us);
+  w.key("count_us").value(t.count_us);
+  w.key("stride_us").value(t.stride_us);
+  w.key("total_us").value(t.total_us);
+  w.end_object();
+}
+
 int run_batch(const cli::Args& args, const core::PTrackConfig& config) {
   const std::string dir = args.get_string("batch");
   runtime::TraceDirListing listing = runtime::load_trace_dir(dir);
   if (listing.traces.empty() && listing.errors.empty()) {
     std::cerr << "ptrack_cli: no .csv traces in " << dir << "\n";
+    write_obs_outputs(args);
     return 1;
   }
 
@@ -115,6 +166,7 @@ int run_batch(const cli::Args& args, const core::PTrackConfig& config) {
       w.key("repaired_fraction").value(r.quality.repaired_fraction);
       w.key("masked_fraction").value(r.quality.masked_fraction);
       w.key("degraded_steps").value(r.degraded_steps());
+      write_timing(w, r.timing);
       w.end_object();
     }
     w.end_array();
@@ -131,6 +183,7 @@ int run_batch(const cli::Args& args, const core::PTrackConfig& config) {
     check(w.complete(), "ptrack_cli: complete JSON document");
     out << '\n';
   }
+  write_obs_outputs(args);
   if (!errors.empty() && args.get_bool("strict")) return 2;
   return 0;
 }
@@ -155,6 +208,14 @@ int run(int argc, char** argv) {
                    false},
                   {"events", "write per-step events as CSV to this file", "",
                    false},
+                  {"metrics-out",
+                   "write an observability metrics snapshot (JSON) to this "
+                   "file",
+                   "", false},
+                  {"trace-out",
+                   "write pipeline stage spans as Chrome trace_event JSON "
+                   "(chrome://tracing, Perfetto) to this file",
+                   "", false},
                   {"strict",
                    "batch mode: exit 2 when any trace fails (default: skip "
                    "failed traces and report them)",
@@ -242,10 +303,12 @@ int run(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    write_timing(w, result.timing);
     w.end_object();
     check(w.complete(), "ptrack_cli: complete JSON document");
     out << '\n';
   }
+  write_obs_outputs(args);
   return 0;
 }
 

@@ -13,9 +13,10 @@
 // is still exported per cell (step_error_truth) for the headline view.
 //
 // Besides the console table, the binary writes BENCH_robustness.json
-// (override the path with the PTRACK_BENCH_JSON environment variable):
-// one record per (fault, severity, repair) cell, machine-trackable across
-// PRs like BENCH_throughput.json.
+// (override the path with the PTRACK_BENCH_JSON environment variable) in
+// the shared bench schema {"bench": ..., "metrics": {...}}: one record per
+// (fault, severity, repair) cell plus the run's observability counters,
+// machine-trackable across PRs like BENCH_throughput.json.
 //
 // Flags:
 //   --reduced      smaller cohort and sweep (the CI smoke configuration)
@@ -37,6 +38,7 @@
 #include "common/json.hpp"
 #include "core/ptrack.hpp"
 #include "imu/faults.hpp"
+#include "obs/metrics.hpp"
 #include "synth/synthesizer.hpp"
 
 using namespace ptrack;
@@ -231,6 +233,7 @@ int main(int argc, char** argv) {
       json::Writer w(out);
       w.begin_object();
       w.key("bench").value(std::string("fault_matrix"));
+      w.key("metrics").begin_object();
       w.key("reduced").value(reduced);
       w.key("repair_dominates").value(dominated);
       w.key("cells").begin_array();
@@ -245,6 +248,9 @@ int main(int argc, char** argv) {
         w.end_object();
       }
       w.end_array();
+      w.key("obs");
+      obs::Registry::instance().write_json(w);
+      w.end_object();
       w.end_object();
       out << '\n';
     }

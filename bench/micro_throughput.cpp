@@ -4,9 +4,11 @@
 // of magnitude of headroom for wearable-class CPUs.
 //
 // Besides the console table, the binary writes BENCH_throughput.json
-// (override the path with the PTRACK_BENCH_JSON environment variable):
-// one record per benchmark with items/sec and ns/iteration, so the perf
-// trajectory is machine-trackable across PRs.
+// (override the path with the PTRACK_BENCH_JSON environment variable) in
+// the shared bench schema {"bench": ..., "metrics": {...}}: one record per
+// benchmark with items/sec and ns/iteration plus the observability
+// counters accumulated over the run, so the perf trajectory is
+// machine-trackable across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -18,6 +20,7 @@
 #include "bench_util.hpp"
 #include "common/json.hpp"
 #include "core/ptrack.hpp"
+#include "obs/metrics.hpp"
 #include "dsp/butterworth.hpp"
 #include "dsp/correlate.hpp"
 #include "dsp/fft.hpp"
@@ -260,6 +263,8 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
     }
     json::Writer w(out);
     w.begin_object();
+    w.key("bench").value("throughput");
+    w.key("metrics").begin_object();
     w.key("benchmarks").begin_array();
     for (const Record& rec : records_) {
       w.begin_object();
@@ -269,6 +274,9 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
       w.end_object();
     }
     w.end_array();
+    w.key("obs");
+    obs::Registry::instance().write_json(w);
+    w.end_object();
     w.end_object();
     out << '\n';
   }

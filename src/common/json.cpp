@@ -1,7 +1,10 @@
 #include "common/json.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -144,5 +147,300 @@ Writer& Writer::null() {
 bool Writer::complete() const {
   return stack_.empty() && root_written_ && !expecting_value_;
 }
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+[[noreturn]] void parse_fail(std::string_view what, std::size_t pos) {
+  throw InvalidArgument("json parse error at offset " + std::to_string(pos) +
+                        ": " + std::string(what));
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+}  // namespace
+
+/// Recursive-descent parser over a string_view; friend of Value so it can
+/// fill the tagged storage directly.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value root = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) parse_fail("trailing characters", pos_);
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) parse_fail("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      parse_fail("invalid literal", pos_);
+    }
+    pos_ += lit.size();
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) parse_fail("truncated \\u escape", pos_);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        parse_fail("bad hex digit in \\u escape", pos_ - 1);
+      }
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    // Caller consumed nothing; we are on the opening quote.
+    if (peek() != '"') parse_fail("expected string", pos_);
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) parse_fail("unterminated string", pos_);
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        parse_fail("unescaped control character in string", pos_ - 1);
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) parse_fail("truncated escape", pos_);
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const std::uint32_t lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                parse_fail("invalid low surrogate", pos_ - 4);
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              parse_fail("lone high surrogate", pos_);
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            parse_fail("lone low surrogate", pos_);
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: parse_fail("invalid escape character", pos_ - 1);
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    // Integer part: 0, or [1-9][0-9]*.
+    if (pos_ >= text_.size()) parse_fail("truncated number", pos_);
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    } else {
+      parse_fail("invalid number", pos_);
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        parse_fail("digit required after decimal point", pos_);
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        parse_fail("digit required in exponent", pos_);
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    // The token was validated char-by-char above, so strtod on a bounded
+    // copy cannot read past it or accept hex/inf forms JSON forbids.
+    const std::string tok(text_.substr(start, pos_ - start));
+    return std::strtod(tok.c_str(), nullptr);
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) parse_fail("nesting too deep", pos_);
+    skip_ws();
+    Value v;
+    switch (peek()) {
+      case '{': {
+        ++pos_;
+        v.type_ = Value::Type::Object;
+        skip_ws();
+        if (peek() == '}') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          skip_ws();
+          std::string k = parse_string();
+          skip_ws();
+          if (peek() != ':') parse_fail("expected ':' after object key", pos_);
+          ++pos_;
+          v.obj_[std::move(k)] = parse_value(depth + 1);
+          skip_ws();
+          const char c = peek();
+          ++pos_;
+          if (c == '}') return v;
+          if (c != ',') parse_fail("expected ',' or '}' in object", pos_ - 1);
+        }
+      }
+      case '[': {
+        ++pos_;
+        v.type_ = Value::Type::Array;
+        skip_ws();
+        if (peek() == ']') {
+          ++pos_;
+          return v;
+        }
+        while (true) {
+          v.arr_.push_back(parse_value(depth + 1));
+          skip_ws();
+          const char c = peek();
+          ++pos_;
+          if (c == ']') return v;
+          if (c != ',') parse_fail("expected ',' or ']' in array", pos_ - 1);
+        }
+      }
+      case '"':
+        v.type_ = Value::Type::String;
+        v.str_ = parse_string();
+        return v;
+      case 't':
+        expect_literal("true");
+        v.type_ = Value::Type::Bool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        expect_literal("false");
+        v.type_ = Value::Type::Bool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        expect_literal("null");
+        return v;
+      default:
+        v.type_ = Value::Type::Number;
+        v.num_ = parse_number();
+        return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool Value::as_bool() const {
+  if (type_ != Type::Bool) throw InvalidArgument("json: value is not a bool");
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::Number) {
+    throw InvalidArgument("json: value is not a number");
+  }
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::String) {
+    throw InvalidArgument("json: value is not a string");
+  }
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (type_ != Type::Array) throw InvalidArgument("json: value is not an array");
+  return arr_;
+}
+
+const std::map<std::string, Value>& Value::members() const {
+  if (type_ != Type::Object) {
+    throw InvalidArgument("json: value is not an object");
+  }
+  return obj_;
+}
+
+bool Value::contains(const std::string& k) const {
+  return type_ == Type::Object && obj_.count(k) != 0;
+}
+
+const Value& Value::at(const std::string& k) const {
+  const auto& m = members();
+  const auto it = m.find(k);
+  if (it == m.end()) throw InvalidArgument("json: missing member '" + k + "'");
+  return it->second;
+}
+
+Value parse(std::string_view text) { return Parser(text).run(); }
 
 }  // namespace ptrack::json

@@ -1,10 +1,15 @@
-// Minimal streaming JSON writer for the CLI tools' machine-readable
-// output. Write-only by design (the library never needs to parse JSON).
+// Minimal streaming JSON writer plus a small DOM parser. The writer
+// produces the CLI tools' machine-readable output; the parser exists so
+// tools and tests can read those documents back (metrics snapshots,
+// Chrome traces) without a third-party dependency.
 
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ptrack::json {
@@ -57,5 +62,49 @@ class Writer {
 
 /// Escapes a string per JSON rules (exposed for tests).
 std::string escape(const std::string& s);
+
+/// Parsed JSON value (object keys keep lexicographic order, which is also
+/// the order the Writer-based serializers in this repo emit). Accessors
+/// throw ptrack::InvalidArgument on type mismatch or missing member, so
+/// readers get a named error instead of UB.
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Array elements (throws unless this is an array).
+  [[nodiscard]] const std::vector<Value>& items() const;
+  /// Object members (throws unless this is an object).
+  [[nodiscard]] const std::map<std::string, Value>& members() const;
+
+  [[nodiscard]] bool contains(const std::string& k) const;
+  /// Member lookup; throws InvalidArgument when the key is absent.
+  [[nodiscard]] const Value& at(const std::string& k) const;
+
+ private:
+  friend class Parser;
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::map<std::string, Value> obj_;
+};
+
+/// Parses one complete JSON document. Strict: rejects trailing garbage,
+/// unterminated containers, bad escapes and bare NaN/Inf. Nesting is
+/// capped (128 levels) so hostile input cannot blow the stack. Throws
+/// ptrack::InvalidArgument with an offset-bearing message on any error.
+Value parse(std::string_view text);
 
 }  // namespace ptrack::json

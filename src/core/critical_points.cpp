@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/stats.hpp"
 #include "dsp/peaks.hpp"
+#include "obs/metrics.hpp"
 
 namespace ptrack::core {
 
@@ -45,6 +46,8 @@ std::vector<CriticalPoint> critical_points(std::span<const double> cycle,
       "critical_points: output is time-ordered");
   PTRACK_CHECK_MSG(out.empty() || out.back().index < cycle.size(),
                    "critical_points: indices lie inside the cycle");
+  PTRACK_COUNT("ptrack.core.critical_points.calls");
+  PTRACK_COUNT_N("ptrack.core.critical_points.points", out.size());
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "dsp/attitude.hpp"
 #include "dsp/filtfilt.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrack::core {
 
@@ -117,6 +119,8 @@ ProjectedTrace project_trace(const imu::Trace& trace, double lowpass_hz,
                              double anterior_window_s, dsp::Workspace* ws) {
   expects(trace.size() >= 16, "project_trace: >= 16 samples");
   expects(lowpass_hz > 0.0, "project_trace: lowpass_hz > 0");
+  PTRACK_OBS_SPAN("core.project");
+  PTRACK_COUNT("ptrack.core.projections");
   const Vec3 up = dsp::estimate_up(trace.accel_vectors(), trace.fs());
   return project_common(trace, lowpass_hz, anterior_window_s, UpField(up), ws);
 }
@@ -127,6 +131,8 @@ ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
                                            dsp::Workspace* ws) {
   expects(trace.size() >= 16, "project_trace_with_attitude: >= 16 samples");
   expects(lowpass_hz > 0.0, "project_trace_with_attitude: lowpass_hz > 0");
+  PTRACK_OBS_SPAN("core.project");
+  PTRACK_COUNT("ptrack.core.projections");
   dsp::AttitudeEstimator estimator;
   const double dt = trace.dt();
   std::vector<Vec3> ups;

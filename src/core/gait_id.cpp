@@ -9,6 +9,7 @@
 #include "core/critical_points.hpp"
 #include "core/offset_metric.hpp"
 #include "dsp/correlate.hpp"
+#include "obs/metrics.hpp"
 
 namespace ptrack::core {
 
@@ -83,6 +84,19 @@ GaitIdentifier::GaitIdentifier(StepCounterConfig cfg) : cfg_(cfg) {
 }
 
 GaitIdentifier::Decision GaitIdentifier::classify(
+    const CycleAnalysis& analysis) {
+  const Decision d = classify_impl(analysis);
+  switch (d.type) {
+    case GaitType::Walking: PTRACK_COUNT("ptrack.core.gait.walking"); break;
+    case GaitType::Stepping: PTRACK_COUNT("ptrack.core.gait.stepping"); break;
+    case GaitType::Interference:
+      PTRACK_COUNT("ptrack.core.gait.interference");
+      break;
+  }
+  return d;
+}
+
+GaitIdentifier::Decision GaitIdentifier::classify_impl(
     const CycleAnalysis& analysis) {
   PTRACK_CHECK_MSG(std::isfinite(analysis.offset) && analysis.offset >= 0.0,
                    "classify: cycle offset is finite and non-negative");

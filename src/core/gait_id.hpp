@@ -53,6 +53,8 @@ class GaitIdentifier {
   [[nodiscard]] const StepCounterConfig& config() const { return cfg_; }
 
  private:
+  Decision classify_impl(const CycleAnalysis& analysis);
+
   StepCounterConfig cfg_;
   std::size_t streak_count_ = 0;
   bool streak_active_ = false;

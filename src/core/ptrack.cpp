@@ -2,6 +2,8 @@
 
 #include "common/error.hpp"
 #include "dsp/moving.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrack::core {
 
@@ -15,11 +17,16 @@ void PTrack::set_profile(const StrideProfile& profile) {
 
 TrackResult PTrack::process(const imu::Trace& trace) const {
   if (trace.size() < 16) return {};
+  PTRACK_OBS_SPAN("core.process");
+  PTRACK_COUNT("ptrack.core.traces");
+  obs::StageTimer timer;
   if (!cfg_.quality.enabled) return process_repaired(trace);
 
   const imu::QualityResult repaired =
       imu::assess_and_repair(trace, cfg_.quality);
+  const double quality_us = timer.lap_us();
   if (!repaired.report.usable) {
+    PTRACK_COUNT("ptrack.core.unusable_traces");
     throw Error("PTrack::process: trace unusable (" +
                 std::to_string(repaired.report.nonfinite_samples) + " of " +
                 std::to_string(trace.size()) +
@@ -54,11 +61,14 @@ TrackResult PTrack::process(const imu::Trace& trace) const {
     }
     event_idx += 2;
   }
+  result.timing.quality_us = quality_us;
+  result.timing.total_us = quality_us + timer.lap_us();
   return result;
 }
 
 TrackResult PTrack::process_repaired(const imu::Trace& trace) const {
   if (trace.size() < 16) return {};
+  obs::StageTimer timer;
   const ProjectedTrace projected =
       cfg_.counter.use_attitude_filter
           ? project_trace_with_attitude(trace, cfg_.counter.lowpass_hz,
@@ -66,8 +76,12 @@ TrackResult PTrack::process_repaired(const imu::Trace& trace) const {
                                         &workspace_)
           : project_trace(trace, cfg_.counter.lowpass_hz,
                           cfg_.counter.anterior_window_s, &workspace_);
+  const double project_us = timer.lap_us();
   TrackResult result = counter_.process_projected(projected);
+  result.timing.project_us = project_us;
+  result.timing.count_us = timer.lap_us();
 
+  PTRACK_OBS_SPAN("core.stride");
   // Events were emitted two per counted cycle, chronologically, and
   // result.cycles is ordered by cycle start — walk both in lockstep and
   // fill the stride fields.
@@ -77,9 +91,12 @@ TrackResult PTrack::process_repaired(const imu::Trace& trace) const {
     check(event_idx + 2 <= result.events.size(),
           "PTrack::process: events align with counted cycles");
     const auto estimates = estimator_.estimate_cycle(projected, cycle);
+    PTRACK_COUNT_N("ptrack.core.stride.estimates", estimates.size());
     for (std::size_t j = 0; j < 2; ++j) {
       if (j < estimates.size() && estimates[j].valid) {
         result.events[event_idx + j].stride = estimates[j].stride;
+      } else if (j < estimates.size()) {
+        PTRACK_COUNT("ptrack.core.stride.invalid");
       }
     }
     event_idx += 2;
@@ -120,6 +137,9 @@ TrackResult PTrack::process_repaired(const imu::Trace& trace) const {
       result.events[i].stride = smoothed[i];
     }
   }
+  result.timing.stride_us = timer.lap_us();
+  result.timing.total_us = result.timing.project_us +
+                           result.timing.count_us + result.timing.stride_us;
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include "common/error.hpp"
 #include "core/gait_id.hpp"
 #include "core/segmentation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrack::core {
 
@@ -24,7 +26,12 @@ TrackResult StepCounter::process_projected(
   const double fs = projected.fs;
   expects(fs > 0.0, "process_projected: fs > 0");
 
-  const auto candidates = segment_cycles(projected.vertical, fs, cfg_);
+  PTRACK_OBS_SPAN("core.count");
+  const auto candidates = [&] {
+    PTRACK_OBS_SPAN("core.segment");
+    return segment_cycles(projected.vertical, fs, cfg_);
+  }();
+  PTRACK_COUNT_N("ptrack.core.cycles", candidates.size());
   GaitIdentifier identifier(cfg_);
 
   std::size_t prev_end = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrack::core {
 
@@ -20,6 +22,7 @@ void StreamingTracker::push(const imu::Sample& sample) {
   s.t = next_t_;
   next_t_ += 1.0 / fs_;
   window_.push_back(s);
+  ++samples_pushed_;
 
   // Trim the sliding window.
   const double min_keep = next_t_ - config_.window_s;
@@ -41,6 +44,9 @@ void StreamingTracker::push(const imu::Trace& trace) {
 
 void StreamingTracker::process_window(double horizon) {
   if (window_.size() < 32) return;
+  PTRACK_OBS_SPAN("streaming.window");
+  ++windows_processed_;
+  PTRACK_COUNT("ptrack.core.streaming.windows");
 
   // Materialize the window as a trace with window-relative timestamps.
   std::vector<imu::Sample> samples(window_.begin(), window_.end());
@@ -67,6 +73,7 @@ std::vector<StepEvent> StreamingTracker::poll() {
   std::vector<StepEvent> out;
   out.swap(ready_);
   emitted_steps_ += out.size();
+  PTRACK_COUNT_N("ptrack.core.streaming.events", out.size());
   for (const StepEvent& e : out) {
     emitted_distance_ += e.stride;
     emitted_degraded_ += e.degraded ? 1 : 0;

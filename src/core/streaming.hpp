@@ -40,6 +40,25 @@ struct StreamingConfig {
   double guard_s = 5.0;
 };
 
+/// Lifetime statistics of a StreamingTracker (see stats()). All values are
+/// cumulative since construction and cover confirmed (polled or ready)
+/// events only.
+struct StreamingStats {
+  std::size_t samples_pushed = 0;     ///< samples accepted by push()
+  std::size_t windows_processed = 0;  ///< pipeline re-runs over the window
+  std::size_t events_emitted = 0;     ///< events handed out via poll()
+  std::size_t degraded_events = 0;    ///< emitted events flagged degraded
+  double distance_m = 0.0;            ///< sum of emitted strides
+
+  /// Fraction of emitted events that were degraded (0 when none emitted).
+  [[nodiscard]] double degraded_fraction() const {
+    return events_emitted == 0
+               ? 0.0
+               : static_cast<double>(degraded_events) /
+                     static_cast<double>(events_emitted);
+  }
+};
+
 /// Online tracker. Not thread-safe; drive it from one thread.
 class StreamingTracker {
  public:
@@ -76,6 +95,18 @@ class StreamingTracker {
 
   [[nodiscard]] double fs() const { return fs_; }
 
+  /// Snapshot of the tracker's lifetime statistics (chunks seen, events
+  /// emitted, degraded fraction).
+  [[nodiscard]] StreamingStats stats() const {
+    StreamingStats s;
+    s.samples_pushed = samples_pushed_;
+    s.windows_processed = windows_processed_;
+    s.events_emitted = emitted_steps_;
+    s.degraded_events = emitted_degraded_;
+    s.distance_m = emitted_distance_;
+    return s;
+  }
+
  private:
   /// Runs the batch pipeline over the window and moves newly confirmed
   /// events (t <= horizon) into the pending queue.
@@ -94,6 +125,8 @@ class StreamingTracker {
   std::size_t emitted_steps_ = 0;
   std::size_t emitted_degraded_ = 0;
   double emitted_distance_ = 0.0;
+  std::size_t samples_pushed_ = 0;
+  std::size_t windows_processed_ = 0;
 };
 
 }  // namespace ptrack::core

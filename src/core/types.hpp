@@ -144,12 +144,25 @@ struct StrideConfig {
   double swing_velocity_threshold = 0.7;
 };
 
+/// Wall-clock cost of each pipeline stage for one trace (µs). Filled by
+/// PTrack::process when the observability layer is compiled in and enabled
+/// at runtime; all zeros otherwise. Surfaced as the "timing" block of the
+/// CLI's per-trace JSON.
+struct StageTiming {
+  double quality_us = 0.0;  ///< signal-quality detection + repair
+  double project_us = 0.0;  ///< gravity/anterior projection + filtering
+  double count_us = 0.0;    ///< cycle segmentation + gait classification
+  double stride_us = 0.0;   ///< stride estimation, fill and smoothing
+  double total_us = 0.0;    ///< whole process() call (>= sum of stages)
+};
+
 /// Full result of processing a trace.
 struct TrackResult {
   std::size_t steps = 0;
   std::vector<StepEvent> events;
   std::vector<CycleRecord> cycles;
   SignalQuality quality{};  ///< trace-level signal quality (1.0/clean default)
+  StageTiming timing{};     ///< per-stage wall-clock cost (zeros when obs off)
 
   /// Total walked distance (sum of per-step strides).
   [[nodiscard]] double distance() const {

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "dsp/fft.hpp"
+#include "obs/metrics.hpp"
 #include "dsp/peaks.hpp"
 #include "dsp/workspace.hpp"
 
@@ -117,7 +118,11 @@ std::vector<double> autocorr_fft(std::span<const double> xs,
 
 std::vector<double> autocorr(std::span<const double> xs, std::size_t max_lag,
                              Workspace& ws) {
-  if (fft_pays_off(xs.size(), max_lag)) return autocorr_fft(xs, max_lag, ws);
+  if (fft_pays_off(xs.size(), max_lag)) {
+    PTRACK_COUNT("ptrack.dsp.autocorr.fft");
+    return autocorr_fft(xs, max_lag, ws);
+  }
+  PTRACK_COUNT("ptrack.dsp.autocorr.naive");
   return autocorr_naive(xs, max_lag);
 }
 
@@ -219,8 +224,10 @@ std::vector<double> xcorr_fft(std::span<const double> a,
 std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
                           std::size_t max_lag, Workspace& ws) {
   if (fft_pays_off(a.size(), 2 * max_lag + 1)) {
+    PTRACK_COUNT("ptrack.dsp.xcorr.fft");
     return xcorr_fft(a, b, max_lag, ws);
   }
+  PTRACK_COUNT("ptrack.dsp.xcorr.naive");
   return xcorr_naive(a, b, max_lag);
 }
 

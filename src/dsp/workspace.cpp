@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace ptrack::dsp {
 
@@ -43,8 +44,12 @@ const FftPlan& Workspace::fft_plan(std::size_t nfft) {
   expects(nfft >= 1 && (nfft & (nfft - 1)) == 0,
           "Workspace::fft_plan: size is a power of two");
   for (const auto& p : plans_) {
-    if (p->n == nfft) return *p;
+    if (p->n == nfft) {
+      PTRACK_COUNT("ptrack.dsp.fft_plan.hits");
+      return *p;
+    }
   }
+  PTRACK_COUNT("ptrack.dsp.fft_plan.misses");
   plans_.push_back(std::make_unique<FftPlan>(make_fft_plan(nfft)));
   // Plans are cached by exact size and never evicted: one entry per size.
   PTRACK_CHECK_MSG(plans_.back()->n == nfft,

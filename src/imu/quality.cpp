@@ -5,6 +5,8 @@
 
 #include "common/check.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrack::imu {
 
@@ -333,13 +335,31 @@ double QualityReport::fraction_masked(std::size_t begin,
   return fraction_with(flags, begin, end, kFlagMasked);
 }
 
+namespace {
+
+void count_quality(const QualityReport& report) {
+  PTRACK_COUNT("ptrack.imu.quality.traces");
+  PTRACK_COUNT_N("ptrack.imu.quality.samples_repaired", report.repaired_samples);
+  PTRACK_COUNT_N("ptrack.imu.quality.samples_masked", report.masked_samples);
+  if (report.repaired_samples + report.masked_samples > 0) {
+    PTRACK_COUNT("ptrack.imu.quality.traces_degraded");
+  }
+}
+
+}  // namespace
+
 QualityReport assess(const Trace& trace, const QualityConfig& cfg) {
-  return analyze(trace, cfg, nullptr);
+  PTRACK_OBS_SPAN("imu.quality");
+  QualityReport report = analyze(trace, cfg, nullptr);
+  count_quality(report);
+  return report;
 }
 
 QualityResult assess_and_repair(const Trace& trace, const QualityConfig& cfg) {
+  PTRACK_OBS_SPAN("imu.quality");
   std::vector<Sample> samples = trace.samples();
   QualityReport report = analyze(trace, cfg, &samples);
+  count_quality(report);
   return {Trace(trace.fs(), std::move(samples)), std::move(report)};
 }
 

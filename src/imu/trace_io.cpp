@@ -5,6 +5,8 @@
 #include "common/check.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrack::imu {
 
@@ -79,7 +81,10 @@ Trace trace_from_document(const csv::Document& doc, const std::string& name) {
 }
 
 Trace load_csv(const std::string& path) {
-  return trace_from_document(csv::read(path), path);
+  PTRACK_OBS_SPAN("imu.load_csv");
+  Trace trace = trace_from_document(csv::read(path), path);
+  PTRACK_COUNT("ptrack.imu.load.traces");
+  return trace;
 }
 
 }  // namespace ptrack::imu

@@ -1,0 +1,224 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace ptrack::obs {
+
+namespace detail {
+
+std::size_t this_thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+namespace {
+
+std::size_t this_shard() { return detail::this_thread_slot() % kShards; }
+
+/// C++20 atomic<double>::fetch_add exists, but a CAS loop keeps us off the
+/// newest library surface for the same relaxed-accumulate semantics.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+/// `ptrack.<layer>.<name>`: lowercase/digit/underscore segments, at least
+/// three, first one literally "ptrack".
+bool valid_metric_name(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t seg_len = 0;
+  for (const char c : name) {
+    if (c == '.') {
+      if (seg_len == 0) return false;
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const auto uc = static_cast<unsigned char>(c);
+    if (!(std::islower(uc) != 0 || std::isdigit(uc) != 0 || c == '_')) {
+      return false;
+    }
+    ++seg_len;
+  }
+  if (seg_len == 0) return false;
+  ++segments;
+  return segments >= 3 && name.substr(0, 7) == "ptrack.";
+}
+
+}  // namespace
+
+void Counter::inc(std::uint64_t delta) {
+  cells_[this_shard()].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+Histogram::Histogram(std::string name, std::span<const double> bounds)
+    : name_(std::move(name)), bounds_(bounds.begin(), bounds.end()) {
+  expects(!bounds_.empty(), "Histogram: at least one bucket bound");
+  expects(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+              std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                  bounds_.end(),
+          "Histogram: strictly ascending bounds");
+  const std::size_t stride = bounds_.size() + 1;
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(kShards * stride);
+  for (std::size_t i = 0; i < kShards * stride; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) {
+  const std::size_t stride = bounds_.size() + 1;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  const std::size_t shard = this_shard();
+  counts_[shard * stride + bucket].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sums_[shard].sum, v);
+  sums_[shard].count.fetch_add(1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  const std::size_t stride = bounds_.size() + 1;
+  snap.counts.assign(stride, 0);
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    for (std::size_t b = 0; b < stride; ++b) {
+      snap.counts[b] +=
+          counts_[shard * stride + b].load(std::memory_order_relaxed);
+    }
+    snap.sum += sums_[shard].sum.load(std::memory_order_relaxed);
+    snap.count += sums_[shard].count.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::span<const double> latency_buckets_us() {
+  static const double kBuckets[] = {10.0,    20.0,    50.0,     100.0,
+                                    200.0,   500.0,   1000.0,   2000.0,
+                                    5000.0,  10000.0, 20000.0,  50000.0,
+                                    100000.0, 200000.0, 500000.0, 1000000.0};
+  return kBuckets;
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  expects(valid_metric_name(name),
+          "Registry::counter: name must be ptrack.<layer>.<name>");
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  expects(valid_metric_name(name),
+          "Registry::gauge: name must be ptrack.<layer>.<name>");
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  expects(valid_metric_name(name),
+          "Registry::histogram: name must be ptrack.<layer>.<name>");
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::string(name), bounds)))
+             .first;
+  } else {
+    expects(std::equal(bounds.begin(), bounds.end(),
+                       it->second->bounds().begin(),
+                       it->second->bounds().end()),
+            "Registry::histogram: re-registration with identical bounds");
+  }
+  return *it->second;
+}
+
+void Registry::write_json(json::Writer& w) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name).value(c->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name).value(g->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot snap = h->snapshot();
+    w.key(name).begin_object();
+    w.key("count").value(snap.count);
+    w.key("sum").value(snap.sum);
+    w.key("buckets").begin_array();
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
+      w.begin_object();
+      w.key("le").value(snap.bounds[b]);
+      w.key("count").value(snap.counts[b]);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("overflow").value(snap.counts.back());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& [name, c] : counters_) {
+    for (Counter::Cell& cell : c->cells_) {
+      cell.v.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, g] : gauges_) g->set(0.0);
+  for (auto& [name, h] : histograms_) {
+    const std::size_t stride = h->bounds_.size() + 1;
+    for (std::size_t i = 0; i < kShards * stride; ++i) {
+      h->counts_[i].store(0, std::memory_order_relaxed);
+    }
+    for (Histogram::SumCell& cell : h->sums_) {
+      cell.sum.store(0.0, std::memory_order_relaxed);
+      cell.count.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace ptrack::obs

@@ -1,0 +1,217 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms for attributing work and latency to pipeline stages.
+//
+// Hot-path design: every counter and histogram is sharded into kShards
+// cache-line-aligned cells; a thread increments the cell picked by its
+// (stable) thread slot with one relaxed atomic add — no locks, no
+// contention in the common case, and scrapes pay the aggregation cost
+// instead of the writers. The registry mutex is only taken at metric
+// registration (once per call site, via the macros' function-local static
+// handles) and on scrape.
+//
+// Naming scheme: `ptrack.<layer>.<name>` with layer one of the source
+// subdirectories (dsp, imu, core, runtime, ...). The registry enforces the
+// prefix so dashboards can rely on it (see DESIGN.md "Observability").
+//
+// Compile-time gate: configuring with -DPTRACK_OBS=OFF defines
+// PTRACK_OBS_ENABLED=0, which turns the instrumentation macros into no-ops
+// and pins obs::enabled() to false so guarded blocks fold away. The
+// registry type itself stays compiled (it is tiny) so the CLI's
+// --metrics-out flag degrades to an empty snapshot instead of vanishing.
+// At runtime, obs::set_enabled(false) is a kill switch that short-circuits
+// the macros before any registry access.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+#ifndef PTRACK_OBS_ENABLED
+#define PTRACK_OBS_ENABLED 1
+#endif
+
+namespace ptrack::obs {
+
+namespace detail {
+/// Stable small slot for the calling thread (assigned on first use).
+std::size_t this_thread_slot();
+}  // namespace detail
+
+#if PTRACK_OBS_ENABLED
+namespace detail {
+inline std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+/// Runtime kill switch (default on). Checked by every instrumentation
+/// macro before touching the registry; one relaxed load.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+#else
+inline constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+#endif
+
+/// Shard count per metric. More shards than typical worker counts would
+/// waste cache; fewer would contend. Threads map to shards slot % kShards.
+inline constexpr std::size_t kShards = 16;
+
+/// Monotone event counter. inc() is one relaxed atomic add on the calling
+/// thread's shard; value() sums the shards (approximate while writers are
+/// active, exact once they are quiescent or joined).
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t value() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::string name_;
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Last-write-wins instantaneous value (e.g. worker utilization). Set is
+/// rare (per batch, not per sample), so a single relaxed atomic suffices.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative-style buckets: counts[i] covers
+/// values <= bounds[i], plus one overflow bucket). Sharded like Counter.
+class Histogram {
+ public:
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;        ///< ascending upper bounds
+    std::vector<std::uint64_t> counts; ///< bounds.size() + 1 (last: overflow)
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::span<const double> bounds);
+
+  struct alignas(64) SumCell {
+    std::atomic<double> sum{0.0};
+    std::atomic<std::uint64_t> count{0};
+  };
+  std::string name_;
+  std::vector<double> bounds_;
+  /// Shard-major layout: shard * (bounds_.size() + 1) + bucket.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::array<SumCell, kShards> sums_{};
+};
+
+/// Exponential microsecond buckets covering 10 µs .. 1 s — the default for
+/// stage latency histograms.
+std::span<const double> latency_buckets_us();
+
+/// Process-wide registry. Handles returned by counter()/gauge()/histogram()
+/// are stable for the process lifetime; cache them (the instrumentation
+/// macros do, in function-local statics).
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Registers (or finds) a metric. Names must match
+  /// `ptrack.<layer>.<name>`; re-registering a histogram with different
+  /// bounds throws.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  /// Serializes one snapshot as a JSON object value:
+  /// {"counters":{name:n,...},"gauges":{...},"histograms":{name:
+  ///  {"count":n,"sum":s,"buckets":[{"le":b,"count":n},...],
+  ///   "overflow":n},...}}. Names are emitted sorted (deterministic).
+  void write_json(json::Writer& w) const;
+
+  /// Zeroes every registered metric (tests and benches; not thread-safe
+  /// against concurrent writers beyond the per-cell atomicity).
+  void reset();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ptrack::obs
+
+#define PTRACK_OBS_CAT2_(a, b) a##b
+#define PTRACK_OBS_CAT_(a, b) PTRACK_OBS_CAT2_(a, b)
+
+#if PTRACK_OBS_ENABLED
+/// Adds `n_` to the counter `name_` (string literal). The handle is looked
+/// up once per call site; afterwards the cost is one branch plus one
+/// relaxed atomic add.
+#define PTRACK_COUNT_N(name_, n_)                                           \
+  do {                                                                      \
+    if (::ptrack::obs::enabled()) {                                         \
+      static ::ptrack::obs::Counter& PTRACK_OBS_CAT_(ptrack_obs_c_,         \
+                                                     __LINE__) =            \
+          ::ptrack::obs::Registry::instance().counter(name_);               \
+      PTRACK_OBS_CAT_(ptrack_obs_c_, __LINE__)                              \
+          .inc(static_cast<std::uint64_t>(n_));                             \
+    }                                                                       \
+  } while (0)
+
+/// Records `v_` (µs) into the latency histogram `name_`.
+#define PTRACK_HIST_US(name_, v_)                                           \
+  do {                                                                      \
+    if (::ptrack::obs::enabled()) {                                         \
+      static ::ptrack::obs::Histogram& PTRACK_OBS_CAT_(ptrack_obs_h_,       \
+                                                       __LINE__) =          \
+          ::ptrack::obs::Registry::instance().histogram(                    \
+              name_, ::ptrack::obs::latency_buckets_us());                  \
+      PTRACK_OBS_CAT_(ptrack_obs_h_, __LINE__)                              \
+          .observe(static_cast<double>(v_));                                \
+    }                                                                       \
+  } while (0)
+#else
+#define PTRACK_COUNT_N(name_, n_) static_cast<void>(0)
+#define PTRACK_HIST_US(name_, v_) static_cast<void>(0)
+#endif
+
+#define PTRACK_COUNT(name_) PTRACK_COUNT_N(name_, 1)

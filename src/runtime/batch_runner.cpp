@@ -7,6 +7,8 @@
 #include "common/check.hpp"
 #include "common/error.hpp"
 #include "imu/trace_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ptrack::runtime {
 
@@ -28,12 +30,28 @@ std::vector<TraceResult> BatchRunner::run(
   std::vector<TraceResult> results(traces.size());
   if (traces.empty()) return results;
 
+  PTRACK_OBS_SPAN("runtime.batch");
+  PTRACK_COUNT("ptrack.runtime.batch.runs");
+  // The obs decision is latched once per batch so a mid-run toggle cannot
+  // produce half-measured tasks, and the disabled path never reads clocks.
+  const bool obs_on = obs::enabled();
+  const std::uint64_t batch_start_ns = obs_on ? obs::now_ns() : 0;
+
+  /// Per-worker busy-time accumulator, padded so workers on adjacent
+  /// entries do not share a cache line.
+  struct alignas(64) WorkerBusy {
+    std::uint64_t ns = 0;
+  };
+  std::vector<WorkerBusy> busy(pool_.size());
+
   // One pipeline (and thus one scratch workspace) per worker: no sharing,
   // no locks, and buffer capacities amortize across that worker's traces.
   std::vector<core::PTrack> trackers(pool_.size(), core::PTrack(cfg_));
   pool_.run(traces.size(), [&](std::size_t task, std::size_t worker) {
     PTRACK_CHECK_MSG(task < results.size() && worker < trackers.size(),
                      "BatchRunner: task and worker indices in range");
+    PTRACK_OBS_SPAN("runtime.task");
+    const std::uint64_t task_start_ns = obs_on ? obs::now_ns() : 0;
     // Exceptions are converted to values here, inside the task, so one bad
     // trace cannot poison the pool (ThreadPool rethrows escaped exceptions
     // after the drain, which would abort the whole batch).
@@ -47,7 +65,35 @@ std::vector<TraceResult> BatchRunner::run(
           TraceError{TraceError::Stage::Process, "#" + std::to_string(task),
                      "unknown exception"});
     }
+    if (obs_on) {
+      const std::uint64_t task_end_ns = obs::now_ns();
+      // "Queue wait" for a work-stealing-free fork-join pool: how long the
+      // task sat behind earlier tasks before a worker picked it up.
+      PTRACK_HIST_US("ptrack.runtime.batch.queue_wait_us",
+                     static_cast<double>(task_start_ns - batch_start_ns) /
+                         1000.0);
+      PTRACK_HIST_US("ptrack.runtime.batch.exec_us",
+                     static_cast<double>(task_end_ns - task_start_ns) /
+                         1000.0);
+      busy[worker].ns += task_end_ns - task_start_ns;
+    }
   });
+  if (obs_on) {
+    const std::uint64_t batch_ns =
+        std::max<std::uint64_t>(obs::now_ns() - batch_start_ns, 1);
+    std::size_t ok = 0;
+    for (const TraceResult& r : results) ok += r.has_value() ? 1 : 0;
+    PTRACK_COUNT_N("ptrack.runtime.batch.traces_ok", ok);
+    PTRACK_COUNT_N("ptrack.runtime.batch.traces_failed", results.size() - ok);
+    auto& reg = obs::Registry::instance();
+    reg.gauge("ptrack.runtime.batch.workers")
+        .set(static_cast<double>(pool_.size()));
+    for (std::size_t w = 0; w < busy.size(); ++w) {
+      reg.gauge("ptrack.runtime.worker." + std::to_string(w) + ".utilization")
+          .set(static_cast<double>(busy[w].ns) /
+               static_cast<double>(batch_ns));
+    }
+  }
   // Deterministic batch contract: results come back positionally, slot i
   // holding trace i's result regardless of which worker ran it.
   PTRACK_CHECK_MSG(results.size() == traces.size(),
@@ -77,6 +123,7 @@ TraceDirListing load_trace_dir(const std::string& dir) {
     try {
       out.traces.push_back({name, imu::load_csv(p.string())});
     } catch (const std::exception& e) {
+      PTRACK_COUNT("ptrack.imu.load.errors");
       out.errors.push_back(
           {TraceError::Stage::Load, std::move(name), e.what()});
     }

@@ -128,3 +128,82 @@ TEST(Json, IncompleteDocumentDetected) {
   w.begin_object();
   EXPECT_FALSE(w.complete());
 }
+
+// ---------------------------------------------------------------------------
+// json::parse (the read side)
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.key("steps").value(static_cast<std::size_t>(42));
+  w.key("ratio").value(0.125);
+  w.key("name").value("trace \"a\"\n");
+  w.key("ok").value(true);
+  w.key("missing").null();
+  w.key("events").begin_array();
+  w.value(1.0).value(2.5);
+  w.end_array();
+  w.end_object();
+
+  const json::Value v = json::parse(os.str());
+  EXPECT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.at("steps").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(v.at("ratio").as_number(), 0.125);
+  EXPECT_EQ(v.at("name").as_string(), "trace \"a\"\n");
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_TRUE(v.at("missing").is_null());
+  ASSERT_EQ(v.at("events").items().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("events").items()[1].as_number(), 2.5);
+}
+
+TEST(JsonParse, NumbersAndWhitespace) {
+  const json::Value v =
+      json::parse("  [ -0.5, 1e3, 2E-2, 0, 123, -7 ]\n");
+  const auto& xs = v.items();
+  ASSERT_EQ(xs.size(), 6u);
+  EXPECT_DOUBLE_EQ(xs[0].as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(xs[1].as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(xs[2].as_number(), 0.02);
+  EXPECT_DOUBLE_EQ(xs[5].as_number(), -7.0);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  // BMP escape and a surrogate pair (U+1F600).
+  const json::Value v = json::parse(R"(["é", "😀"])");
+  EXPECT_EQ(v.items()[0].as_string(), "\xc3\xa9");
+  EXPECT_EQ(v.items()[1].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(json::parse(""), InvalidArgument);
+  EXPECT_THROW(json::parse("{"), InvalidArgument);
+  EXPECT_THROW(json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(json::parse("{\"a\":1} x"), InvalidArgument);  // trailing
+  EXPECT_THROW(json::parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(json::parse("01"), InvalidArgument);
+  EXPECT_THROW(json::parse("1."), InvalidArgument);
+  EXPECT_THROW(json::parse("nan"), InvalidArgument);
+  EXPECT_THROW(json::parse(R"(["\ud800"])"), InvalidArgument);  // lone hi
+  EXPECT_THROW(json::parse("tru"), InvalidArgument);
+}
+
+TEST(JsonParse, NestingDepthIsCapped) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW(json::parse(deep), InvalidArgument);
+  std::string ok;
+  for (int i = 0; i < 50; ++i) ok += '[';
+  for (int i = 0; i < 50; ++i) ok += ']';
+  EXPECT_NO_THROW(json::parse(ok));
+}
+
+TEST(JsonParse, AccessorsThrowOnTypeMismatch) {
+  const json::Value v = json::parse(R"({"a": 1})");
+  EXPECT_THROW((void)v.at("a").as_string(), InvalidArgument);
+  EXPECT_THROW((void)v.at("b"), InvalidArgument);
+  EXPECT_THROW((void)v.items(), InvalidArgument);
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("b"));
+}

@@ -203,3 +203,29 @@ TEST(Streaming, FinishThenContinue) {
   stream.finish();
   EXPECT_GT(stream.steps(), steps_at_half + 20);
 }
+
+TEST(Streaming, StatsSnapshotTracksLifetime) {
+  const auto r = make(synth::Scenario::pure_walking(40.0), 508);
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+
+  const auto before = stream.stats();
+  EXPECT_EQ(before.samples_pushed, 0u);
+  EXPECT_EQ(before.windows_processed, 0u);
+  EXPECT_EQ(before.events_emitted, 0u);
+  EXPECT_DOUBLE_EQ(before.degraded_fraction(), 0.0);
+
+  stream.push(r.trace);
+  std::size_t polled = stream.poll().size();
+  polled += stream.finish().size();
+
+  const auto after = stream.stats();
+  EXPECT_EQ(after.samples_pushed, r.trace.size());
+  EXPECT_GT(after.windows_processed, 0u);
+  EXPECT_EQ(after.events_emitted, polled);
+  EXPECT_EQ(after.events_emitted, stream.steps());
+  EXPECT_EQ(after.degraded_events, stream.degraded_steps());
+  EXPECT_LE(after.degraded_events, after.events_emitted);
+  EXPECT_DOUBLE_EQ(after.distance_m, stream.distance());
+  EXPECT_GE(after.degraded_fraction(), 0.0);
+  EXPECT_LE(after.degraded_fraction(), 1.0);
+}

@@ -1,0 +1,254 @@
+// obs_check — CI validator for the observability outputs of ptrack_cli.
+//
+//   obs_check --metrics m.json [--trace t.json] [--allow-empty]
+//
+// Metrics snapshot checks:
+//   - the file parses with common/json and carries schema
+//     "ptrack.metrics.v1" plus the obs_compiled marker;
+//   - every metric name matches the ptrack.<layer>.<name> scheme;
+//   - unless --allow-empty (or obs_compiled=false), the counters every
+//     batch run must touch (load, quality, process, projection,
+//     segmentation, critical points, stride, batch bookkeeping) are present
+//     and non-zero, at least one gait decision was recorded, and the batch
+//     latency histograms saw at least one observation.
+//
+// Chrome trace checks:
+//   - the file parses and has the trace_event envelope;
+//   - every event carries name/ph/ts/tid with ph one of "B"/"E";
+//   - per tid the B/E events nest like balanced parentheses (matching
+//     names), with nothing left open — the invariant the exporter's
+//     re-balancing promises;
+//   - unless --allow-empty, at least one "core.process" span is present.
+//
+// Exit code 0 when everything holds, 1 with a message on the first
+// violation — cheap enough to run on every CI batch smoke.
+
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("obs_check: cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Same scheme Registry enforces: ptrack.<layer>.<name>, lowercase
+/// [a-z0-9_] segments, at least three of them.
+bool valid_name(const std::string& name) {
+  std::size_t segments = 0;
+  std::size_t seg_len = 0;
+  for (const char c : name) {
+    if (c == '.') {
+      if (seg_len == 0) return false;
+      ++segments;
+      seg_len = 0;
+      continue;
+    }
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+    ++seg_len;
+  }
+  if (seg_len == 0) return false;
+  ++segments;
+  return segments >= 3 && name.rfind("ptrack.", 0) == 0;
+}
+
+/// Counters a batch run over at least one loadable trace always drives.
+const std::vector<std::string>& required_counters() {
+  static const std::vector<std::string> k = {
+      "ptrack.imu.load.traces",
+      "ptrack.imu.quality.traces",
+      "ptrack.core.traces",
+      "ptrack.core.projections",
+      "ptrack.core.cycles",
+      "ptrack.core.critical_points.calls",
+      "ptrack.core.stride.estimates",
+      "ptrack.runtime.batch.runs",
+      "ptrack.runtime.batch.traces_ok",
+  };
+  return k;
+}
+
+int check_metrics(const std::string& path, bool allow_empty) {
+  const json::Value doc = json::parse(slurp(path));
+  if (doc.at("schema").as_string() != "ptrack.metrics.v1") {
+    std::cerr << "obs_check: " << path << ": unexpected schema\n";
+    return 1;
+  }
+  const bool compiled = doc.at("obs_compiled").as_bool();
+  const json::Value& metrics = doc.at("metrics");
+  const auto& counters = metrics.at("counters").members();
+  const auto& gauges = metrics.at("gauges").members();
+  const auto& histograms = metrics.at("histograms").members();
+
+  for (const auto* group : {&counters, &gauges, &histograms}) {
+    for (const auto& [name, value] : *group) {
+      static_cast<void>(value);
+      if (!valid_name(name)) {
+        std::cerr << "obs_check: " << path << ": bad metric name '" << name
+                  << "'\n";
+        return 1;
+      }
+    }
+  }
+  for (const auto& [name, h] : histograms) {
+    // Internal consistency: bucket counts sum to the total count.
+    double bucket_sum = h.at("overflow").as_number();
+    for (const json::Value& b : h.at("buckets").items()) {
+      bucket_sum += b.at("count").as_number();
+    }
+    if (bucket_sum != h.at("count").as_number()) {
+      std::cerr << "obs_check: " << path << ": histogram '" << name
+                << "' buckets do not sum to count\n";
+      return 1;
+    }
+  }
+
+  if (allow_empty || !compiled) {
+    std::cout << "obs_check: " << path << ": structure OK ("
+              << counters.size() << " counters)\n";
+    return 0;
+  }
+
+  for (const std::string& name : required_counters()) {
+    const auto it = counters.find(name);
+    if (it == counters.end() || it->second.as_number() <= 0.0) {
+      std::cerr << "obs_check: " << path << ": required counter '" << name
+                << "' missing or zero\n";
+      return 1;
+    }
+  }
+  double gait = 0.0;
+  for (const char* name : {"ptrack.core.gait.walking",
+                           "ptrack.core.gait.stepping",
+                           "ptrack.core.gait.interference"}) {
+    const auto it = counters.find(name);
+    if (it != counters.end()) gait += it->second.as_number();
+  }
+  if (gait <= 0.0) {
+    std::cerr << "obs_check: " << path << ": no gait decisions recorded\n";
+    return 1;
+  }
+  for (const char* name : {"ptrack.runtime.batch.exec_us",
+                           "ptrack.runtime.batch.queue_wait_us"}) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end() ||
+        it->second.at("count").as_number() <= 0.0) {
+      std::cerr << "obs_check: " << path << ": histogram '" << name
+                << "' missing or empty\n";
+      return 1;
+    }
+  }
+  std::cout << "obs_check: " << path << ": OK (" << counters.size()
+            << " counters, " << gauges.size() << " gauges, "
+            << histograms.size() << " histograms)\n";
+  return 0;
+}
+
+int check_trace(const std::string& path, bool allow_empty) {
+  const json::Value doc = json::parse(slurp(path));
+  const auto& events = doc.at("traceEvents").items();
+
+  // Per-thread span stacks: B pushes, E must match the top's name.
+  std::map<double, std::vector<std::string>> stacks;
+  std::size_t spans = 0;
+  bool saw_process = false;
+  for (const json::Value& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    const std::string& name = e.at("name").as_string();
+    const double ts = e.at("ts").as_number();
+    const double tid = e.at("tid").as_number();
+    if (ph != "B" && ph != "E") {
+      std::cerr << "obs_check: " << path << ": unexpected phase '" << ph
+                << "'\n";
+      return 1;
+    }
+    if (ts < 0.0) {
+      std::cerr << "obs_check: " << path << ": negative timestamp\n";
+      return 1;
+    }
+    auto& stack = stacks[tid];
+    if (ph == "B") {
+      stack.push_back(name);
+    } else {
+      if (stack.empty() || stack.back() != name) {
+        std::cerr << "obs_check: " << path << ": unbalanced span '" << name
+                  << "' on tid " << tid << "\n";
+        return 1;
+      }
+      stack.pop_back();
+      ++spans;
+      if (name == "core.process") saw_process = true;
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      std::cerr << "obs_check: " << path << ": tid " << tid << " left '"
+                << stack.back() << "' open\n";
+      return 1;
+    }
+  }
+  if (!allow_empty && spans == 0) {
+    std::cerr << "obs_check: " << path << ": no spans recorded\n";
+    return 1;
+  }
+  if (!allow_empty && !saw_process) {
+    std::cerr << "obs_check: " << path << ": no core.process span\n";
+    return 1;
+  }
+  std::cout << "obs_check: " << path << ": OK (" << spans
+            << " balanced spans, " << stacks.size() << " threads)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    cli::Args args(
+        argc, argv,
+        {{"metrics", "metrics snapshot JSON written by --metrics-out", "",
+          false},
+         {"trace", "Chrome trace JSON written by --trace-out", "", false},
+         {"allow-empty",
+          "only check structure, not that the pipeline counters are "
+          "non-zero (for PTRACK_OBS=OFF builds)",
+          "", true}});
+    if (args.help_requested()) {
+      std::cout << args.usage("obs_check");
+      return 0;
+    }
+    const bool allow_empty = args.get_bool("allow-empty");
+    if (!args.has("metrics") && !args.has("trace")) {
+      std::cerr << "obs_check: pass --metrics and/or --trace\n";
+      return 1;
+    }
+    int rc = 0;
+    if (args.has("metrics")) {
+      rc = check_metrics(args.get_string("metrics"), allow_empty);
+    }
+    if (rc == 0 && args.has("trace")) {
+      rc = check_trace(args.get_string("trace"), allow_empty);
+    }
+    return rc;
+  } catch (const Error& e) {
+    std::cerr << "obs_check: " << e.what() << "\n";
+    return 1;
+  }
+}
