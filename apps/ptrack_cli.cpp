@@ -4,6 +4,15 @@
 //   ptrack_cli --input trace.csv --arm 0.72 --leg 0.93 [--json out.json]
 //              [--events out.csv] [--self-train-distance 140]
 //
+// Streaming replay mode:
+//   ptrack_cli --input trace.csv --streaming [--hop 2.0]
+//
+// --streaming replays the trace sample-by-sample through the incremental
+// core::StreamingTracker (the smartwatch operating mode) instead of the
+// batch facade: events print as they are confirmed, with their emission
+// latency behind the simulated stream clock. Same events, same oracle —
+// see DESIGN.md "Incremental pipeline architecture".
+//
 // Batch mode (cohort-scale processing):
 //   ptrack_cli --batch traces_dir [--threads 4] [--json out.json] [--strict]
 //
@@ -43,6 +52,7 @@
 #include "common/json.hpp"
 #include "core/ptrack.hpp"
 #include "core/self_training.hpp"
+#include "core/streaming.hpp"
 #include "imu/trace_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -92,6 +102,85 @@ void write_timing(json::Writer& w, const core::StageTiming& t) {
   w.key("stride_us").value(t.stride_us);
   w.key("total_us").value(t.total_us);
   w.end_object();
+}
+
+int run_streaming(const cli::Args& args, const core::PTrackConfig& config,
+                  const imu::Trace& trace) {
+  core::StreamingConfig scfg;
+  scfg.pipeline = config;
+  scfg.hop_s = args.get_double("hop");
+  core::StreamingTracker stream(trace.fs(), scfg);
+
+  const bool quiet = args.get_bool("quiet");
+  std::vector<core::StepEvent> events;
+  const auto drain = [&](double now) {
+    for (const core::StepEvent& e : stream.poll()) {
+      if (!quiet) {
+        std::cout << "t=" << e.t << " s  " << core::to_string(e.type)
+                  << " step, stride " << e.stride << " m (latency "
+                  << now - e.t << " s)\n";
+      }
+      events.push_back(e);
+    }
+  };
+  // Replay sample-by-sample, polling once per simulated second.
+  const auto poll_every = static_cast<std::size_t>(trace.fs());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    stream.push(trace[i]);
+    if (poll_every > 0 && (i + 1) % poll_every == 0) {
+      drain(static_cast<double>(i + 1) / trace.fs());
+    }
+  }
+  for (const core::StepEvent& e : stream.finish()) events.push_back(e);
+
+  const core::StreamingStats stats = stream.stats();
+  if (!quiet) {
+    std::cout << "streamed: " << trace.duration() << " s @ " << trace.fs()
+              << " Hz, " << stats.windows_processed << " hops of "
+              << scfg.hop_s << " s\n";
+    std::cout << "steps:    " << stream.steps() << "\n";
+    std::cout << "distance: " << stream.distance() << " m\n";
+    if (stream.degraded_steps() > 0) {
+      std::cout << "degraded: " << stream.degraded_steps() << " steps\n";
+    }
+  }
+
+  if (args.has("events")) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(events.size());
+    for (const core::StepEvent& e : events) {
+      rows.push_back({e.t, e.stride,
+                      static_cast<double>(static_cast<int>(e.type))});
+    }
+    csv::write(args.get_string("events"), {"t", "stride", "type"}, rows);
+  }
+
+  if (args.has("json")) {
+    std::ofstream out(args.get_string("json"));
+    if (!out) throw Error("cannot open " + args.get_string("json"));
+    json::Writer w(out);
+    w.begin_object();
+    w.key("mode").value(std::string("streaming"));
+    w.key("hop_s").value(scfg.hop_s);
+    w.key("steps").value(stream.steps());
+    w.key("distance_m").value(stream.distance());
+    w.key("degraded_steps").value(stream.degraded_steps());
+    w.key("hops").value(stats.windows_processed);
+    w.key("events").begin_array();
+    for (const core::StepEvent& e : events) {
+      w.begin_object();
+      w.key("t").value(e.t);
+      w.key("stride").value(e.stride);
+      w.key("type").value(std::string(core::to_string(e.type)));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    check(w.complete(), "ptrack_cli: complete JSON document");
+    out << '\n';
+  }
+  write_obs_outputs(args);
+  return 0;
 }
 
 int run_batch(const cli::Args& args, const core::PTrackConfig& config) {
@@ -216,6 +305,14 @@ int run(int argc, char** argv) {
                    "write pipeline stage spans as Chrome trace_event JSON "
                    "(chrome://tracing, Perfetto) to this file",
                    "", false},
+                  {"streaming",
+                   "replay the input through the incremental streaming "
+                   "tracker instead of the batch pipeline",
+                   "", true},
+                  {"hop",
+                   "streaming mode: advance the pipeline every this many "
+                   "seconds of samples",
+                   "2.0", false},
                   {"strict",
                    "batch mode: exit 2 when any trace fails (default: skip "
                    "failed traces and report them)",
@@ -242,6 +339,8 @@ int run(int argc, char** argv) {
     config.stride.profile.arm_length = trained.arm_length;
     config.stride.profile.leg_length = trained.leg_length;
   }
+
+  if (args.get_bool("streaming")) return run_streaming(args, config, trace);
 
   core::PTrack tracker(config);
   const core::TrackResult result = tracker.process(trace);

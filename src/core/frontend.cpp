@@ -19,11 +19,11 @@ namespace {
 class UpField {
  public:
   explicit UpField(const Vec3& constant) : constant_(constant) {}
-  explicit UpField(const std::vector<Vec3>& per_sample)
-      : per_sample_(&per_sample) {}
+  explicit UpField(std::span<const Vec3> per_sample)
+      : per_sample_(per_sample) {}
 
   const Vec3& operator[](std::size_t i) const {
-    return per_sample_ ? (*per_sample_)[i] : constant_;
+    return per_sample_.empty() ? constant_ : per_sample_[i];
   }
 
   /// Normalized mean direction over [begin, end) — the representative up
@@ -36,7 +36,36 @@ class UpField {
 
  private:
   Vec3 constant_{};
-  const std::vector<Vec3>* per_sample_ = nullptr;
+  std::span<const Vec3> per_sample_{};
+};
+
+/// Force accessors: the projection math is written once against this shape
+/// and instantiated for array-of-structs (Trace) and structure-of-arrays
+/// (channel spans / SampleRing) storage. Both produce identical Vec3 values
+/// sample by sample, so the two instantiations are bit-equivalent.
+struct AosForces {
+  std::span<const Vec3> forces;
+  [[nodiscard]] std::size_t size() const { return forces.size(); }
+  Vec3 operator[](std::size_t i) const { return forces[i]; }
+  [[nodiscard]] Vec3 principal_dir(std::size_t begin, std::size_t end,
+                                   const Vec3& up) const {
+    return dsp::principal_horizontal_direction(
+        forces.subspan(begin, end - begin), up);
+  }
+};
+
+struct SoaForces {
+  std::span<const double> x;
+  std::span<const double> y;
+  std::span<const double> z;
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+  Vec3 operator[](std::size_t i) const { return Vec3{x[i], y[i], z[i]}; }
+  [[nodiscard]] Vec3 principal_dir(std::size_t begin, std::size_t end,
+                                   const Vec3& up) const {
+    const std::size_t n = end - begin;
+    return dsp::principal_horizontal_direction(
+        x.subspan(begin, n), y.subspan(begin, n), z.subspan(begin, n), up);
+  }
 };
 
 /// Decomposes pre-computed vertical/anterior raw channels into the final
@@ -58,31 +87,34 @@ ProjectedTrace finish(std::vector<double> vertical,
 }
 
 /// Anterior projection of gravity-removed residuals, either with one global
-/// principal direction or re-fit per window with sign continuity.
-std::vector<double> anterior_channel(const std::vector<Vec3>& forces,
-                                     const UpField& ups, double fs,
-                                     double anterior_window_s) {
+/// principal direction or re-fit per window with sign continuity. `seam_dir`
+/// carries the previous window's direction in and the last window's out;
+/// batch callers pass a zero-initialized local (no previous direction).
+template <typename Forces>
+std::vector<double> anterior_channel(const Forces& forces, const UpField& ups,
+                                     double fs, double anterior_window_s,
+                                     Vec3& seam_dir,
+                                     const Vec3* fixed_dir = nullptr) {
   const std::size_t n = forces.size();
   std::vector<double> anterior(n, 0.0);
 
-  const auto project_range = [&](std::size_t begin, std::size_t end,
-                                 Vec3& prev_dir) {
-    const std::span<const Vec3> window(forces.data() + begin, end - begin);
+  const auto project_range = [&](std::size_t begin, std::size_t end) {
     const Vec3 up = ups.window_mean(begin, end);
-    Vec3 dir = dsp::principal_horizontal_direction(window, up);
+    Vec3 dir = fixed_dir ? *fixed_dir
+                         : forces.principal_dir(begin, end, up);
     // Sign continuity: PCA is sign-ambiguous; align with the previous
-    // window so the channel doesn't flip mid-trace.
-    if (prev_dir.norm2() > 0.0 && dir.dot(prev_dir) < 0.0) dir = -dir;
-    prev_dir = dir;
+    // window so the channel doesn't flip mid-trace (or mid-stream).
+    if (seam_dir.norm2() > 0.0 && dir.dot(seam_dir) < 0.0) dir = -dir;
+    seam_dir = dir;
     for (std::size_t i = begin; i < end; ++i) {
-      const Vec3 residual = forces[i] - ups[i] * forces[i].dot(ups[i]);
+      const Vec3 f = forces[i];
+      const Vec3 residual = f - ups[i] * f.dot(ups[i]);
       anterior[i] = residual.dot(dir);
     }
   };
 
-  Vec3 prev_dir{};
   if (anterior_window_s <= 0.0) {
-    project_range(0, n, prev_dir);
+    project_range(0, n);
     return anterior;
   }
   const auto window =
@@ -92,24 +124,24 @@ std::vector<double> anterior_channel(const std::vector<Vec3>& forces,
     std::size_t end = std::min(begin + window, n);
     // Avoid a tiny tail window: merge it into the previous one.
     if (n - end < window / 2) end = n;
-    project_range(begin, end, prev_dir);
+    project_range(begin, end);
     begin = end;
   }
   return anterior;
 }
 
-ProjectedTrace project_common(const imu::Trace& trace, double lowpass_hz,
-                              double anterior_window_s, const UpField& ups,
-                              dsp::Workspace* ws) {
-  const double fs = trace.fs();
-  const auto forces = trace.accel_vectors();
-
+template <typename Forces>
+ProjectedTrace project_common(const Forces& forces, double fs,
+                              double lowpass_hz, double anterior_window_s,
+                              const UpField& ups, dsp::Workspace* ws,
+                              Vec3& seam_dir,
+                              const Vec3* fixed_dir = nullptr) {
   std::vector<double> vertical(forces.size());
   for (std::size_t i = 0; i < forces.size(); ++i) {
     vertical[i] = forces[i].dot(ups[i]) - kGravity;
   }
-  std::vector<double> anterior =
-      anterior_channel(forces, ups, fs, anterior_window_s);
+  std::vector<double> anterior = anterior_channel(
+      forces, ups, fs, anterior_window_s, seam_dir, fixed_dir);
   return finish(std::move(vertical), std::move(anterior), fs, lowpass_hz, ws);
 }
 
@@ -121,8 +153,11 @@ ProjectedTrace project_trace(const imu::Trace& trace, double lowpass_hz,
   expects(lowpass_hz > 0.0, "project_trace: lowpass_hz > 0");
   PTRACK_OBS_SPAN("core.project");
   PTRACK_COUNT("ptrack.core.projections");
-  const Vec3 up = dsp::estimate_up(trace.accel_vectors(), trace.fs());
-  return project_common(trace, lowpass_hz, anterior_window_s, UpField(up), ws);
+  const auto forces = trace.accel_vectors();
+  const Vec3 up = dsp::estimate_up(forces, trace.fs());
+  Vec3 seam_dir{};
+  return project_common(AosForces{forces}, trace.fs(), lowpass_hz,
+                        anterior_window_s, UpField(up), ws, seam_dir);
 }
 
 ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
@@ -140,7 +175,58 @@ ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
   for (const imu::Sample& s : trace.samples()) {
     ups.push_back(estimator.update(s.gyro, s.accel, dt));
   }
-  return project_common(trace, lowpass_hz, anterior_window_s, UpField(ups), ws);
+  const auto forces = trace.accel_vectors();
+  Vec3 seam_dir{};
+  return project_common(AosForces{forces}, trace.fs(), lowpass_hz,
+                        anterior_window_s, UpField(std::span<const Vec3>(ups)),
+                        ws, seam_dir);
+}
+
+ProjectedTrace project_channels(std::span<const double> ax,
+                                std::span<const double> ay,
+                                std::span<const double> az, double fs,
+                                double lowpass_hz, double anterior_window_s,
+                                std::span<const Vec3> ups, dsp::Workspace* ws,
+                                ProjectionSeam* seam, const AxisHistory& axes) {
+  expects(ax.size() >= 16, "project_channels: >= 16 samples");
+  expects(ax.size() == ay.size() && ay.size() == az.size(),
+          "project_channels: equal channel lengths");
+  expects(ups.empty() || ups.size() == ax.size(),
+          "project_channels: ups empty or one per sample");
+  expects(axes.empty() ||
+              (axes.ax.size() == axes.ay.size() &&
+               axes.ay.size() == axes.az.size() && axes.ax.size() >= 16),
+          "project_channels: axis spans equal-length and >= 16 samples");
+  expects(fs > 0.0, "project_channels: fs > 0");
+  expects(lowpass_hz > 0.0, "project_channels: lowpass_hz > 0");
+  PTRACK_OBS_SPAN("core.project");
+  PTRACK_COUNT("ptrack.core.projections");
+  const SoaForces forces{ax, ay, az};
+  Vec3 local_seam{};
+  Vec3& seam_dir = seam ? seam->prev_anterior_dir : local_seam;
+  if (!axes.empty()) {
+    // Axes pinned to the wider history: up from the history's gravity
+    // estimate (unless a per-sample track is supplied), anterior principal
+    // direction from the history's horizontal residual.
+    const Vec3 up = ups.empty() ? dsp::estimate_up(axes.ax, axes.ay, axes.az,
+                                                   fs, 0.3, ws)
+                                : UpField(ups).window_mean(0, ups.size());
+    const Vec3 dir =
+        dsp::principal_horizontal_direction(axes.ax, axes.ay, axes.az, up);
+    if (ups.empty()) {
+      return project_common(forces, fs, lowpass_hz, anterior_window_s,
+                            UpField(up), ws, seam_dir, &dir);
+    }
+    return project_common(forces, fs, lowpass_hz, anterior_window_s,
+                          UpField(ups), ws, seam_dir, &dir);
+  }
+  if (ups.empty()) {
+    const Vec3 up = dsp::estimate_up(ax, ay, az, fs, 0.3, ws);
+    return project_common(forces, fs, lowpass_hz, anterior_window_s,
+                          UpField(up), ws, seam_dir);
+  }
+  return project_common(forces, fs, lowpass_hz, anterior_window_s,
+                        UpField(ups), ws, seam_dir);
 }
 
 }  // namespace ptrack::core

@@ -43,4 +43,49 @@ ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
                                            double anterior_window_s = 0.0,
                                            dsp::Workspace* ws = nullptr);
 
+/// Sign-continuity state for the anterior principal direction, carried
+/// across successive projection calls. PCA is sign-ambiguous; a streaming
+/// pipeline that re-projects overlapping tails each hop must keep the
+/// anterior channel's sign stable across hops, so it threads one seam
+/// through every call. A zero-initialized seam (or none) reproduces batch
+/// behaviour exactly.
+struct ProjectionSeam {
+  Vec3 prev_anterior_dir{};
+};
+
+/// Optional wider raw-history spans for projection-axis estimation. The
+/// batch projection estimates the up direction and the anterior principal
+/// direction from the span it projects; an incremental pipeline projects
+/// only a short tail per hop, and axes fit to that tail wander with local
+/// gestures. Passing the last N seconds of raw history here pins the axes
+/// to that longer window instead (the projected span itself is unchanged).
+/// Empty means "estimate from the projected span" — the batch behaviour.
+struct AxisHistory {
+  std::span<const double> ax;
+  std::span<const double> ay;
+  std::span<const double> az;
+  [[nodiscard]] bool empty() const { return ax.empty(); }
+};
+
+/// Structure-of-arrays projection over raw channel spans (e.g. views into
+/// an imu::SampleRing) — no Trace or AoS materialization. Semantics match
+/// project_trace bit-for-bit when `ups` is empty and `seam` is null.
+///
+/// `ups` (optional) supplies a per-sample up track (attitude-filter path);
+/// it must be empty or exactly ax.size() long. When empty, the up
+/// direction is the batch gravity estimate over the spans.
+///
+/// `axes` (optional) supplies wider history spans for axis estimation;
+/// see AxisHistory. With per-sample `ups` the up track is used as given
+/// and `axes` only pins the anterior principal direction.
+ProjectedTrace project_channels(std::span<const double> ax,
+                                std::span<const double> ay,
+                                std::span<const double> az, double fs,
+                                double lowpass_hz,
+                                double anterior_window_s = 0.0,
+                                std::span<const Vec3> ups = {},
+                                dsp::Workspace* ws = nullptr,
+                                ProjectionSeam* seam = nullptr,
+                                const AxisHistory& axes = {});
+
 }  // namespace ptrack::core

@@ -157,6 +157,7 @@ GaitIdentifier::Decision GaitIdentifier::classify_impl(
     streak_count_ = 0;
   } else {
     d.type = GaitType::Interference;  // withheld, may be confirmed later
+    d.withheld = true;
   }
   return d;
 }

@@ -43,12 +43,30 @@ class GaitIdentifier {
   struct Decision {
     GaitType type = GaitType::Interference;
     std::size_t confirmed_backlog = 0;  ///< earlier cycles confirmed now
+    /// True when this Interference verdict is only provisional: the cycle
+    /// passed the stepping tests and joined a streak that has not reached
+    /// the confirmation threshold yet. A later streak-completing cycle may
+    /// retro-confirm it (confirmed_backlog). Streaming uses this to defer
+    /// rather than drop the cycle's events.
+    bool withheld = false;
   };
 
   Decision classify(const CycleAnalysis& analysis);
 
+  /// classify() without the obs counters. The streaming pipeline's bounded
+  /// lookahead clones the identifier and walks not-yet-stable cycles to
+  /// decide whether a withheld streak will confirm; counting those
+  /// simulated cycles would double-book the real ones.
+  Decision classify_speculative(const CycleAnalysis& analysis) {
+    return classify_impl(analysis);
+  }
+
   /// Resets the stepping streak (e.g. after a gap in candidates).
   void reset();
+
+  /// Number of cycles currently withheld in an open (unconfirmed) stepping
+  /// streak — the backlog a future confirmation would release.
+  [[nodiscard]] std::size_t pending_streak() const { return streak_count_; }
 
   [[nodiscard]] const StepCounterConfig& config() const { return cfg_; }
 

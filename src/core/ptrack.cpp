@@ -1,18 +1,23 @@
 #include "core/ptrack.hpp"
 
 #include "common/error.hpp"
-#include "dsp/moving.hpp"
+#include "core/stages.hpp"
+#include "imu/sample_ring.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace ptrack::core {
 
-PTrack::PTrack(PTrackConfig cfg)
-    : cfg_(cfg), counter_(cfg.counter), estimator_(cfg.stride) {}
+PTrack::PTrack(PTrackConfig cfg) : cfg_(cfg) {
+  // Construct-and-discard to validate the configuration eagerly (streak,
+  // delta, profile bounds), matching the pre-stage-graph behaviour where
+  // the counter and estimator members were built here.
+  (void)GaitIdentifier(cfg_.counter);
+  (void)StrideEstimator(cfg_.stride);
+}
 
 void PTrack::set_profile(const StrideProfile& profile) {
   cfg_.stride.profile = profile;
-  estimator_.set_profile(profile);
 }
 
 TrackResult PTrack::process(const imu::Trace& trace) const {
@@ -20,7 +25,7 @@ TrackResult PTrack::process(const imu::Trace& trace) const {
   PTRACK_OBS_SPAN("core.process");
   PTRACK_COUNT("ptrack.core.traces");
   obs::StageTimer timer;
-  if (!cfg_.quality.enabled) return process_repaired(trace);
+  if (!cfg_.quality.enabled) return run_pipeline(trace, nullptr);
 
   const imu::QualityResult repaired =
       imu::assess_and_repair(trace, cfg_.quality);
@@ -32,7 +37,10 @@ TrackResult PTrack::process(const imu::Trace& trace) const {
                 std::to_string(trace.size()) +
                 " samples non-finite or nonphysical)");
   }
-  TrackResult result = process_repaired(repaired.trace);
+  // The pipeline's assembler reads per-sample flags off the ring, so cycle
+  // and event confidences come out already annotated (identical arithmetic
+  // to QualityReport::fraction_flagged / fraction_masked).
+  TrackResult result = run_pipeline(repaired.trace, &repaired.report.flags);
 
   const imu::QualityReport& report = repaired.report;
   result.quality.clean_fraction = report.clean_fraction;
@@ -42,104 +50,40 @@ TrackResult PTrack::process(const imu::Trace& trace) const {
   result.quality.saturated_samples = report.saturated_samples;
   result.quality.spike_samples = report.spike_samples;
   result.quality.nonfinite_samples = report.nonfinite_samples;
-
-  // Per-cycle confidence, and per-step confidence over each step's
-  // half-cycle — events were emitted two per counted cycle ([begin, mid)
-  // then [mid, end)), in cycle order, the same lockstep the stride fill
-  // below relies on.
-  std::size_t event_idx = 0;
-  for (CycleRecord& cycle : result.cycles) {
-    cycle.quality = 1.0 - report.fraction_flagged(cycle.begin, cycle.end);
-    if (cycle.type == GaitType::Interference) continue;
-    check(event_idx + 2 <= result.events.size(),
-          "PTrack::process: events align with counted cycles");
-    const std::size_t bounds[3] = {cycle.begin, cycle.mid, cycle.end};
-    for (std::size_t j = 0; j < 2; ++j) {
-      StepEvent& e = result.events[event_idx + j];
-      e.quality = 1.0 - report.fraction_flagged(bounds[j], bounds[j + 1]);
-      e.degraded = report.fraction_masked(bounds[j], bounds[j + 1]) > 0.5;
-    }
-    event_idx += 2;
-  }
   result.timing.quality_us = quality_us;
   result.timing.total_us = quality_us + timer.lap_us();
   return result;
 }
 
 TrackResult PTrack::process_repaired(const imu::Trace& trace) const {
+  return run_pipeline(trace, nullptr);
+}
+
+TrackResult PTrack::run_pipeline(
+    const imu::Trace& trace, const std::vector<std::uint8_t>* flags) const {
   if (trace.size() < 16) return {};
-  obs::StageTimer timer;
-  const ProjectedTrace projected =
-      cfg_.counter.use_attitude_filter
-          ? project_trace_with_attitude(trace, cfg_.counter.lowpass_hz,
-                                        cfg_.counter.anterior_window_s,
-                                        &workspace_)
-          : project_trace(trace, cfg_.counter.lowpass_hz,
-                          cfg_.counter.anterior_window_s, &workspace_);
-  const double project_us = timer.lap_us();
-  TrackResult result = counter_.process_projected(projected);
-  result.timing.project_us = project_us;
-  result.timing.count_us = timer.lap_us();
+  check(flags == nullptr || flags->size() == trace.size(),
+        "PTrack: one quality flag per sample");
+  imu::SampleRing ring;
+  const std::vector<imu::Sample>& samples = trace.samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ring.push(samples[i], flags ? (*flags)[i] : 0);
+  }
+  // One push + one flush over a fresh pipeline = the batch computation
+  // (see core/stages.hpp for the equivalence contract).
+  StagePipeline pipeline(cfg_.counter, cfg_.stride, trace.fs(), &workspace_);
+  pipeline.advance(ring, /*flush=*/true);
 
-  PTRACK_OBS_SPAN("core.stride");
-  // Events were emitted two per counted cycle, chronologically, and
-  // result.cycles is ordered by cycle start — walk both in lockstep and
-  // fill the stride fields.
-  std::size_t event_idx = 0;
-  for (const CycleRecord& cycle : result.cycles) {
-    if (cycle.type == GaitType::Interference) continue;
-    check(event_idx + 2 <= result.events.size(),
-          "PTrack::process: events align with counted cycles");
-    const auto estimates = estimator_.estimate_cycle(projected, cycle);
-    PTRACK_COUNT_N("ptrack.core.stride.estimates", estimates.size());
-    for (std::size_t j = 0; j < 2; ++j) {
-      if (j < estimates.size() && estimates[j].valid) {
-        result.events[event_idx + j].stride = estimates[j].stride;
-      } else if (j < estimates.size()) {
-        PTRACK_COUNT("ptrack.core.stride.invalid");
-      }
-    }
-    event_idx += 2;
-  }
-
-  // Failed or invalid geometry solves leave stride 0; carry the most recent
-  // estimate across them — a walker's stride is strongly autocorrelated
-  // step to step — then backfill leading zeros from the first good one.
-  double last_stride = 0.0;
-  for (StepEvent& e : result.events) {
-    if (e.stride > 0.0) {
-      last_stride = e.stride;
-    } else if (last_stride > 0.0) {
-      e.stride = last_stride;
-    }
-  }
-  double first_stride = 0.0;
-  for (const StepEvent& e : result.events) {
-    if (e.stride > 0.0) {
-      first_stride = e.stride;
-      break;
-    }
-  }
-  for (StepEvent& e : result.events) {
-    if (e.stride > 0.0) break;
-    e.stride = first_stride;
-  }
-
-  // Median-smooth the filled stride sequence: strides evolve slowly step to
-  // step, so a short median removes per-cycle geometry outliers.
-  if (cfg_.stride.smooth_window > 1 && result.events.size() >= 3) {
-    std::vector<double> strides;
-    strides.reserve(result.events.size());
-    for (const StepEvent& e : result.events) strides.push_back(e.stride);
-    const std::vector<double> smoothed =
-        dsp::moving_median(strides, cfg_.stride.smooth_window);
-    for (std::size_t i = 0; i < result.events.size(); ++i) {
-      result.events[i].stride = smoothed[i];
-    }
-  }
-  result.timing.stride_us = timer.lap_us();
-  result.timing.total_us = result.timing.project_us +
-                           result.timing.count_us + result.timing.stride_us;
+  TrackResult result;
+  result.events = pipeline.take_events();
+  result.cycles = pipeline.take_cycles();
+  result.steps = result.events.size();
+  const StageStats& stats = pipeline.stats();
+  result.timing.project_us = stats.project_us;
+  result.timing.count_us = stats.count_us;
+  result.timing.stride_us = stats.stride_us;
+  result.timing.total_us =
+      stats.project_us + stats.count_us + stats.stride_us;
   return result;
 }
 

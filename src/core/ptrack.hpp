@@ -9,7 +9,9 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/step_counter.hpp"
 #include "core/stride_estimator.hpp"
@@ -34,6 +36,13 @@ struct PTrackConfig {
 
 /// The full PTrack pipeline: projection -> segmentation -> gait
 /// identification -> step counting -> per-step stride estimation.
+///
+/// Since the stage-graph refactor, process() is a thin batch driver over
+/// the same incremental core the streaming tracker runs (core/stages.hpp):
+/// the trace is loaded into an imu::SampleRing and a fresh StagePipeline is
+/// advanced once with flush, which degenerates every stage to exactly the
+/// batch computation. Batch results are therefore the oracle the streaming
+/// mode is validated against.
 ///
 /// Each instance owns a dsp::Workspace that process() reuses across calls,
 /// so repeated invocations (streaming hops, batch traces) run without the
@@ -60,9 +69,13 @@ class PTrack {
   /// The pre-quality pipeline body (projection -> counting -> strides).
   [[nodiscard]] TrackResult process_repaired(const imu::Trace& trace) const;
 
+  /// Batch driver: loads the trace (with optional per-sample quality flags)
+  /// into a ring and flushes one StagePipeline over it.
+  [[nodiscard]] TrackResult run_pipeline(
+      const imu::Trace& trace,
+      const std::vector<std::uint8_t>* flags) const;
+
   PTrackConfig cfg_;
-  StepCounter counter_;
-  StrideEstimator estimator_;
   mutable dsp::Workspace workspace_;  ///< scratch reused across process()
 };
 

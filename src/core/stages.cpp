@@ -1,0 +1,447 @@
+#include "core/stages.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+#include "dsp/peaks.hpp"
+#include "imu/quality.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ptrack::core {
+
+namespace {
+
+[[nodiscard]] std::size_t seconds_to_samples(double s, double fs) {
+  return static_cast<std::size_t>(s * fs);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProjectionStage
+
+ProjectionStage::ProjectionStage(const StepCounterConfig& cfg, double fs,
+                                 dsp::Workspace* ws)
+    : cfg_(cfg),
+      fs_(fs),
+      ws_(ws),
+      ctx_(seconds_to_samples(kProjectionCtxS, fs)),
+      margin_(seconds_to_samples(kProjectionMarginS, fs)),
+      axis_window_(seconds_to_samples(kProjectionAxisWindowS, fs)) {
+  expects(fs > 0.0, "ProjectionStage: fs > 0");
+}
+
+void ProjectionStage::advance(const imu::SampleRing& ring, bool flush) {
+  const std::size_t end = ring.end();
+
+  // Attitude mode: the complementary filter is causal, so the up track is
+  // fed to the raw frontier regardless of the projection margin.
+  if (cfg_.use_attitude_filter) {
+    const double dt = 1.0 / fs_;
+    for (std::size_t i = ups_.end(); i < end; ++i) {
+      const imu::Sample s = ring.sample(i);
+      ups_.push(attitude_.update(s.gyro, s.accel, dt));
+    }
+  }
+
+  const std::size_t stable = vert_.end();
+  const std::size_t target = flush ? end : (end > margin_ ? end - margin_ : 0);
+  if (target > stable) {
+    // Re-project a trailing context region so the zero-phase filters see
+    // settled left state and fresh right context; keep only [stable, target).
+    std::size_t begin = stable > ctx_ ? stable - ctx_ : 0;
+    begin = std::max(begin, ring.base());
+    if (end - begin >= 16) {
+      // Pin the projection axes to a longer trailing history than the
+      // re-projected span whenever one is retained (incremental hops); in
+      // a batch flush begin == ring.base() and the history degenerates to
+      // the projected span itself, i.e. exactly the batch axis estimate.
+      // Windowed anterior mode re-fits the direction per window by design,
+      // so it keeps the span-local fit.
+      std::size_t axis_begin = end > axis_window_ ? end - axis_window_ : 0;
+      axis_begin = std::max(axis_begin, ring.base());
+      AxisHistory axes{};
+      if (cfg_.anterior_window_s <= 0.0 && axis_begin < begin) {
+        axes = AxisHistory{ring.ax(axis_begin, end), ring.ay(axis_begin, end),
+                           ring.az(axis_begin, end)};
+      }
+      const ProjectedTrace p = project_channels(
+          ring.ax(begin, end), ring.ay(begin, end), ring.az(begin, end), fs_,
+          cfg_.lowpass_hz, cfg_.anterior_window_s,
+          cfg_.use_attitude_filter ? ups_.span(begin, end)
+                                   : std::span<const Vec3>{},
+          ws_, &seam_, axes);
+      for (std::size_t i = stable; i < target; ++i) {
+        vert_.push(p.vertical[i - begin]);
+        ant_.push(p.anterior[i - begin]);
+      }
+    }
+  }
+  if (cfg_.use_attitude_filter) ups_.trim_to(min_required());
+}
+
+std::size_t ProjectionStage::min_required() const {
+  // Keep both the re-projection context and the axis-estimation history
+  // behind the finalized frontier (axis_window_ > ctx_, but spell out both
+  // retention reasons).
+  const std::size_t stable = vert_.end();
+  const std::size_t ctx_floor = stable > ctx_ ? stable - ctx_ : 0;
+  const std::size_t axis_floor = stable > axis_window_ ? stable - axis_window_ : 0;
+  return std::min(ctx_floor, axis_floor);
+}
+
+void ProjectionStage::trim_projected(std::size_t new_base) {
+  vert_.trim_to(new_base);
+  ant_.trim_to(new_base);
+}
+
+// ---------------------------------------------------------------------------
+// SegmentationStage
+
+SegmentationStage::SegmentationStage(const StepCounterConfig& cfg, double fs)
+    : cfg_(cfg),
+      fs_(fs),
+      lookback_(seconds_to_samples(kSegmentationLookbackS, fs)),
+      margin_(seconds_to_samples(kSegmentationMarginS, fs)) {
+  expects(fs > 0.0, "SegmentationStage: fs > 0");
+  // The finalization margin must cover the min-distance suppression window:
+  // once a peak is final, no later (taller) peak may appear within
+  // min_distance of it, or the greedy suppression would have picked
+  // differently than batch.
+  PTRACK_CHECK_MSG(
+      margin_ >= static_cast<std::size_t>(cfg.min_step_interval_s * fs),
+      "SegmentationStage: margin covers the min-distance window");
+}
+
+void SegmentationStage::advance(const Ring<double>& vertical, bool flush,
+                                std::vector<CycleCandidate>& out) {
+  PTRACK_OBS_SPAN("core.segment");
+  const std::size_t end = vertical.end();
+  const std::size_t accept_to =
+      flush ? end : (end > margin_ ? end - margin_ : 0);
+
+  std::size_t scan_begin = std::max(vertical.base(), scan_floor_);
+  if (end > scan_begin && end - scan_begin >= 3) {
+    dsp::PeakOptions opt;
+    opt.min_distance = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cfg_.min_step_interval_s * fs_));
+    opt.min_prominence = cfg_.min_cycle_prominence;
+    const std::vector<std::size_t> local =
+        dsp::find_peaks(vertical.span(scan_begin, end), opt);
+    for (const std::size_t r : local) {
+      const std::size_t p = scan_begin + r;
+      // Peaks at or before the last finalized one were decided in an
+      // earlier scan over identical data (projection output is final);
+      // peaks inside the margin wait for more right context.
+      if (have_last_final_ && p <= last_final_peak_) continue;
+      if (p >= accept_to) break;
+      peaks_.push_back(p);
+      last_final_peak_ = p;
+      have_last_final_ = true;
+    }
+  }
+  // Advance the retention floor: future peaks land at >= accept_to, and
+  // their prominence walks and suppression interactions reach back at most
+  // `lookback_` samples.
+  scan_floor_ = std::max(
+      scan_floor_, accept_to > lookback_ ? accept_to - lookback_ : 0);
+
+  // The batch pairing loop (segment_cycles) with a persistent index: it
+  // resumes exactly where it stopped when new peaks arrive, so the emitted
+  // candidate sequence equals one batch run over the full peak list.
+  const auto max_gap =
+      static_cast<std::size_t>(cfg_.max_step_interval_s * fs_);
+  while (pair_index_ + 2 < peaks_.size()) {
+    const std::size_t p0 = peaks_[pair_index_];
+    const std::size_t p1 = peaks_[pair_index_ + 1];
+    const std::size_t p2 = peaks_[pair_index_ + 2];
+    const bool gaps_ok = (p1 - p0) <= max_gap && (p2 - p1) <= max_gap;
+    if (gaps_ok) {
+      out.push_back({p0, p1, p2});
+      pair_index_ += 2;  // non-overlapping cycles
+    } else {
+      ++pair_index_;  // skip the stale peak and retry
+    }
+  }
+  // Drop the consumed peak prefix (indices only; amortized O(1)).
+  if (pair_index_ > 64) {
+    peaks_.erase(peaks_.begin(),
+                 peaks_.begin() + static_cast<std::ptrdiff_t>(pair_index_));
+    pair_index_ = 0;
+  }
+}
+
+std::size_t SegmentationStage::min_required() const { return scan_floor_; }
+
+// ---------------------------------------------------------------------------
+// EventAssembler
+
+EventAssembler::EventAssembler(const StepCounterConfig& counter_cfg,
+                               const StrideConfig& stride_cfg, double fs)
+    : ccfg_(counter_cfg),
+      scfg_(stride_cfg),
+      fs_(fs),
+      identifier_(counter_cfg),
+      estimator_(stride_cfg) {
+  expects(fs > 0.0, "EventAssembler: fs > 0");
+  // Mirror dsp::moving_median's window normalization (even -> next odd).
+  eff_window_ = scfg_.smooth_window;
+  if (eff_window_ > 1 && eff_window_ % 2 == 0) ++eff_window_;
+  half_ = eff_window_ / 2;
+}
+
+void EventAssembler::set_profile(const StrideProfile& profile) {
+  scfg_.profile = profile;
+  estimator_.set_profile(profile);
+}
+
+void EventAssembler::advance(std::span<const CycleCandidate> fresh,
+                             const Ring<double>& vertical,
+                             const Ring<double>& anterior,
+                             const imu::SampleRing& raw, bool flush,
+                             StageStats* stats) {
+  PTRACK_OBS_SPAN("core.count");
+  for (const CycleCandidate& c : fresh) {
+    obs::StageTimer timer;
+    // A gap between candidates breaks any stepping streak; cycles withheld
+    // in the open streak stay Interference (batch: identifier.reset()).
+    if (have_prev_ && c.begin != prev_end_) {
+      resolve_withheld_interference();
+      identifier_.reset();
+    }
+    prev_end_ = c.end;
+    have_prev_ = true;
+
+    const std::size_t n = c.end - c.begin;
+    if (n < 8) continue;
+
+    const CycleAnalysis analysis = analyze_cycle(
+        vertical.span(c.begin, c.end), anterior.span(c.begin, c.end), ccfg_);
+    const GaitIdentifier::Decision decision = identifier_.classify(analysis);
+
+    CycleRecord record;
+    record.begin = c.begin;
+    record.mid = c.mid;
+    record.end = c.end;
+    record.type = decision.type;
+    record.offset = analysis.offset;
+    record.half_cycle_corr = analysis.half_cycle_corr;
+    record.phase_ok = analysis.phase_ok;
+    record.quality = 1.0 - raw.fraction_flagged(c.begin, c.end, 0xFF);
+    if (stats) stats->count_us += timer.lap_us();
+
+    if (decision.type == GaitType::Interference) {
+      if (decision.withheld) {
+        // Provisional: a later streak completion may retro-confirm it.
+        withheld_.push_back(record);
+      } else {
+        // Streak broken: earlier withheld cycles are Interference for good.
+        resolve_withheld_interference();
+        cycles_out_.push_back(record);
+      }
+      continue;
+    }
+
+    if (decision.type == GaitType::Walking) {
+      resolve_withheld_interference();
+    } else if (decision.confirmed_backlog > 0) {
+      // Streak completed: the withheld cycles are confirmed as Stepping, in
+      // order, before the completing cycle (batch retro-confirmation).
+      PTRACK_CHECK_MSG(decision.confirmed_backlog == withheld_.size(),
+                       "EventAssembler: backlog matches withheld cycles");
+      for (CycleRecord& w : withheld_) {
+        w.type = GaitType::Stepping;
+        confirm(w, vertical, anterior, raw);
+      }
+      withheld_.clear();
+    } else {
+      PTRACK_CHECK_MSG(withheld_.empty(),
+                       "EventAssembler: active streak holds no withheld cycles");
+    }
+    confirm(record, vertical, anterior, raw);
+    if (stats) stats->stride_us += timer.lap_us();
+  }
+
+  if (flush) {
+    // Stream end: an open streak can no longer complete. Reset the
+    // identifier so a continued stream starts a fresh streak (matching the
+    // cleared withheld list).
+    resolve_withheld_interference();
+    identifier_.reset();
+  }
+  obs::StageTimer timer;
+  finalize_events(flush);
+  if (stats) stats->stride_us += timer.lap_us();
+}
+
+void EventAssembler::resolve_withheld_interference() {
+  for (const CycleRecord& w : withheld_) cycles_out_.push_back(w);
+  withheld_.clear();
+}
+
+void EventAssembler::confirm(CycleRecord record, const Ring<double>& vertical,
+                             const Ring<double>& anterior,
+                             const imu::SampleRing& raw) {
+  cycles_out_.push_back(record);
+
+  // Stride estimation reads only the cycle's own span, so estimating at
+  // confirmation time (batch: a later lockstep pass) yields identical
+  // values.
+  CycleRecord local = record;
+  local.begin = 0;
+  local.mid = record.mid - record.begin;
+  local.end = record.end - record.begin;
+  const ChannelSpans spans{vertical.span(record.begin, record.end),
+                           anterior.span(record.begin, record.end), fs_};
+  const std::vector<SweepEstimate> estimates =
+      estimator_.estimate_cycle(spans, local);
+  PTRACK_COUNT_N("ptrack.core.stride.estimates", estimates.size());
+
+  const std::size_t bounds[3] = {record.begin, record.mid, record.end};
+  for (std::size_t j = 0; j < 2; ++j) {
+    StepEvent ev;
+    ev.t = static_cast<double>(bounds[j + 1]) / fs_;
+    ev.type = record.type;
+    ev.quality = 1.0 - raw.fraction_flagged(bounds[j], bounds[j + 1], 0xFF);
+    ev.degraded =
+        raw.fraction_flagged(bounds[j], bounds[j + 1], imu::kFlagMasked) > 0.5;
+
+    double stride = 0.0;
+    if (j < estimates.size() && estimates[j].valid) {
+      stride = estimates[j].stride;
+    } else if (j < estimates.size()) {
+      PTRACK_COUNT("ptrack.core.stride.invalid");
+    }
+
+    // The batch fill pass, applied causally in event order: carry the most
+    // recent positive stride forward; backfill the leading zeros once the
+    // first positive stride appears.
+    double fill = 0.0;
+    if (stride > 0.0) {
+      fill = stride;
+      last_positive_ = stride;
+      if (!seen_positive_) {
+        seen_positive_ = true;
+        for (std::size_t k = fills_.base(); k < fills_.end(); ++k) {
+          fills_.at(k) = stride;
+        }
+      }
+    } else if (seen_positive_) {
+      fill = last_positive_;
+    }
+    ev.stride = fill;
+    pending_events_.push_back(ev);
+    fills_.push(fill);
+    ++events_created_;
+  }
+}
+
+double EventAssembler::smoothed_stride(std::size_t i,
+                                       std::size_t n_total) const {
+  // Exactly dsp::moving_median's per-index computation over the filled
+  // stride sequence (window clipped to [0, n_total - 1]; even-sized edge
+  // windows average the two middle order statistics).
+  const std::size_t lo = i >= half_ ? i - half_ : 0;
+  const std::size_t hi = std::min(i + half_, n_total - 1);
+  median_scratch_.clear();
+  for (std::size_t k = lo; k <= hi; ++k) median_scratch_.push_back(fills_[k]);
+  const auto mid = median_scratch_.begin() +
+                   static_cast<std::ptrdiff_t>(median_scratch_.size() / 2);
+  std::nth_element(median_scratch_.begin(), mid, median_scratch_.end());
+  if (median_scratch_.size() % 2 == 1) return *mid;
+  const double hi_mid = *mid;
+  const double lo_mid = *std::max_element(median_scratch_.begin(), mid);
+  return 0.5 * (lo_mid + hi_mid);
+}
+
+void EventAssembler::finalize_events(bool flush) {
+  PTRACK_OBS_SPAN("core.stride");
+  const std::size_t n = events_created_;
+  while (events_final_ < n) {
+    const std::size_t i = events_final_;
+    double value = 0.0;
+    if (eff_window_ <= 1) {
+      // No smoothing: final once the fill can no longer change (any filled
+      // value is positive after the first positive stride; before that, a
+      // future backfill could still rewrite it).
+      if (!flush && !seen_positive_) break;
+      value = fills_[i];
+    } else if (!flush) {
+      if (!seen_positive_) break;
+      // Event i's median window is [i - half, i + half]; once those fills
+      // exist (and the batch n >= 3 smoothing gate is already met), the
+      // value equals the batch median for any longer stream.
+      if (n < std::max<std::size_t>(3, i + half_ + 1)) break;
+      value = smoothed_stride(i, n);
+    } else {
+      // Flush: right-clipped windows, exactly like the batch tail. Batch
+      // skips smoothing entirely below 3 events.
+      value = n >= 3 ? smoothed_stride(i, n) : fills_[i];
+    }
+    StepEvent ev = pending_events_.front();
+    pending_events_.pop_front();
+    ev.stride = value;
+    events_out_.push_back(ev);
+    ++events_final_;
+    fills_.trim_to(events_final_ > half_ ? events_final_ - half_ : 0);
+  }
+}
+
+std::vector<StepEvent> EventAssembler::take_events() {
+  return std::exchange(events_out_, {});
+}
+
+std::vector<CycleRecord> EventAssembler::take_cycles() {
+  return std::exchange(cycles_out_, {});
+}
+
+std::size_t EventAssembler::min_required() const {
+  return withheld_.empty() ? std::numeric_limits<std::size_t>::max()
+                           : withheld_.front().begin;
+}
+
+// ---------------------------------------------------------------------------
+// StagePipeline
+
+StagePipeline::StagePipeline(const StepCounterConfig& counter_cfg,
+                             const StrideConfig& stride_cfg, double fs,
+                             dsp::Workspace* ws)
+    : projection_(counter_cfg, fs, ws),
+      segmentation_(counter_cfg, fs),
+      assembler_(counter_cfg, stride_cfg, fs) {}
+
+void StagePipeline::set_profile(const StrideProfile& profile) {
+  assembler_.set_profile(profile);
+}
+
+void StagePipeline::advance(const imu::SampleRing& ring, bool flush) {
+  ++stats_.advances;
+  obs::StageTimer timer;
+  projection_.advance(ring, flush);
+  stats_.project_us += timer.lap_us();
+
+  fresh_.clear();
+  segmentation_.advance(projection_.vertical(), flush, fresh_);
+  PTRACK_COUNT_N("ptrack.core.cycles", fresh_.size());
+  stats_.count_us += timer.lap_us();
+
+  assembler_.advance(fresh_, projection_.vertical(), projection_.anterior(),
+                     ring, flush, &stats_);
+
+  // Trim the projected rings to what downstream stages still need.
+  const std::size_t needed = std::min(
+      {segmentation_.min_required(), assembler_.min_required(),
+       projection_.frontier()});
+  projection_.trim_projected(needed);
+}
+
+std::size_t StagePipeline::min_required_index() const {
+  return std::min({projection_.min_required(), segmentation_.min_required(),
+                   assembler_.min_required()});
+}
+
+}  // namespace ptrack::core

@@ -8,21 +8,92 @@
 
 namespace ptrack::core {
 
-StreamingTracker::StreamingTracker(double fs, StreamingConfig config)
-    : fs_(fs), config_(config), pipeline_(config.pipeline) {
+namespace {
+
+// Validated before any member that consumes fs is constructed (the stage
+// pipeline is built in the member-init list).
+double validated_fs(double fs, const StreamingConfig& config) {
   expects(fs > 0.0, "StreamingTracker: fs > 0");
-  expects(config_.hop_s > 0.0, "StreamingTracker: hop_s > 0");
-  expects(config_.guard_s > 0.0, "StreamingTracker: guard_s > 0");
-  expects(config_.window_s > 2.0 * config_.guard_s,
+  expects(config.hop_s > 0.0, "StreamingTracker: hop_s > 0");
+  expects(config.guard_s > 0.0, "StreamingTracker: guard_s > 0");
+  expects(config.window_s > 2.0 * config.guard_s,
           "StreamingTracker: window_s > 2 * guard_s");
+  return fs;
+}
+
+}  // namespace
+
+StreamingTracker::StreamingTracker(double fs, StreamingConfig config)
+    : fs_(validated_fs(fs, config)),
+      config_(config),
+      pipe_(config.pipeline.counter, config.pipeline.stride, fs, &workspace_),
+      hop_samples_(std::max<std::size_t>(
+          1, static_cast<std::size_t>(config.hop_s * fs))),
+      pipeline_(config.pipeline) {
+  if (config_.mode == StreamingConfig::Mode::kIncremental &&
+      config_.pipeline.quality.enabled) {
+    quality_.emplace(fs_, config_.pipeline.quality);
+    repair_buf_.reserve(quality_->latency_bound() + 1);
+  }
 }
 
 void StreamingTracker::push(const imu::Sample& sample) {
   imu::Sample s = sample;
   s.t = next_t_;
   next_t_ += 1.0 / fs_;
-  window_.push_back(s);
   ++samples_pushed_;
+
+  if (config_.mode == StreamingConfig::Mode::kRecompute) {
+    push_recompute(s);
+    return;
+  }
+
+  // Incremental: route through the online quality stage (which holds a
+  // bounded tail back until each sample's fate is decided) into the ring.
+  if (quality_) {
+    repair_buf_.clear();
+    quality_->push(s, repair_buf_);
+    for (const imu::RepairedSample& r : repair_buf_) {
+      ring_.push(r.sample, r.flags);
+    }
+  } else {
+    ring_.push(s, 0);
+  }
+
+  if (++samples_since_hop_ >= hop_samples_) {
+    samples_since_hop_ = 0;
+    run_hop(/*flush=*/false);
+  }
+}
+
+void StreamingTracker::push(const imu::Trace& trace) {
+  expects(std::abs(trace.fs() - fs_) <= 1e-9 * fs_,
+          "StreamingTracker::push: trace sample rate matches the tracker "
+          "(resample first)");
+  for (const imu::Sample& s : trace.samples()) push(s);
+}
+
+void StreamingTracker::run_hop(bool flush) {
+  PTRACK_OBS_SPAN("streaming.window");
+  ++windows_processed_;
+  PTRACK_COUNT("ptrack.core.streaming.windows");
+
+  pipe_.advance(ring_, flush);
+
+  // The assembler finalizes events chronologically and never retracts, so
+  // the drained batch appends to ready_ already sorted — no per-hop sort
+  // (and no re-sort of everything already pending, as the recompute path
+  // once did).
+  std::vector<StepEvent> events = pipe_.take_events();
+  ready_.insert(ready_.end(), events.begin(), events.end());
+  pipe_.take_cycles();  // streaming exposes events only
+
+  // Bounded memory: drop raw samples no stage will read again.
+  ring_.trim_to(std::min(pipe_.min_required_index(), ring_.end()));
+}
+
+void StreamingTracker::push_recompute(const imu::Sample& s) {
+  window_.push_back(s);
 
   // Trim the sliding window.
   const double min_keep = next_t_ - config_.window_s;
@@ -38,10 +109,6 @@ void StreamingTracker::push(const imu::Sample& sample) {
   }
 }
 
-void StreamingTracker::push(const imu::Trace& trace) {
-  for (const imu::Sample& s : trace.samples()) push(s);
-}
-
 void StreamingTracker::process_window(double horizon) {
   if (window_.size() < 32) return;
   PTRACK_OBS_SPAN("streaming.window");
@@ -55,6 +122,7 @@ void StreamingTracker::process_window(double horizon) {
   const imu::Trace trace(fs_, std::move(samples));
 
   const TrackResult result = pipeline_.process(trace);
+  const std::size_t sorted_prefix = ready_.size();
   for (const StepEvent& e : result.events) {
     const double t_abs = e.t + t0;
     if (t_abs <= emit_frontier_ || t_abs > horizon) continue;
@@ -65,8 +133,13 @@ void StreamingTracker::process_window(double horizon) {
   // Advance the frontier even when no events landed, so a re-run over the
   // same region cannot re-emit older events with slightly shifted stamps.
   if (horizon > emit_frontier_) emit_frontier_ = horizon;
-  std::sort(ready_.begin(), ready_.end(),
-            [](const StepEvent& a, const StepEvent& b) { return a.t < b.t; });
+  // The new events are chronological among themselves (batch order), so a
+  // merge at the append boundary suffices — no full re-sort of ready_.
+  std::inplace_merge(
+      ready_.begin(),
+      ready_.begin() + static_cast<std::ptrdiff_t>(sorted_prefix),
+      ready_.end(),
+      [](const StepEvent& a, const StepEvent& b) { return a.t < b.t; });
 }
 
 std::vector<StepEvent> StreamingTracker::poll() {
@@ -82,8 +155,20 @@ std::vector<StepEvent> StreamingTracker::poll() {
 }
 
 std::vector<StepEvent> StreamingTracker::finish() {
-  process_window(next_t_ + 1.0);  // flush: no guard
-  last_processed_t_ = next_t_;
+  if (config_.mode == StreamingConfig::Mode::kRecompute) {
+    process_window(next_t_ + 1.0);  // flush: no guard
+    last_processed_t_ = next_t_;
+    return poll();
+  }
+  if (quality_) {
+    repair_buf_.clear();
+    quality_->flush(repair_buf_);
+    for (const imu::RepairedSample& r : repair_buf_) {
+      ring_.push(r.sample, r.flags);
+    }
+  }
+  run_hop(/*flush=*/true);
+  samples_since_hop_ = 0;
   return poll();
 }
 

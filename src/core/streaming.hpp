@@ -2,28 +2,44 @@
 // events as they are confirmed — the operating mode of the paper's
 // smartwatch prototype, with bounded memory.
 //
-// Design: the batch pipeline is already causal at cycle granularity (a
-// cycle is classified when its closing peak lands; the stepping streak
-// defers confirmation by at most `streak` cycles). The streaming wrapper
-// therefore keeps a sliding window of recent samples, re-runs the batch
-// pipeline on it when enough new data has accumulated, and emits exactly
-// the events whose timestamps lie beyond the already-emitted frontier.
-// A trailing guard region (the unconfirmed tail: up to `streak` cycles
-// plus one segmentation margin) is withheld until more data arrives, so
-// emitted events never have to be retracted.
+// Default mode (kIncremental): the pushed stream flows through the online
+// quality stage (imu::IncrementalQuality) into a contiguous SoA ring
+// (imu::SampleRing), and every hop advances the same incremental stage
+// graph the batch facade runs (core/stages.hpp). Each hop touches only the
+// new samples plus bounded finalization margins, so per-hop cost is
+// independent of how long the stream has been running — and of any
+// analysis-window length. Events come out finalized, chronological and
+// never retracted.
 //
-// Consistency: over the same trace, the streaming event stream matches the
-// batch result up to (a) events inside the final guard region, which are
-// flushed by finish(), and (b) small stride differences near chunk seams
-// where the median smoother sees a truncated neighborhood.
+// Baseline mode (kRecompute): the original sliding-window wrapper — keep a
+// window of recent samples, re-run the batch pipeline over it each hop and
+// emit events beyond the already-emitted frontier, withholding a trailing
+// guard region. O(window) per hop; retained for benchmarking
+// (bench/micro_streaming.cpp) and as a behavioural reference.
+//
+// Consistency: over the same stream, the incremental event sequence is
+// validated hop-for-hop against the batch result on the same samples
+// (tests/test_streaming_equivalence.cpp); divergences are confined to the
+// documented seam effects (per-hop gravity estimate, filter margins,
+// running quality statistics — see DESIGN.md §13).
+//
+// Short streams: the pipeline needs >= 16 samples to project and three
+// step peaks (>= ~0.7 s apart) to form a cycle, so finish() on a stream of
+// fewer than 32 samples emits nothing in either mode (the recompute mode
+// additionally skips windows below 32 samples outright).
 
 #pragma once
 
+#include <cmath>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "core/ptrack.hpp"
+#include "core/stages.hpp"
+#include "imu/quality.hpp"
 #include "imu/sample.hpp"
+#include "imu/sample_ring.hpp"
 #include "imu/trace.hpp"
 
 namespace ptrack::core {
@@ -31,12 +47,20 @@ namespace ptrack::core {
 /// Streaming configuration on top of the batch PTrackConfig.
 struct StreamingConfig {
   PTrackConfig pipeline{};
-  /// Re-run the pipeline after this many seconds of new samples.
+  /// Execution mode: incremental stage graph (default) or the legacy
+  /// full-window recompute baseline.
+  enum class Mode { kIncremental, kRecompute };
+  Mode mode = Mode::kIncremental;
+  /// Advance the pipeline after this many seconds of new samples.
   double hop_s = 2.0;
-  /// Sliding analysis window (s). Must comfortably exceed the guard.
+  /// Recompute mode: sliding analysis window (s). Must comfortably exceed
+  /// the guard. (The incremental mode needs no window — its state carries
+  /// across hops.)
   double window_s = 20.0;
-  /// Events younger than this are withheld as unconfirmed (s): covers the
-  /// stepping streak (3 cycles ~ 3.6 s) plus a segmentation margin.
+  /// Recompute mode: events younger than this are withheld as unconfirmed
+  /// (s), covering the stepping streak plus a segmentation margin. (The
+  /// incremental mode derives its finalization margins per stage; see
+  /// core/stages.hpp.)
   double guard_s = 5.0;
 };
 
@@ -45,7 +69,7 @@ struct StreamingConfig {
 /// events only.
 struct StreamingStats {
   std::size_t samples_pushed = 0;     ///< samples accepted by push()
-  std::size_t windows_processed = 0;  ///< pipeline re-runs over the window
+  std::size_t windows_processed = 0;  ///< pipeline hops (advances/re-runs)
   std::size_t events_emitted = 0;     ///< events handed out via poll()
   std::size_t degraded_events = 0;    ///< emitted events flagged degraded
   double distance_m = 0.0;            ///< sum of emitted strides
@@ -69,15 +93,19 @@ class StreamingTracker {
   /// count, so the caller may pass raw sensor readings).
   void push(const imu::Sample& sample);
 
-  /// Pushes a whole batch.
+  /// Pushes a whole batch. Throws InvalidArgument when the trace's sample
+  /// rate does not match the tracker's `fs` — silently mixing rates would
+  /// corrupt every time-based stage (resample the trace first).
   void push(const imu::Trace& trace);
 
   /// Events confirmed since the last poll (chronological). Each event is
   /// emitted exactly once.
   std::vector<StepEvent> poll();
 
-  /// Flushes the guard region at end of stream and returns the final
-  /// events. The tracker can keep streaming afterwards.
+  /// Flushes all finalization margins at end of stream and returns the
+  /// final events. The tracker can keep streaming afterwards (the flush
+  /// seam behaves like a stream pause: open stepping streaks are dropped).
+  /// Emits nothing when fewer than 32 samples were ever pushed.
   std::vector<StepEvent> finish();
 
   /// Steps emitted so far (confirmed only).
@@ -95,7 +123,7 @@ class StreamingTracker {
 
   [[nodiscard]] double fs() const { return fs_; }
 
-  /// Snapshot of the tracker's lifetime statistics (chunks seen, events
+  /// Snapshot of the tracker's lifetime statistics (hops run, events
   /// emitted, degraded fraction).
   [[nodiscard]] StreamingStats stats() const {
     StreamingStats s;
@@ -108,19 +136,34 @@ class StreamingTracker {
   }
 
  private:
-  /// Runs the batch pipeline over the window and moves newly confirmed
-  /// events (t <= horizon) into the pending queue.
+  // Incremental mode: one stage-graph advance over the ring's new tail.
+  void run_hop(bool flush);
+
+  // Recompute mode: legacy full-window re-run.
+  void push_recompute(const imu::Sample& sample);
   void process_window(double horizon);
 
   double fs_;
   StreamingConfig config_;
-  PTrack pipeline_;
 
+  // --- Incremental mode state -------------------------------------------
+  dsp::Workspace workspace_;             ///< must outlive pipe_
+  imu::SampleRing ring_;
+  StagePipeline pipe_;
+  std::optional<imu::IncrementalQuality> quality_;
+  std::vector<imu::RepairedSample> repair_buf_;  ///< per-push scratch
+  std::size_t hop_samples_;
+  std::size_t samples_since_hop_ = 0;
+
+  // --- Recompute mode state ---------------------------------------------
+  PTrack pipeline_;
   std::deque<imu::Sample> window_;   ///< sliding sample window
   double window_start_t_ = 0.0;      ///< absolute time of window_.front()
   double next_t_ = 0.0;              ///< absolute time of the next sample
   double last_processed_t_ = 0.0;    ///< stream time at last pipeline run
   double emit_frontier_ = 0.0;       ///< events up to here were emitted
+
+  // --- Shared accounting -------------------------------------------------
   std::vector<StepEvent> ready_;     ///< confirmed, not yet polled
   std::size_t emitted_steps_ = 0;
   std::size_t emitted_degraded_ = 0;

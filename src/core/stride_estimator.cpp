@@ -21,7 +21,16 @@ StrideEstimator::StrideEstimator(StrideConfig cfg) : cfg_(cfg) {
 
 std::vector<SweepEstimate> StrideEstimator::estimate_cycle(
     const ProjectedTrace& projected, const CycleRecord& cycle) const {
-  expects(cycle.end <= projected.vertical.size() && cycle.begin < cycle.end,
+  return estimate_cycle(
+      ChannelSpans{projected.vertical, projected.anterior, projected.fs},
+      cycle);
+}
+
+std::vector<SweepEstimate> StrideEstimator::estimate_cycle(
+    const ChannelSpans& channels, const CycleRecord& cycle) const {
+  expects(channels.vertical.size() == channels.anterior.size(),
+          "estimate_cycle: equal channel lengths");
+  expects(cycle.end <= channels.vertical.size() && cycle.begin < cycle.end,
           "estimate_cycle: cycle within trace");
   if (cycle.type == GaitType::Interference) return {};
   const std::size_t n = cycle.end - cycle.begin;
@@ -33,35 +42,35 @@ std::vector<SweepEstimate> StrideEstimator::estimate_cycle(
   // speeds. This protects stride quality against occasional
   // walking<->stepping label confusion.
   if (cfg_.swing_velocity_threshold <= 0.0) {
-    return cycle.type == GaitType::Walking ? walking_cycle(projected, cycle)
-                                           : stepping_cycle(projected, cycle);
+    return cycle.type == GaitType::Walking ? walking_cycle(channels, cycle)
+                                           : stepping_cycle(channels, cycle);
   }
-  const std::span<const double> ant(projected.anterior.data() + cycle.begin, n);
+  const std::span<const double> ant = channels.anterior.subspan(cycle.begin, n);
   const std::vector<double> vel =
-      dsp::cumtrapz(stats::demeaned(ant), 1.0 / projected.fs);
+      dsp::cumtrapz(stats::demeaned(ant), 1.0 / channels.fs);
   double vmax = 0.0;
   for (double v : vel) vmax = std::max(vmax, std::abs(v));
 
   if (vmax > cfg_.swing_velocity_threshold) {
-    return walking_cycle(projected, cycle);
+    return walking_cycle(channels, cycle);
   }
   if (cycle.type == GaitType::Stepping) {
-    return stepping_cycle(projected, cycle);
+    return stepping_cycle(channels, cycle);
   }
   // Labeled walking but no swing energy: the geometry solve would divide
   // by a near-zero arm travel; fall back to the direct bounce.
-  return stepping_cycle(projected, cycle);
+  return stepping_cycle(channels, cycle);
 }
 
 std::vector<SweepEstimate> StrideEstimator::walking_cycle(
-    const ProjectedTrace& projected, const CycleRecord& cycle) const {
-  const double fs = projected.fs;
+    const ChannelSpans& channels, const CycleRecord& cycle) const {
+  const double fs = channels.fs;
   const double dt = 1.0 / fs;
   const std::size_t n = cycle.end - cycle.begin;
 
   const std::size_t w0 = cycle.begin;
-  const std::span<const double> vert(projected.vertical.data() + w0, n);
-  const std::span<const double> ant(projected.anterior.data() + w0, n);
+  const std::span<const double> vert = channels.vertical.subspan(w0, n);
+  const std::span<const double> ant = channels.anterior.subspan(w0, n);
 
   // Arm anterior velocity (mean removal: the cycle bounds sit close to arm
   // reversals, so the reconstructed velocity is near zero at both ends).
@@ -192,8 +201,8 @@ std::vector<SweepEstimate> StrideEstimator::walking_cycle(
 }
 
 std::vector<SweepEstimate> StrideEstimator::stepping_cycle(
-    const ProjectedTrace& projected, const CycleRecord& cycle) const {
-  const double fs = projected.fs;
+    const ChannelSpans& channels, const CycleRecord& cycle) const {
+  const double fs = channels.fs;
   const double dt = 1.0 / fs;
   std::vector<SweepEstimate> out;
 
@@ -203,7 +212,7 @@ std::vector<SweepEstimate> StrideEstimator::stepping_cycle(
     if (b - a < 8) continue;
     SweepEstimate est;
     est.t = static_cast<double>(b) / fs;
-    const std::span<const double> seg(projected.vertical.data() + a, b - a);
+    const std::span<const double> seg = channels.vertical.subspan(a, b - a);
     // Device rides the body: the bounce is the vertical peak-to-peak
     // excursion within the step.
     est.bounce = dsp::peak_to_peak_displacement(seg, dt);

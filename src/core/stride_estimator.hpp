@@ -28,6 +28,16 @@ struct SweepEstimate {
   bool valid = false;   ///< geometry solve succeeded
 };
 
+/// Span view over projected vertical/anterior channels: the zero-copy
+/// handle used by the streaming pipeline, where the channels live in a
+/// hop-local projection rather than a ProjectedTrace. Cycle indices and
+/// returned times are relative to the span start.
+struct ChannelSpans {
+  std::span<const double> vertical;
+  std::span<const double> anterior;
+  double fs = 0.0;
+};
+
 /// Per-cycle stride estimation.
 class StrideEstimator {
  public:
@@ -38,14 +48,18 @@ class StrideEstimator {
   [[nodiscard]] std::vector<SweepEstimate> estimate_cycle(
       const ProjectedTrace& projected, const CycleRecord& cycle) const;
 
+  /// Span variant; the ProjectedTrace overload delegates here.
+  [[nodiscard]] std::vector<SweepEstimate> estimate_cycle(
+      const ChannelSpans& channels, const CycleRecord& cycle) const;
+
   [[nodiscard]] const StrideConfig& config() const { return cfg_; }
   void set_profile(const StrideProfile& profile) { cfg_.profile = profile; }
 
  private:
   [[nodiscard]] std::vector<SweepEstimate> walking_cycle(
-      const ProjectedTrace& projected, const CycleRecord& cycle) const;
+      const ChannelSpans& channels, const CycleRecord& cycle) const;
   [[nodiscard]] std::vector<SweepEstimate> stepping_cycle(
-      const ProjectedTrace& projected, const CycleRecord& cycle) const;
+      const ChannelSpans& channels, const CycleRecord& cycle) const;
 
   StrideConfig cfg_;
 };

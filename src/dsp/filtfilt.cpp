@@ -58,18 +58,29 @@ std::vector<double> filtfilt(const BiquadCascade& cascade,
           padded.begin() + static_cast<std::ptrdiff_t>(pad + xs.size())};
 }
 
-std::vector<double> filtfilt(const BiquadCascade& cascade,
-                             std::span<const double> xs, std::size_t pad,
-                             Workspace& ws) {
-  if (xs.empty()) return {};
+void filtfilt_into(const BiquadCascade& cascade, std::span<const double> xs,
+                   std::size_t pad, Workspace& ws, std::vector<double>& out) {
+  if (xs.empty()) {
+    out.clear();
+    return;
+  }
   pad = std::min(pad, xs.size() - 1);
 
   auto& padded = ws.real_scratch(0, xs.size() + 2 * pad);
+  PTRACK_CHECK_MSG(&padded != &out, "filtfilt_into: out aliases scratch");
   pad_reflect_into(xs, pad, padded);
   filtfilt_inplace(cascade, padded);
 
-  return {padded.begin() + static_cast<std::ptrdiff_t>(pad),
-          padded.begin() + static_cast<std::ptrdiff_t>(pad + xs.size())};
+  out.assign(padded.begin() + static_cast<std::ptrdiff_t>(pad),
+             padded.begin() + static_cast<std::ptrdiff_t>(pad + xs.size()));
+}
+
+std::vector<double> filtfilt(const BiquadCascade& cascade,
+                             std::span<const double> xs, std::size_t pad,
+                             Workspace& ws) {
+  std::vector<double> out;
+  filtfilt_into(cascade, xs, pad, ws, out);
+  return out;
 }
 
 std::vector<double> zero_phase_lowpass(std::span<const double> xs,
@@ -81,6 +92,12 @@ std::vector<double> zero_phase_lowpass(std::span<const double> xs,
                                        double cutoff_hz, double fs, int order,
                                        Workspace& ws) {
   return filtfilt(butterworth_lowpass(order, cutoff_hz, fs), xs, 64, ws);
+}
+
+void zero_phase_lowpass_into(std::span<const double> xs, double cutoff_hz,
+                             double fs, int order, Workspace& ws,
+                             std::vector<double>& out) {
+  filtfilt_into(butterworth_lowpass(order, cutoff_hz, fs), xs, 64, ws, out);
 }
 
 }  // namespace ptrack::dsp

@@ -29,6 +29,13 @@ std::vector<double> filtfilt(const BiquadCascade& cascade,
                              std::span<const double> xs, std::size_t pad,
                              Workspace& ws);
 
+/// Fully allocation-free steady state: writes the filtered signal into
+/// `out` (resized to xs.size(), capacity reused across calls). `out` must
+/// not alias `xs` or workspace real slot 0. Identical arithmetic to the
+/// allocating overloads (they delegate here).
+void filtfilt_into(const BiquadCascade& cascade, std::span<const double> xs,
+                   std::size_t pad, Workspace& ws, std::vector<double>& out);
+
 /// Convenience: zero-phase Butterworth low-pass of the given order.
 std::vector<double> zero_phase_lowpass(std::span<const double> xs,
                                        double cutoff_hz, double fs,
@@ -38,5 +45,10 @@ std::vector<double> zero_phase_lowpass(std::span<const double> xs,
 std::vector<double> zero_phase_lowpass(std::span<const double> xs,
                                        double cutoff_hz, double fs, int order,
                                        Workspace& ws);
+
+/// Workspace + output-reuse variant of zero_phase_lowpass.
+void zero_phase_lowpass_into(std::span<const double> xs, double cutoff_hz,
+                             double fs, int order, Workspace& ws,
+                             std::vector<double>& out);
 
 }  // namespace ptrack::dsp

@@ -1,42 +1,56 @@
 #include "dsp/projection.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "dsp/filtfilt.hpp"
+#include "dsp/workspace.hpp"
 
 namespace ptrack::dsp {
 
-Vec3 estimate_up(std::span<const Vec3> specific_force, double fs,
-                 double cutoff_hz) {
-  expects(specific_force.size() >= 4, "estimate_up: >= 4 samples");
-  expects(fs > 0.0, "estimate_up: fs > 0");
+namespace {
 
-  std::vector<double> x(specific_force.size());
-  std::vector<double> y(specific_force.size());
-  std::vector<double> z(specific_force.size());
-  for (std::size_t i = 0; i < specific_force.size(); ++i) {
-    x[i] = specific_force[i].x;
-    y[i] = specific_force[i].y;
-    z[i] = specific_force[i].z;
-  }
+/// Shared estimate_up core over already-split channel spans.
+Vec3 estimate_up_channels(std::span<const double> x, std::span<const double> y,
+                          std::span<const double> z, double fs,
+                          double cutoff_hz, Workspace* ws) {
+  expects(x.size() >= 4, "estimate_up: >= 4 samples");
+  expects(x.size() == y.size() && y.size() == z.size(),
+          "estimate_up: equal channel lengths");
+  expects(fs > 0.0, "estimate_up: fs > 0");
   // Heavy low-pass, then average: cyclic components vanish, gravity remains.
   const double fc = std::min(cutoff_hz, 0.45 * fs);
-  const auto lx = zero_phase_lowpass(x, fc, fs, 2);
-  const auto ly = zero_phase_lowpass(y, fc, fs, 2);
-  const auto lz = zero_phase_lowpass(z, fc, fs, 2);
   Vec3 g{};
-  for (std::size_t i = 0; i < lx.size(); ++i) {
-    g += Vec3{lx[i], ly[i], lz[i]};
+  if (ws) {
+    // One channel at a time through a reused output buffer (slot 1; the
+    // filter's padded scratch lives in slot 0).
+    auto& filtered = ws->real_scratch(1, 0);
+    for (const auto& [chan, comp] :
+         {std::pair{x, &Vec3::x}, std::pair{y, &Vec3::y},
+          std::pair{z, &Vec3::z}}) {
+      zero_phase_lowpass_into(chan, fc, fs, 2, *ws, filtered);
+      double sum = 0.0;
+      for (double v : filtered) sum += v;
+      g.*comp = sum / static_cast<double>(filtered.size());
+    }
+  } else {
+    const auto lx = zero_phase_lowpass(x, fc, fs, 2);
+    const auto ly = zero_phase_lowpass(y, fc, fs, 2);
+    const auto lz = zero_phase_lowpass(z, fc, fs, 2);
+    for (std::size_t i = 0; i < lx.size(); ++i) {
+      g += Vec3{lx[i], ly[i], lz[i]};
+    }
+    g /= static_cast<double>(lx.size());
   }
-  g /= static_cast<double>(lx.size());
   check(g.norm() > 1e-6, "estimate_up: gravity magnitude not degenerate");
   return g.normalized();
 }
 
-Vec3 principal_horizontal_direction(std::span<const Vec3> specific_force,
-                                    const Vec3& up) {
-  expects(!specific_force.empty(), "principal_horizontal_direction: non-empty");
+/// Shared principal-direction core; `get(i)` yields the i-th force vector.
+template <typename GetForce>
+Vec3 principal_horizontal_impl(std::size_t n, GetForce&& get, const Vec3& up) {
+  expects(n > 0, "principal_horizontal_direction: non-empty");
   // Build an orthonormal horizontal basis (e1, e2) perpendicular to up.
   Vec3 ref = std::abs(up.z) < 0.9 ? kVertical : kAnterior;
   const Vec3 e1 = up.cross(ref).normalized();
@@ -46,8 +60,9 @@ Vec3 principal_horizontal_direction(std::span<const Vec3> specific_force,
   double m1 = 0.0;
   double m2 = 0.0;
   std::vector<std::pair<double, double>> h;
-  h.reserve(specific_force.size());
-  for (const Vec3& f : specific_force) {
+  h.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 f = get(i);
     const Vec3 residual = f - up * f.dot(up);
     const double a = residual.dot(e1);
     const double b = residual.dot(e2);
@@ -83,6 +98,44 @@ Vec3 principal_horizontal_direction(std::span<const Vec3> specific_force,
     v2 = 1.0;
   }
   return (e1 * v1 + e2 * v2).normalized();
+}
+
+}  // namespace
+
+Vec3 estimate_up(std::span<const Vec3> specific_force, double fs,
+                 double cutoff_hz) {
+  std::vector<double> x(specific_force.size());
+  std::vector<double> y(specific_force.size());
+  std::vector<double> z(specific_force.size());
+  for (std::size_t i = 0; i < specific_force.size(); ++i) {
+    x[i] = specific_force[i].x;
+    y[i] = specific_force[i].y;
+    z[i] = specific_force[i].z;
+  }
+  return estimate_up_channels(x, y, z, fs, cutoff_hz, nullptr);
+}
+
+Vec3 estimate_up(std::span<const double> x, std::span<const double> y,
+                 std::span<const double> z, double fs, double cutoff_hz,
+                 Workspace* ws) {
+  return estimate_up_channels(x, y, z, fs, cutoff_hz, ws);
+}
+
+Vec3 principal_horizontal_direction(std::span<const Vec3> specific_force,
+                                    const Vec3& up) {
+  return principal_horizontal_impl(
+      specific_force.size(),
+      [&](std::size_t i) { return specific_force[i]; }, up);
+}
+
+Vec3 principal_horizontal_direction(std::span<const double> x,
+                                    std::span<const double> y,
+                                    std::span<const double> z,
+                                    const Vec3& up) {
+  expects(x.size() == y.size() && y.size() == z.size(),
+          "principal_horizontal_direction: equal channel lengths");
+  return principal_horizontal_impl(
+      x.size(), [&](std::size_t i) { return Vec3{x[i], y[i], z[i]}; }, up);
 }
 
 ProjectedSignal project(std::span<const Vec3> specific_force, double fs) {

@@ -33,10 +33,26 @@ struct ProjectedSignal {
 Vec3 estimate_up(std::span<const Vec3> specific_force, double fs,
                  double cutoff_hz = 0.3);
 
+class Workspace;
+
+/// Structure-of-arrays variant of estimate_up for span views over channel
+/// storage (e.g. imu::SampleRing): no AoS materialization. Arithmetic is
+/// identical to the Vec3 overload (which delegates here). `ws` (optional)
+/// provides filter scratch; real slots 0 and 1 are clobbered.
+Vec3 estimate_up(std::span<const double> x, std::span<const double> y,
+                 std::span<const double> z, double fs, double cutoff_hz = 0.3,
+                 Workspace* ws = nullptr);
+
 /// Principal horizontal direction of the residual (gravity-removed)
 /// acceleration: the eigenvector of the 2x2 horizontal covariance with the
 /// larger eigenvalue. `up` must be a unit vector.
 Vec3 principal_horizontal_direction(std::span<const Vec3> specific_force,
+                                    const Vec3& up);
+
+/// Structure-of-arrays variant (same arithmetic; shared implementation).
+Vec3 principal_horizontal_direction(std::span<const double> x,
+                                    std::span<const double> y,
+                                    std::span<const double> z,
                                     const Vec3& up);
 
 /// Full projection: vertical = f.u - g, horizontal residual decomposed into

@@ -30,7 +30,7 @@ namespace ptrack::dsp {
 class Workspace {
  public:
   static constexpr std::size_t kComplexSlots = 2;
-  static constexpr std::size_t kRealSlots = 3;
+  static constexpr std::size_t kRealSlots = 4;
 
   Workspace() = default;
   /// Copying yields a fresh, empty workspace: scratch contents are transient

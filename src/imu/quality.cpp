@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/error.hpp"
@@ -152,6 +153,21 @@ void detect_spikes(const std::vector<Sample>& samples,
   }
 }
 
+/// One point of the cubic Hermite gap bridge: endpoint values p0/p1,
+/// endpoint tangents m0/m1 (per-sample slopes), gap span in samples and
+/// the normalized position u in (0, 1). Shared by the batch fill and the
+/// incremental stage so the two paths are arithmetic-identical.
+double hermite_point(double p0, double m0, double p1, double m1, double span,
+                     double u) {
+  const double u2 = u * u;
+  const double u3 = u2 * u;
+  const double h00 = 2.0 * u3 - 3.0 * u2 + 1.0;
+  const double h10 = u3 - 2.0 * u2 + u;
+  const double h01 = -2.0 * u3 + 3.0 * u2;
+  const double h11 = u3 - u2;
+  return h00 * p0 + h10 * (m0 * span) + h01 * p1 + h11 * (m1 * span);
+}
+
 /// Cubic Hermite fill of one component over the gap [a, b) using the clean
 /// endpoint samples a-1 and b, with one-sided tangents when the outer
 /// neighbors are clean too. For a clipped peak the endpoint slopes point
@@ -175,14 +191,7 @@ void hermite_fill(std::vector<Sample>& samples,
                         : secant;
   for (std::size_t i = a; i < b; ++i) {
     const double u = static_cast<double>(i - a + 1) / span;
-    const double u2 = u * u;
-    const double u3 = u2 * u;
-    const double h00 = 2.0 * u3 - 3.0 * u2 + 1.0;
-    const double h10 = u3 - 2.0 * u2 + u;
-    const double h01 = -2.0 * u3 + 3.0 * u2;
-    const double h11 = u3 - u2;
-    samples[i].*channel.*comp = h00 * p0 + h10 * (m0 * span) + h01 * p1 +
-                                h11 * (m1 * span);
+    samples[i].*channel.*comp = hermite_point(p0, m0, p1, m1, span, u);
   }
 }
 
@@ -361,6 +370,278 @@ QualityResult assess_and_repair(const Trace& trace, const QualityConfig& cfg) {
   QualityReport report = analyze(trace, cfg, &samples);
   count_quality(report);
   return {Trace(trace.fs(), std::move(samples)), std::move(report)};
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalQuality
+// ---------------------------------------------------------------------------
+
+IncrementalQuality::IncrementalQuality(double fs, QualityConfig cfg)
+    : cfg_(cfg), fs_(fs) {
+  expects(fs > 0.0, "IncrementalQuality: fs > 0");
+  validate(cfg_);
+  max_fill_ =
+      static_cast<std::size_t>(std::llround(cfg_.max_fill_s * fs_));
+}
+
+void IncrementalQuality::detect_on_push(const Sample& s, std::uint8_t& flags) {
+  if (!sample_physical(s, cfg_)) set_flag(flags, kFlagNonFinite);
+  const bool cur_nonfinite = (flags & kFlagNonFinite) != 0;
+
+  // Dropout: extend or reset the current held run; retro-flag the run's
+  // earlier members (still pending by the finalization rules) the moment
+  // it reaches the minimum length.
+  const bool held = have_prev_ && !cur_nonfinite && !prev_nonfinite_ &&
+                    s.accel == prev_raw_.accel && s.gyro == prev_raw_.gyro;
+  if (held) {
+    ++held_run_;
+    if (held_run_ >= cfg_.min_dropout_run) {
+      set_flag(flags, kFlagDropout);
+      if (held_run_ == cfg_.min_dropout_run) {
+        const std::size_t retro = cfg_.min_dropout_run - 1;
+        PTRACK_CHECK_MSG(pending_.size() >= retro,
+                         "IncrementalQuality: open held run still pending");
+        for (std::size_t k = pending_.size() - retro; k < pending_.size();
+             ++k) {
+          set_flag(pending_[k].flags, kFlagDropout);
+        }
+      }
+    }
+  } else {
+    held_run_ = 0;
+  }
+  prev_raw_ = s;
+  prev_nonfinite_ = cur_nonfinite;
+  have_prev_ = true;
+
+  // Saturation. Explicit rails flag immediately; the auto rail is a running
+  // maximum that confirms once enough samples have dwelled at it, then
+  // retro-flags whatever part of the plateau is still pending.
+  if (!cur_nonfinite) {
+    const double m = max_abs_accel(s);
+    if (cfg_.saturation_limit > 0.0) {
+      if (m >= cfg_.saturation_limit * (1.0 - 1e-9)) {
+        set_flag(flags, kFlagSaturated);
+      }
+    } else {
+      if (m > rail_) {
+        rail_ = m;
+        rail_count_ = 1;
+      } else if (m >= rail_ * (1.0 - 1e-12)) {
+        ++rail_count_;
+      }
+      if (rail_ > 1.2 * kGravity &&
+          rail_count_ >= cfg_.min_saturation_plateau &&
+          rail_ > confirmed_rail_) {
+        confirmed_rail_ = rail_;
+        const double thr = confirmed_rail_ * (1.0 - 1e-9);
+        for (Pending& p : pending_) {
+          if ((p.flags & kFlagNonFinite) == 0 && max_abs_accel(p.s) >= thr) {
+            set_flag(p.flags, kFlagSaturated);
+          }
+        }
+      }
+      if (confirmed_rail_ > 0.0 &&
+          m >= confirmed_rail_ * (1.0 - 1e-9)) {
+        set_flag(flags, kFlagSaturated);
+      }
+    }
+    if (cfg_.gyro_saturation_limit > 0.0 &&
+        max_abs_gyro(s) >= cfg_.gyro_saturation_limit * (1.0 - 1e-9)) {
+      set_flag(flags, kFlagSaturated);
+    }
+  }
+}
+
+void IncrementalQuality::evaluate_spike_before_last() {
+  // The excursion-and-return test needs both neighbors, so the candidate is
+  // the second-newest pending sample; its left neighbor may already have
+  // been finalized (out1_, raw values). Held samples can never spike
+  // (d_prev == 0), so a dropout flag arriving later cannot contradict this.
+  if (pending_.size() < 2) return;
+  Pending& center = pending_[pending_.size() - 2];
+  if (center.flags != kFlagClean) return;
+  const Pending& right = pending_.back();
+  const Sample* left = nullptr;
+  std::uint8_t left_flags = kFlagClean;
+  if (pending_.size() >= 3) {
+    left = &pending_[pending_.size() - 3].s;
+    left_flags = pending_[pending_.size() - 3].flags;
+  } else if (out1_.has_value()) {
+    left = &out1_->raw;
+    left_flags = out1_->flags;
+  } else {
+    return;  // stream-start sample: batch never flags index 0 either
+  }
+  if ((left_flags | right.flags) & kFlagNonFinite) return;
+  for (double Vec3::*comp : {&Vec3::x, &Vec3::y, &Vec3::z}) {
+    for (const auto& [channel, delta] :
+         {std::pair{&Sample::accel, cfg_.spike_delta},
+          std::pair{&Sample::gyro, cfg_.gyro_spike_delta}}) {
+      const double prev = (*left).*channel.*comp;
+      const double cur = center.s.*channel.*comp;
+      const double next = right.s.*channel.*comp;
+      const double d_prev = cur - prev;
+      const double d_next = cur - next;
+      if (std::abs(d_prev) > delta && std::abs(d_next) > delta &&
+          d_prev * d_next > 0.0) {
+        set_flag(center.flags, kFlagSpike);
+        return;
+      }
+    }
+  }
+}
+
+Sample IncrementalQuality::neutral_sample() const {
+  Sample s;
+  if (clean_count_ > 0) {
+    s.accel = accel_sum_ / static_cast<double>(clean_count_);
+    s.gyro = gyro_sum_ / static_cast<double>(clean_count_);
+  } else {
+    s.accel = {0.0, 0.0, kGravity};
+    s.gyro = {};
+  }
+  return s;
+}
+
+void IncrementalQuality::emit(const Sample& repaired, const Sample& raw,
+                              std::uint8_t flags,
+                              std::vector<RepairedSample>& out) {
+  out.push_back({repaired, flags});
+  ++counts_.emitted;
+  if (flags & kFlagDropout) ++counts_.dropout;
+  if (flags & kFlagSaturated) ++counts_.saturated;
+  if (flags & kFlagSpike) ++counts_.spike;
+  if (flags & kFlagNonFinite) ++counts_.nonfinite;
+  if (flags & kFlagRepaired) ++counts_.repaired;
+  if (flags & kFlagMasked) ++counts_.masked;
+  if (flags == kFlagClean) {
+    accel_sum_ += raw.accel;
+    gyro_sum_ += raw.gyro;
+    ++clean_count_;
+  }
+  out2_ = out1_;
+  out1_ = Emitted{raw, flags};
+}
+
+void IncrementalQuality::fill_and_emit(std::size_t run,
+                                       std::vector<RepairedSample>& out) {
+  // Mirrors hermite_fill: p0 = the last finalized sample (clean by run
+  // maximality), p1 = the closing clean sample, tangents one-sided where
+  // the outer neighbors are clean.
+  const Sample& p0s = out1_->raw;
+  const Sample& p1s = pending_[run].s;
+  const bool m0_clean = out2_.has_value() && out2_->flags == kFlagClean;
+  const bool m1_clean = run + 1 < pending_.size() &&
+                        pending_[run + 1].flags == kFlagClean;
+  const auto span = static_cast<double>(run + 1);
+  for (std::size_t i = 0; i < run; ++i) {
+    Sample repaired = pending_[i].s;
+    for (double Vec3::*comp : {&Vec3::x, &Vec3::y, &Vec3::z}) {
+      for (Vec3 Sample::*channel : {&Sample::accel, &Sample::gyro}) {
+        const double p0 = p0s.*channel.*comp;
+        const double p1 = p1s.*channel.*comp;
+        const double secant = (p1 - p0) / span;
+        const double m0 =
+            m0_clean ? p0 - out2_->raw.*channel.*comp : secant;
+        const double m1 =
+            m1_clean ? pending_[run + 1].s.*channel.*comp - p1 : secant;
+        const double u = static_cast<double>(i + 1) / span;
+        repaired.*channel.*comp = hermite_point(p0, m0, p1, m1, span, u);
+      }
+    }
+    const auto flags =
+        static_cast<std::uint8_t>(pending_[i].flags | kFlagRepaired);
+    emit(repaired, pending_[i].s, flags, out);
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(run));
+}
+
+void IncrementalQuality::mask_and_emit(std::size_t run,
+                                       std::vector<RepairedSample>& out) {
+  const Sample neutral = neutral_sample();
+  for (std::size_t i = 0; i < run; ++i) {
+    Sample repaired = pending_[i].s;
+    repaired.accel = neutral.accel;
+    repaired.gyro = neutral.gyro;
+    const auto flags =
+        static_cast<std::uint8_t>(pending_[i].flags | kFlagMasked);
+    emit(repaired, pending_[i].s, flags, out);
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(run));
+}
+
+void IncrementalQuality::finalize_ready(std::vector<RepairedSample>& out,
+                                        bool flushing) {
+  while (!pending_.empty()) {
+    const std::size_t n = pending_.size();
+    // Keep one sample back so its spike test has a right neighbor.
+    if (!flushing && n < 2) break;
+    if (pending_.front().flags == kFlagClean) {
+      // A trailing held run shorter than the dropout minimum may still be
+      // retro-flagged; hold its members back.
+      if (!flushing && held_run_ > 0 && held_run_ < cfg_.min_dropout_run &&
+          n <= held_run_) {
+        break;
+      }
+      const Pending front = pending_.front();
+      pending_.pop_front();
+      emit(front.s, front.s, front.flags, out);
+      continue;
+    }
+    // Maximal flagged run at the head.
+    std::size_t run = 1;
+    while (run < n && pending_[run].flags != kFlagClean) ++run;
+    const bool closed = run < n;
+    if (!closed) {
+      // Open run: a run already longer than the fill limit will be masked
+      // no matter how it ends (batch masks on total length); emit it now
+      // to keep the latency bound. Otherwise wait for the closing sample.
+      if (flushing || run > max_fill_) {
+        mask_and_emit(run, out);
+        continue;
+      }
+      break;
+    }
+    // Closed run [0, run); pending_[run] is the clean right endpoint. The
+    // right tangent inspects the flags of pending_[run + 1], whose spike
+    // bit settles only once pending_[run + 2] has arrived.
+    if (!flushing && n < run + 3) break;
+    // The left endpoint must be a clean finalized sample: absent at stream
+    // start (batch: i == 0), and non-clean when this run is the tail of a
+    // longer run whose head was already masked.
+    const bool fillable = run <= max_fill_ && out1_.has_value() &&
+                          out1_->flags == kFlagClean;
+    if (fillable) {
+      fill_and_emit(run, out);
+    } else {
+      mask_and_emit(run, out);
+    }
+  }
+}
+
+void IncrementalQuality::push(const Sample& s,
+                              std::vector<RepairedSample>& out) {
+  if (!cfg_.enabled) {
+    out.push_back({s, kFlagClean});
+    ++counts_.emitted;
+    return;
+  }
+  std::uint8_t flags = kFlagClean;
+  detect_on_push(s, flags);
+  pending_.push_back({s, flags});
+  evaluate_spike_before_last();
+  finalize_ready(out, false);
+  PTRACK_CHECK_MSG(pending_.size() <= latency_bound(),
+                   "IncrementalQuality: bounded hold-back");
+}
+
+void IncrementalQuality::flush(std::vector<RepairedSample>& out) {
+  if (!cfg_.enabled) return;
+  finalize_ready(out, true);
+  PTRACK_CHECK_MSG(pending_.empty(), "IncrementalQuality: flush drains all");
 }
 
 }  // namespace ptrack::imu

@@ -20,6 +20,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <vector>
 
 #include "imu/trace.hpp"
@@ -139,5 +141,119 @@ QualityReport assess(const Trace& trace, const QualityConfig& cfg = {});
 /// clean gyro). Clean samples pass through bit-identical.
 QualityResult assess_and_repair(const Trace& trace,
                                 const QualityConfig& cfg = {});
+
+/// One finalized sample of the incremental quality stage: repaired values
+/// plus the final SampleFlag bits.
+struct RepairedSample {
+  Sample sample;
+  std::uint8_t flags = kFlagClean;
+};
+
+/// Cumulative per-flag sample counts emitted by an IncrementalQuality
+/// instance (the streaming dual of the QualityReport totals).
+struct IncrementalQualityCounts {
+  std::size_t emitted = 0;
+  std::size_t dropout = 0;
+  std::size_t saturated = 0;
+  std::size_t spike = 0;
+  std::size_t nonfinite = 0;
+  std::size_t repaired = 0;
+  std::size_t masked = 0;
+};
+
+/// Online detect-and-repair stage: the bounded-latency dual of
+/// assess_and_repair for sample streams. push() ingests one raw sample and
+/// appends every sample whose fate is decided (detected, and repaired or
+/// masked where flagged) to the caller's output, in stream order; flush()
+/// finalizes the held tail at a stream pause or end (the stream may
+/// continue afterwards).
+///
+/// Parity with the batch pass (tests/test_imu_quality_incremental.cpp):
+/// clean samples, dropout runs, explicit-rail saturation, spikes,
+/// non-finite cells, Hermite gap fills and neutral masking all match
+/// assess_and_repair sample-for-sample. Documented divergences, inherent
+/// to not seeing the future:
+///  - the masking neutral and the auto-detected saturation rail are
+///    *running* statistics (batch uses whole-trace values); samples at the
+///    rail emitted before the plateau confirms keep their flags;
+///  - retroactive flagging reaches only into the pending tail, so a
+///    detector bit can differ right at a decision boundary (the repair
+///    action itself still matches);
+///  - Hermite tangent selection next to a gap can fall back to the secant
+///    when the outer neighbor's flags were not yet final.
+///
+/// Latency: a sample is held back at most latency_bound() samples
+/// (~ max_fill_s plus the dropout-run and spike lookaheads; ~0.3 s at
+/// 100 Hz with defaults).
+class IncrementalQuality {
+ public:
+  explicit IncrementalQuality(double fs, QualityConfig cfg = {});
+
+  /// Ingests one raw sample; appends finalized samples (possibly none, or
+  /// several when a held run resolves) to `out`.
+  void push(const Sample& s, std::vector<RepairedSample>& out);
+
+  /// Finalizes every pending sample (end-of-run gaps are masked, exactly
+  /// like batch runs that touch the trace edge).
+  void flush(std::vector<RepairedSample>& out);
+
+  /// Samples currently held back.
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  /// Upper bound on pending() between calls.
+  [[nodiscard]] std::size_t latency_bound() const {
+    return max_fill_ + cfg_.min_dropout_run + 4;
+  }
+  [[nodiscard]] const IncrementalQualityCounts& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] const QualityConfig& config() const { return cfg_; }
+
+ private:
+  struct Pending {
+    Sample s;               ///< raw values as pushed
+    std::uint8_t flags = kFlagClean;
+  };
+  struct Emitted {
+    Sample raw;             ///< pre-repair values (spike/tangent context)
+    std::uint8_t flags = kFlagClean;
+  };
+
+  void detect_on_push(const Sample& s, std::uint8_t& flags);
+  void evaluate_spike_before_last();
+  void finalize_ready(std::vector<RepairedSample>& out, bool flushing);
+  void emit(const Sample& repaired, const Sample& raw, std::uint8_t flags,
+            std::vector<RepairedSample>& out);
+  void fill_and_emit(std::size_t run, std::vector<RepairedSample>& out);
+  void mask_and_emit(std::size_t run, std::vector<RepairedSample>& out);
+  [[nodiscard]] Sample neutral_sample() const;
+
+  QualityConfig cfg_;
+  double fs_;
+  std::size_t max_fill_;
+
+  std::deque<Pending> pending_;
+
+  // Held-run (dropout) tracking over the raw stream.
+  Sample prev_raw_{};
+  bool have_prev_ = false;
+  bool prev_nonfinite_ = false;
+  std::size_t held_run_ = 0;
+
+  // Auto saturation: running rail + plateau confirmation.
+  double rail_ = 0.0;
+  std::size_t rail_count_ = 0;
+  double confirmed_rail_ = 0.0;
+
+  // Running clean mean (masking neutral).
+  Vec3 accel_sum_{};
+  Vec3 gyro_sum_{};
+  std::size_t clean_count_ = 0;
+
+  // Last two finalized samples: left context for spikes and gap tangents.
+  std::optional<Emitted> out1_;  ///< most recent
+  std::optional<Emitted> out2_;
+
+  IncrementalQualityCounts counts_;
+};
 
 }  // namespace ptrack::imu

@@ -1,0 +1,116 @@
+#include "imu/sample_ring.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::imu {
+
+void SampleRing::push(const Sample& s, std::uint8_t flags) {
+  ax_.push_back(s.accel.x);
+  ay_.push_back(s.accel.y);
+  az_.push_back(s.accel.z);
+  gx_.push_back(s.gyro.x);
+  gy_.push_back(s.gyro.y);
+  gz_.push_back(s.gyro.z);
+  flags_.push_back(flags);
+}
+
+void SampleRing::trim_to(std::size_t new_base) {
+  new_base = std::clamp(new_base, base_, end());
+  head_ += new_base - base_;
+  base_ = new_base;
+  maybe_compact();
+}
+
+void SampleRing::maybe_compact() {
+  if (head_ == 0 || head_ <= size()) return;
+  const auto erase_prefix = [this](auto& v) {
+    v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(head_));
+  };
+  erase_prefix(ax_);
+  erase_prefix(ay_);
+  erase_prefix(az_);
+  erase_prefix(gx_);
+  erase_prefix(gy_);
+  erase_prefix(gz_);
+  erase_prefix(flags_);
+  head_ = 0;
+  ++compactions_;
+}
+
+std::size_t SampleRing::offset(std::size_t abs_index) const {
+  PTRACK_CHECK_MSG(abs_index >= base_ && abs_index <= end(),
+                   "SampleRing: absolute index inside the retained range");
+  return head_ + (abs_index - base_);
+}
+
+namespace {
+std::span<const double> sub(const std::vector<double>& v, std::size_t o,
+                            std::size_t len) {
+  return {v.data() + o, len};
+}
+}  // namespace
+
+std::size_t SampleRing::span_offset(std::size_t b, std::size_t e) const {
+  expects(b <= e, "SampleRing: span begin <= end");
+  PTRACK_CHECK_MSG(b >= base_ && e <= end(),
+                   "SampleRing: span inside the retained range");
+  return head_ + (b - base_);
+}
+
+std::span<const double> SampleRing::ax(std::size_t b, std::size_t e) const {
+  return sub(ax_, span_offset(b, e), e - b);
+}
+std::span<const double> SampleRing::ay(std::size_t b, std::size_t e) const {
+  return sub(ay_, span_offset(b, e), e - b);
+}
+std::span<const double> SampleRing::az(std::size_t b, std::size_t e) const {
+  return sub(az_, span_offset(b, e), e - b);
+}
+std::span<const double> SampleRing::gx(std::size_t b, std::size_t e) const {
+  return sub(gx_, span_offset(b, e), e - b);
+}
+std::span<const double> SampleRing::gy(std::size_t b, std::size_t e) const {
+  return sub(gy_, span_offset(b, e), e - b);
+}
+std::span<const std::uint8_t> SampleRing::flags(std::size_t b,
+                                                std::size_t e) const {
+  return {flags_.data() + span_offset(b, e), e - b};
+}
+std::span<const double> SampleRing::gz(std::size_t b, std::size_t e) const {
+  return sub(gz_, span_offset(b, e), e - b);
+}
+
+Sample SampleRing::sample(std::size_t abs_index) const {
+  const std::size_t o = offset(abs_index);
+  PTRACK_CHECK_MSG(abs_index < end(), "SampleRing: sample index in range");
+  Sample s;
+  s.accel = {ax_[o], ay_[o], az_[o]};
+  s.gyro = {gx_[o], gy_[o], gz_[o]};
+  return s;
+}
+
+std::size_t SampleRing::count_flagged(std::size_t b, std::size_t e,
+                                      std::uint8_t mask) const {
+  e = std::min(e, end());
+  b = std::max(b, base_);
+  if (b >= e) return 0;
+  std::size_t hits = 0;
+  for (std::uint8_t f : flags(b, e)) {
+    if (f & mask) ++hits;
+  }
+  return hits;
+}
+
+double SampleRing::fraction_flagged(std::size_t b, std::size_t e,
+                                    std::uint8_t mask) const {
+  e = std::min(e, end());
+  b = std::max(b, base_);
+  if (b >= e) return 0.0;
+  return static_cast<double>(count_flagged(b, e, mask)) /
+         static_cast<double>(e - b);
+}
+
+}  // namespace ptrack::imu

@@ -52,8 +52,11 @@ void write_text(const fs::path& p, const std::string& text) {
 
 /// Builds the mixed directory: two healthy walks, one unparseable CSV, one
 /// parseable CSV whose nonphysical magnitudes make PTrack::process throw.
-fs::path make_mixed_dir() {
-  const fs::path dir = fs::temp_directory_path() / "ptrack_test_cli_batch";
+/// `tag` keeps concurrently running tests (ctest -j) out of each other's
+/// directories.
+fs::path make_mixed_dir(const std::string& tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("ptrack_test_cli_batch_" + tag);
   fs::remove_all(dir);
   fs::create_directories(dir);
 
@@ -84,7 +87,7 @@ fs::path make_mixed_dir() {
 }  // namespace
 
 TEST(CliBatch, SkipsFailedTracesAndReportsThemInJson) {
-  const fs::path dir = make_mixed_dir();
+  const fs::path dir = make_mixed_dir("json");
   const fs::path json = dir / "out.json";
 
   const int rc = run_cli("--batch " + dir.string() + " --threads 2 --quiet" +
@@ -107,7 +110,7 @@ TEST(CliBatch, SkipsFailedTracesAndReportsThemInJson) {
 }
 
 TEST(CliBatch, StrictModeExitsTwoOnAnyFailure) {
-  const fs::path dir = make_mixed_dir();
+  const fs::path dir = make_mixed_dir("strict");
   const int rc = run_cli("--batch " + dir.string() +
                          " --threads 2 --quiet --strict 2>/dev/null");
   EXPECT_EQ(rc, 2);
@@ -115,7 +118,7 @@ TEST(CliBatch, StrictModeExitsTwoOnAnyFailure) {
 }
 
 TEST(CliBatch, CleanDirectoryIsStrictClean) {
-  const fs::path dir = make_mixed_dir();
+  const fs::path dir = make_mixed_dir("clean");
   fs::remove(dir / "corrupt.csv");
   fs::remove(dir / "poison.csv");
   const int rc = run_cli("--batch " + dir.string() +
