@@ -39,6 +39,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "core/streaming.hpp"
+#include "dsp/simd.hpp"
 #include "synth/synthesizer.hpp"
 
 using namespace ptrack;
@@ -160,6 +161,23 @@ int main(int argc, char** argv) {
       }
     }
 
+    // SIMD-off and float32 arms at the 20 s window: the per-PR record of
+    // what the vector kernels and the f32 projection variant buy on the
+    // incremental hot path (simd-on double = the inc_w20 arm above).
+    {
+      core::StreamingConfig cfg;
+      cfg.pipeline.stride.profile = {user.arm_length, user.leg_length, 2.0};
+      cfg.mode = core::StreamingConfig::Mode::kIncremental;
+      cfg.hop_s = 2.0;
+      cfg.window_s = 20.0;
+      cfg.guard_s = 5.0;
+      dsp::simd::force_isa(dsp::simd::Isa::kScalar);
+      arms.push_back(run_arm("inc_scalar_w20", trace, cfg, repeats));
+      dsp::simd::force_isa(dsp::simd::detected());
+      cfg.precision = core::Precision::kFloat32;
+      arms.push_back(run_arm("inc_f32_w20", trace, cfg, repeats));
+    }
+
     std::printf(
         "micro_streaming: %.0f s walking trace @ %.0f Hz, hop 2 s, best of "
         "%zu repeats\n",
@@ -179,8 +197,11 @@ int main(int argc, char** argv) {
       throw Error("micro_streaming: missing arm " + name);
     };
     const ArmResult& inc10 = find("inc_w10");
+    const ArmResult& inc20 = find("inc_w20");
     const ArmResult& inc40 = find("inc_w40");
     const ArmResult& rec40 = find("rec_w40");
+    const ArmResult& inc_scalar = find("inc_scalar_w20");
+    const ArmResult& inc_f32 = find("inc_f32_w20");
     const bool beats_recompute = inc40.hop_mean_us < rec40.hop_mean_us;
     const bool window_independent =
         inc40.hop_mean_us <= 1.5 * inc10.hop_mean_us;
@@ -190,6 +211,18 @@ int main(int argc, char** argv) {
     std::printf("  inc_w40 vs 1.5 * inc_w10 mean: %.1f us vs %.1f us (%s)\n",
                 inc40.hop_mean_us, 1.5 * inc10.hop_mean_us,
                 window_independent ? "ok" : "VIOLATION");
+    const double simd_speedup =
+        inc20.hop_mean_us > 0.0 ? inc_scalar.hop_mean_us / inc20.hop_mean_us
+                                : 0.0;
+    const double f32_speedup =
+        inc_f32.hop_mean_us > 0.0
+            ? inc_scalar.hop_mean_us / inc_f32.hop_mean_us
+            : 0.0;
+    std::printf(
+        "  simd %s: scalar %.1f us -> double %.1f us (%.2fx) -> f32 %.1f us "
+        "(%.2fx)\n",
+        dsp::simd::isa_name(dsp::simd::detected()), inc_scalar.hop_mean_us,
+        inc20.hop_mean_us, simd_speedup, inc_f32.hop_mean_us, f32_speedup);
 
     std::string path = "BENCH_streaming.json";
     if (args.has("json")) {
@@ -217,6 +250,10 @@ int main(int argc, char** argv) {
       }
       w.key("inc_beats_recompute").value(beats_recompute);
       w.key("window_independent").value(window_independent);
+      w.key("simd_isa").value(
+          std::string(dsp::simd::isa_name(dsp::simd::detected())));
+      w.key("simd_hop_speedup").value(simd_speedup);
+      w.key("f32_hop_speedup").value(f32_speedup);
       w.end_object();
       w.end_object();
       out << '\n';

@@ -12,9 +12,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -27,6 +29,7 @@
 #include "dsp/filtfilt.hpp"
 #include "dsp/integrate.hpp"
 #include "dsp/projection.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/workspace.hpp"
 #include "models/gfit.hpp"
 #include "runtime/batch_runner.hpp"
@@ -88,6 +91,73 @@ void BM_ButterworthFiltfiltWorkspace(benchmark::State& state) {
 }
 BENCHMARK(BM_ButterworthFiltfiltWorkspace);
 
+// SIMD micro-kernels, arg 0 = forced scalar fallback, arg 1 = detected ISA:
+// the kernel-level record of the vector win in BENCH_throughput.json. The
+// 3-channel lane-parallel gravity filter is the per-hop dominant cost
+// (estimate_up over the 20 s axis window), so it gets scalar/vector arms in
+// both precisions; axis_project is the widest pure-map kernel.
+void BM_FiltfiltMulti3(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::size_t n = 2000;
+  const std::array<std::span<const double>, 3> chans{
+      std::span<const double>(xs.data(), n),
+      std::span<const double>(xs.data() + n, n),
+      std::span<const double>(xs.data() + 2 * n, n)};
+  const auto cascade = dsp::butterworth_lowpass(2, 0.3, 100.0);
+  dsp::Workspace ws;
+  dsp::simd::force_isa(state.range(0) != 0 ? dsp::simd::detected()
+                                           : dsp::simd::Isa::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::filtfilt_multi_mean(cascade, chans, 64, ws));
+  }
+  dsp::simd::force_isa(dsp::simd::detected());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(3 * n));
+}
+BENCHMARK(BM_FiltfiltMulti3)->ArgName("simd")->Arg(0)->Arg(1);
+
+void BM_FiltfiltMulti3F32(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::size_t n = 2000;
+  std::vector<float> xf(3 * n);
+  dsp::simd::narrow({xs.data(), 3 * n}, xf);
+  const std::array<std::span<const float>, 3> chans{
+      std::span<const float>(xf.data(), n),
+      std::span<const float>(xf.data() + n, n),
+      std::span<const float>(xf.data() + 2 * n, n)};
+  const auto cascade = dsp::butterworth_lowpass(2, 0.3, 100.0);
+  dsp::Workspace ws;
+  dsp::simd::force_isa(state.range(0) != 0 ? dsp::simd::detected()
+                                           : dsp::simd::Isa::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::filtfilt_multif_mean(cascade, chans, 64, ws));
+  }
+  dsp::simd::force_isa(dsp::simd::detected());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(3 * n));
+}
+BENCHMARK(BM_FiltfiltMulti3F32)->ArgName("simd")->Arg(0)->Arg(1);
+
+void BM_AxisProject(benchmark::State& state) {
+  const auto xs = walking_minute().trace.accel_magnitude();
+  const std::size_t n = 2000;
+  const std::span<const double> x(xs.data(), n);
+  const std::span<const double> y(xs.data() + n, n);
+  const std::span<const double> z(xs.data() + 2 * n, n);
+  const Vec3 up = Vec3{0.1, 0.2, 0.97}.normalized();
+  std::vector<double> out(n);
+  dsp::simd::force_isa(state.range(0) != 0 ? dsp::simd::detected()
+                                           : dsp::simd::Isa::kScalar);
+  for (auto _ : state) {
+    dsp::simd::axis_project(x, y, z, up, 9.81, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  dsp::simd::force_isa(dsp::simd::detected());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AxisProject)->ArgName("simd")->Arg(0)->Arg(1);
+
 void BM_Projection(benchmark::State& state) {
   const auto vectors = walking_minute().trace.accel_vectors();
   for (auto _ : state) {
@@ -104,6 +174,8 @@ void BM_Fft4096(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(dsp::magnitude_spectrum(head));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(head.size()));
 }
 BENCHMARK(BM_Fft4096);
 
@@ -113,6 +185,8 @@ void BM_AutocorrCycle(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(dsp::autocorr_at(cycle, 55));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cycle.size()));
 }
 BENCHMARK(BM_AutocorrCycle);
 
@@ -174,6 +248,8 @@ void BM_MeanRemovalIntegration(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(dsp::net_displacement(seg, 0.01));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(seg.size()));
 }
 BENCHMARK(BM_MeanRemovalIntegration);
 
@@ -183,6 +259,8 @@ void BM_GfitCounterMinute(benchmark::State& state) {
     models::PeakCounter counter(models::gfit_watch_config());
     benchmark::DoNotOptimize(counter.count_steps(trace));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
 }
 BENCHMARK(BM_GfitCounterMinute);
 
@@ -192,6 +270,8 @@ void BM_PTrackPipelineMinute(benchmark::State& state) {
     core::PTrack tracker;
     benchmark::DoNotOptimize(tracker.process(trace));
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(trace.size()));
 }
 BENCHMARK(BM_PTrackPipelineMinute);
 
@@ -223,12 +303,15 @@ BENCHMARK(BM_PipelineBatch)
 void BM_SynthesizeMinute(benchmark::State& state) {
   const auto user = bench::make_users(1).front();
   std::uint64_t seed = 1;
+  int64_t samples = 0;
   for (auto _ : state) {
     Rng rng(seed++);
-    benchmark::DoNotOptimize(synth::synthesize(
-        synth::Scenario::pure_walking(60.0), user, bench::standard_options(),
-        rng));
+    const auto r = synth::synthesize(synth::Scenario::pure_walking(60.0), user,
+                                     bench::standard_options(), rng);
+    benchmark::DoNotOptimize(&r);
+    samples += static_cast<int64_t>(r.trace.size());
   }
+  state.SetItemsProcessed(samples);
 }
 BENCHMARK(BM_SynthesizeMinute);
 
@@ -265,6 +348,7 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
     w.begin_object();
     w.key("bench").value("throughput");
     w.key("metrics").begin_object();
+    w.key("simd_isa").value(dsp::simd::isa_name(dsp::simd::detected()));
     w.key("benchmarks").begin_array();
     for (const Record& rec : records_) {
       w.begin_object();

@@ -1,11 +1,15 @@
 #include "core/frontend.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "dsp/attitude.hpp"
+#include "dsp/butterworth.hpp"
 #include "dsp/filtfilt.hpp"
+#include "dsp/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -33,6 +37,11 @@ class UpField {
     for (std::size_t i = begin; i < end; ++i) up += (*this)[i];
     return up.normalized();
   }
+
+  /// True when every sample sees the same up (the batch gravity estimate) —
+  /// the precondition for the SIMD whole-span projection fast paths.
+  [[nodiscard]] bool is_constant() const { return per_sample_.empty(); }
+  [[nodiscard]] const Vec3& constant() const { return constant_; }
 
  private:
   Vec3 constant_{};
@@ -77,8 +86,15 @@ ProjectedTrace finish(std::vector<double> vertical,
   out.fs = fs;
   const double fc = std::min(lowpass_hz, 0.45 * fs);
   if (ws) {
-    out.vertical = dsp::zero_phase_lowpass(vertical, fc, fs, 4, *ws);
-    out.anterior = dsp::zero_phase_lowpass(anterior, fc, fs, 4, *ws);
+    // Both channels through the lane-parallel zero-phase filter in one
+    // pass; per channel bit-identical to zero_phase_lowpass.
+    const std::size_t n = vertical.size();
+    out.vertical.resize(n);
+    out.anterior.resize(n);
+    const std::array<std::span<const double>, 2> ins{vertical, anterior};
+    const std::array<std::span<double>, 2> outs{out.vertical, out.anterior};
+    dsp::filtfilt_multi_into(dsp::butterworth_lowpass(4, fc, fs), ins, 64,
+                             *ws, outs);
   } else {
     out.vertical = dsp::zero_phase_lowpass(vertical, fc, fs, 4);
     out.anterior = dsp::zero_phase_lowpass(anterior, fc, fs, 4);
@@ -106,6 +122,17 @@ std::vector<double> anterior_channel(const Forces& forces, const UpField& ups,
     // window so the channel doesn't flip mid-trace (or mid-stream).
     if (seam_dir.norm2() > 0.0 && dir.dot(seam_dir) < 0.0) dir = -dir;
     seam_dir = dir;
+    if constexpr (std::is_same_v<Forces, SoaForces>) {
+      if (ups.is_constant()) {
+        // Exact expression-order replica of the Vec3 loop below.
+        const std::size_t count = end - begin;
+        dsp::simd::residual_project(
+            forces.x.subspan(begin, count), forces.y.subspan(begin, count),
+            forces.z.subspan(begin, count), ups.constant(), dir,
+            std::span<double>(anterior).subspan(begin, count));
+        return;
+      }
+    }
     for (std::size_t i = begin; i < end; ++i) {
       const Vec3 f = forces[i];
       const Vec3 residual = f - ups[i] * f.dot(ups[i]);
@@ -137,12 +164,97 @@ ProjectedTrace project_common(const Forces& forces, double fs,
                               Vec3& seam_dir,
                               const Vec3* fixed_dir = nullptr) {
   std::vector<double> vertical(forces.size());
-  for (std::size_t i = 0; i < forces.size(); ++i) {
-    vertical[i] = forces[i].dot(ups[i]) - kGravity;
+  bool vertical_done = false;
+  if constexpr (std::is_same_v<Forces, SoaForces>) {
+    if (ups.is_constant()) {
+      dsp::simd::axis_project(forces.x, forces.y, forces.z, ups.constant(),
+                              kGravity, vertical);
+      vertical_done = true;
+    }
+  }
+  if (!vertical_done) {
+    for (std::size_t i = 0; i < forces.size(); ++i) {
+      vertical[i] = forces[i].dot(ups[i]) - kGravity;
+    }
   }
   std::vector<double> anterior = anterior_channel(
       forces, ups, fs, anterior_window_s, seam_dir, fixed_dir);
   return finish(std::move(vertical), std::move(anterior), fs, lowpass_hz, ws);
+}
+
+/// Float32 gravity estimate: lane-parallel float filtfilt + per-channel
+/// means, widened to a double direction (the three axis components carry
+/// their error into every projected sample, so they are kept in double).
+Vec3 estimate_up_f32(std::span<const float> x, std::span<const float> y,
+                     std::span<const float> z, double fs, double cutoff_hz,
+                     dsp::Workspace& ws) {
+  expects(x.size() >= 4, "estimate_up_f32: >= 4 samples");
+  const double fc = std::min(cutoff_hz, 0.45 * fs);
+  const std::array<std::span<const float>, 3> chans{x, y, z};
+  const auto means =
+      dsp::filtfilt_multif_mean(dsp::butterworth_lowpass(2, fc, fs), chans,
+                                64, ws);
+  const Vec3 g{static_cast<double>(means[0]), static_cast<double>(means[1]),
+               static_cast<double>(means[2])};
+  check(g.norm() > 1e-6, "estimate_up_f32: gravity magnitude not degenerate");
+  return g.normalized();
+}
+
+/// Float32 principal horizontal direction: the per-sample residual
+/// projections run in float through the SIMD kernel; the 2x2 covariance is
+/// accumulated in double over those float coordinates.
+Vec3 principal_horizontal_f32(std::span<const float> x,
+                              std::span<const float> y,
+                              std::span<const float> z, const Vec3& up,
+                              dsp::Workspace& ws) {
+  const std::size_t n = x.size();
+  expects(n > 0, "principal_horizontal_f32: non-empty");
+  const Vec3 ref = std::abs(up.z) < 0.9 ? kVertical : kAnterior;
+  const Vec3 e1 = up.cross(ref).normalized();
+  const Vec3 e2 = up.cross(e1).normalized();
+
+  auto& scratch = ws.float_scratch(1, 2 * n);
+  const std::span<float> ta(scratch.data(), n);
+  const std::span<float> tb(scratch.data() + n, n);
+  dsp::simd::residual_projectf(x, y, z, up, e1, ta);
+  dsp::simd::residual_projectf(x, y, z, up, e2, tb);
+
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m1 += static_cast<double>(ta[i]);
+    m2 += static_cast<double>(tb[i]);
+  }
+  m1 /= static_cast<double>(n);
+  m2 /= static_cast<double>(n);
+  double s11 = 0.0;
+  double s12 = 0.0;
+  double s22 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = static_cast<double>(ta[i]) - m1;
+    const double b = static_cast<double>(tb[i]) - m2;
+    s11 += a * a;
+    s12 += a * b;
+    s22 += b * b;
+  }
+
+  const double tr = s11 + s22;
+  const double det = s11 * s22 - s12 * s12;
+  const double lambda =
+      0.5 * tr + std::sqrt(std::max(0.25 * tr * tr - det, 0.0));
+  double v1;
+  double v2;
+  if (std::abs(s12) > 1e-12) {
+    v1 = lambda - s22;
+    v2 = s12;
+  } else if (s11 >= s22) {
+    v1 = 1.0;
+    v2 = 0.0;
+  } else {
+    v1 = 0.0;
+    v2 = 1.0;
+  }
+  return (e1 * v1 + e2 * v2).normalized();
 }
 
 }  // namespace
@@ -227,6 +339,86 @@ ProjectedTrace project_channels(std::span<const double> ax,
   }
   return project_common(forces, fs, lowpass_hz, anterior_window_s,
                         UpField(ups), ws, seam_dir);
+}
+
+ProjectedTraceF project_channels_f32(std::span<const float> ax,
+                                     std::span<const float> ay,
+                                     std::span<const float> az, double fs,
+                                     double lowpass_hz,
+                                     double anterior_window_s,
+                                     dsp::Workspace& ws,
+                                     ProjectionSeam* seam,
+                                     const AxisHistoryF& axes) {
+  expects(ax.size() >= 16, "project_channels_f32: >= 16 samples");
+  expects(ax.size() == ay.size() && ay.size() == az.size(),
+          "project_channels_f32: equal channel lengths");
+  expects(axes.empty() ||
+              (axes.ax.size() == axes.ay.size() &&
+               axes.ay.size() == axes.az.size() && axes.ax.size() >= 16),
+          "project_channels_f32: axis spans equal-length and >= 16 samples");
+  expects(fs > 0.0, "project_channels_f32: fs > 0");
+  expects(lowpass_hz > 0.0, "project_channels_f32: lowpass_hz > 0");
+  PTRACK_OBS_SPAN("core.project");
+  PTRACK_COUNT("ptrack.core.projections");
+
+  const std::span<const float> hx = axes.empty() ? ax : axes.ax;
+  const std::span<const float> hy = axes.empty() ? ay : axes.ay;
+  const std::span<const float> hz = axes.empty() ? az : axes.az;
+  const Vec3 up = estimate_up_f32(hx, hy, hz, fs, 0.3, ws);
+
+  Vec3 local_seam{};
+  Vec3& seam_dir = seam ? seam->prev_anterior_dir : local_seam;
+  const std::size_t n = ax.size();
+  std::vector<float> vertical(n);
+  std::vector<float> anterior(n);
+  dsp::simd::axis_projectf(ax, ay, az, up, static_cast<float>(kGravity),
+                           vertical);
+
+  const auto project_range = [&](std::size_t begin, std::size_t end,
+                                 const Vec3* pinned_dir) {
+    const std::size_t count = end - begin;
+    Vec3 dir = pinned_dir
+                   ? *pinned_dir
+                   : principal_horizontal_f32(ax.subspan(begin, count),
+                                              ay.subspan(begin, count),
+                                              az.subspan(begin, count), up,
+                                              ws);
+    if (seam_dir.norm2() > 0.0 && dir.dot(seam_dir) < 0.0) dir = -dir;
+    seam_dir = dir;
+    dsp::simd::residual_projectf(
+        ax.subspan(begin, count), ay.subspan(begin, count),
+        az.subspan(begin, count), up, dir,
+        std::span<float>(anterior).subspan(begin, count));
+  };
+
+  if (!axes.empty()) {
+    // Axes pinned to the wider history: one fixed anterior direction.
+    const Vec3 dir = principal_horizontal_f32(hx, hy, hz, up, ws);
+    project_range(0, n, &dir);
+  } else if (anterior_window_s <= 0.0) {
+    project_range(0, n, nullptr);
+  } else {
+    const auto window = std::max<std::size_t>(
+        32, static_cast<std::size_t>(anterior_window_s * fs));
+    std::size_t begin = 0;
+    while (begin < n) {
+      std::size_t end = std::min(begin + window, n);
+      if (n - end < window / 2) end = n;
+      project_range(begin, end, nullptr);
+      begin = end;
+    }
+  }
+
+  ProjectedTraceF out;
+  out.fs = fs;
+  out.vertical.resize(n);
+  out.anterior.resize(n);
+  const double fc = std::min(lowpass_hz, 0.45 * fs);
+  const std::array<std::span<const float>, 2> ins{vertical, anterior};
+  const std::array<std::span<float>, 2> outs{out.vertical, out.anterior};
+  dsp::filtfilt_multif_into(dsp::butterworth_lowpass(4, fc, fs), ins, 64, ws,
+                            outs);
+  return out;
 }
 
 }  // namespace ptrack::core

@@ -88,4 +88,39 @@ ProjectedTrace project_channels(std::span<const double> ax,
                                 ProjectionSeam* seam = nullptr,
                                 const AxisHistory& axes = {});
 
+/// Float32 projection results (see project_channels_f32).
+struct ProjectedTraceF {
+  std::vector<float> vertical;
+  std::vector<float> anterior;
+  double fs = 0.0;
+};
+
+/// Float32 mirror of AxisHistory.
+struct AxisHistoryF {
+  std::span<const float> ax;
+  std::span<const float> ay;
+  std::span<const float> az;
+  [[nodiscard]] bool empty() const { return ax.empty(); }
+};
+
+/// Float32 fast-path projection over float channel spans (e.g. the
+/// SampleRing's float mirrors). Same structure as project_channels — batch
+/// gravity estimate, principal horizontal direction, vertical + anterior
+/// projection, zero-phase low-pass — but every per-sample pass runs in
+/// float32 through the SIMD kernels (twice the lane width and half the
+/// memory traffic). Axis *directions* are still reduced in double: they are
+/// three numbers whose error multiplies every sample. No attitude-filter
+/// (per-sample ups) variant: callers needing it stay on the double path.
+/// Divergence from the double pipeline is bounded by float rounding in the
+/// projections and filters; tests/test_streaming_f32.cpp gates it against
+/// the batch-double oracle.
+ProjectedTraceF project_channels_f32(std::span<const float> ax,
+                                     std::span<const float> ay,
+                                     std::span<const float> az, double fs,
+                                     double lowpass_hz,
+                                     double anterior_window_s,
+                                     dsp::Workspace& ws,
+                                     ProjectionSeam* seam = nullptr,
+                                     const AxisHistoryF& axes = {});
+
 }  // namespace ptrack::core

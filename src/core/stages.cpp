@@ -25,14 +25,19 @@ namespace {
 // ProjectionStage
 
 ProjectionStage::ProjectionStage(const StepCounterConfig& cfg, double fs,
-                                 dsp::Workspace* ws)
+                                 dsp::Workspace* ws, Precision precision)
     : cfg_(cfg),
       fs_(fs),
       ws_(ws),
+      precision_(precision),
       ctx_(seconds_to_samples(kProjectionCtxS, fs)),
       margin_(seconds_to_samples(kProjectionMarginS, fs)),
       axis_window_(seconds_to_samples(kProjectionAxisWindowS, fs)) {
   expects(fs > 0.0, "ProjectionStage: fs > 0");
+  expects(precision == Precision::kDouble || !cfg.use_attitude_filter,
+          "ProjectionStage: float32 precision has no attitude-filter path");
+  expects(precision == Precision::kDouble || ws != nullptr,
+          "ProjectionStage: float32 precision requires a workspace");
 }
 
 void ProjectionStage::advance(const imu::SampleRing& ring, bool flush) {
@@ -64,20 +69,41 @@ void ProjectionStage::advance(const imu::SampleRing& ring, bool flush) {
       // so it keeps the span-local fit.
       std::size_t axis_begin = end > axis_window_ ? end - axis_window_ : 0;
       axis_begin = std::max(axis_begin, ring.base());
-      AxisHistory axes{};
-      if (cfg_.anterior_window_s <= 0.0 && axis_begin < begin) {
-        axes = AxisHistory{ring.ax(axis_begin, end), ring.ay(axis_begin, end),
-                           ring.az(axis_begin, end)};
-      }
-      const ProjectedTrace p = project_channels(
-          ring.ax(begin, end), ring.ay(begin, end), ring.az(begin, end), fs_,
-          cfg_.lowpass_hz, cfg_.anterior_window_s,
-          cfg_.use_attitude_filter ? ups_.span(begin, end)
-                                   : std::span<const Vec3>{},
-          ws_, &seam_, axes);
-      for (std::size_t i = stable; i < target; ++i) {
-        vert_.push(p.vertical[i - begin]);
-        ant_.push(p.anterior[i - begin]);
+      const bool pin_axes =
+          cfg_.anterior_window_s <= 0.0 && axis_begin < begin;
+      if (precision_ == Precision::kFloat32) {
+        // f32 fast path: project the ring's float mirrors, widen the
+        // finalized tail back into the double rings. Downstream stages are
+        // precision-blind.
+        AxisHistoryF axes{};
+        if (pin_axes) {
+          axes = AxisHistoryF{ring.axf(axis_begin, end),
+                              ring.ayf(axis_begin, end),
+                              ring.azf(axis_begin, end)};
+        }
+        const ProjectedTraceF p = project_channels_f32(
+            ring.axf(begin, end), ring.ayf(begin, end), ring.azf(begin, end),
+            fs_, cfg_.lowpass_hz, cfg_.anterior_window_s, *ws_, &seam_, axes);
+        for (std::size_t i = stable; i < target; ++i) {
+          vert_.push(static_cast<double>(p.vertical[i - begin]));
+          ant_.push(static_cast<double>(p.anterior[i - begin]));
+        }
+      } else {
+        AxisHistory axes{};
+        if (pin_axes) {
+          axes = AxisHistory{ring.ax(axis_begin, end), ring.ay(axis_begin, end),
+                             ring.az(axis_begin, end)};
+        }
+        const ProjectedTrace p = project_channels(
+            ring.ax(begin, end), ring.ay(begin, end), ring.az(begin, end), fs_,
+            cfg_.lowpass_hz, cfg_.anterior_window_s,
+            cfg_.use_attitude_filter ? ups_.span(begin, end)
+                                     : std::span<const Vec3>{},
+            ws_, &seam_, axes);
+        for (std::size_t i = stable; i < target; ++i) {
+          vert_.push(p.vertical[i - begin]);
+          ant_.push(p.anterior[i - begin]);
+        }
       }
     }
   }
@@ -409,8 +435,8 @@ std::size_t EventAssembler::min_required() const {
 
 StagePipeline::StagePipeline(const StepCounterConfig& counter_cfg,
                              const StrideConfig& stride_cfg, double fs,
-                             dsp::Workspace* ws)
-    : projection_(counter_cfg, fs, ws),
+                             dsp::Workspace* ws, Precision precision)
+    : projection_(counter_cfg, fs, ws, precision),
       segmentation_(counter_cfg, fs),
       assembler_(counter_cfg, stride_cfg, fs) {}
 

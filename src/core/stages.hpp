@@ -74,6 +74,17 @@ inline constexpr double kProjectionAxisWindowS = 20.0;
 inline constexpr double kSegmentationLookbackS = 5.0;
 inline constexpr double kSegmentationMarginS = 1.8;
 
+/// Numeric precision of the projection frontend. kDouble is the batch
+/// pipeline's arithmetic, bit-stable against the batch oracle. kFloat32
+/// routes the per-sample projection and filtering passes through the f32
+/// SIMD kernels (project_channels_f32: twice the lane width, half the
+/// memory traffic) and widens the finalized channels back to the double
+/// rings, so every stage downstream of projection is unchanged. Requires a
+/// SampleRing with enable_f32() and a workspace; incompatible with the
+/// attitude-filter path (which stays double-only). Divergence from kDouble
+/// is bounded by float rounding (tests/test_streaming_f32.cpp).
+enum class Precision { kDouble, kFloat32 };
+
 /// Cumulative per-stage wall-clock cost (µs); zeros when obs is disabled.
 struct StageStats {
   double project_us = 0.0;  ///< projection + filtering
@@ -88,8 +99,8 @@ struct StageStats {
 /// raw ring's index space.
 class ProjectionStage {
  public:
-  ProjectionStage(const StepCounterConfig& cfg, double fs,
-                  dsp::Workspace* ws);
+  ProjectionStage(const StepCounterConfig& cfg, double fs, dsp::Workspace* ws,
+                  Precision precision = Precision::kDouble);
 
   /// Advances the projected frontier over `ring`; flush finalizes up to the
   /// raw frontier. Appends only — previously finalized samples never change.
@@ -110,6 +121,7 @@ class ProjectionStage {
   StepCounterConfig cfg_;
   double fs_;
   dsp::Workspace* ws_;
+  Precision precision_;
   std::size_t ctx_;          ///< re-projection context (samples)
   std::size_t margin_;       ///< finalization margin (samples)
   std::size_t axis_window_;  ///< axis-estimation history (samples)
@@ -222,8 +234,8 @@ class EventAssembler {
 class StagePipeline {
  public:
   StagePipeline(const StepCounterConfig& counter_cfg,
-                const StrideConfig& stride_cfg, double fs,
-                dsp::Workspace* ws);
+                const StrideConfig& stride_cfg, double fs, dsp::Workspace* ws,
+                Precision precision = Precision::kDouble);
 
   void set_profile(const StrideProfile& profile);
 

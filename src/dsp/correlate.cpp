@@ -9,6 +9,7 @@
 #include "dsp/fft.hpp"
 #include "obs/metrics.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/workspace.hpp"
 
 namespace ptrack::dsp {
@@ -41,22 +42,27 @@ double normalize_lag(double raw, std::size_t n, std::size_t lag, double den) {
   return std::clamp(raw * scale / den, -1.0, 1.0);
 }
 
+/// Demeaned copy of xs in a per-thread buffer: the naive correlators used to
+/// recompute xs[i] - m inside every lag's inner loop; subtracting once turns
+/// each lag into a plain dot product over the deviations.
+std::span<const double> demeaned(std::span<const double> xs, double m) {
+  thread_local std::vector<double> devs;
+  devs.resize(xs.size());
+  simd::sub_scalar(xs, m, devs);
+  return devs;
+}
+
 }  // namespace
 
 double autocorr_at(std::span<const double> xs, std::size_t lag) {
   expects(lag < xs.size(), "autocorr_at: lag < size");
   const std::size_t n = xs.size();
   const double m = stats::mean(xs);
-  double num = 0.0;
-  double den = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d = xs[i] - m;
-    den += d * d;
-  }
+  const double den = simd::sumsq_dev(xs, m);
   if (den == 0.0) return 0.0;
-  for (std::size_t i = 0; i + lag < n; ++i) {
-    num += (xs[i] - m) * (xs[i + lag] - m);
-  }
+  const auto devs = demeaned(xs, m);
+  const double num =
+      simd::dot(devs.first(n - lag), devs.subspan(lag));
   return normalize_lag(num, n, lag, den);
 }
 
@@ -65,20 +71,14 @@ std::vector<double> autocorr_naive(std::span<const double> xs,
   expects(max_lag < xs.size(), "autocorr: max_lag < size");
   const std::size_t n = xs.size();
   const double m = stats::mean(xs);
-  double den = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d = xs[i] - m;
-    den += d * d;
-  }
+  const double den = simd::sumsq_dev(xs, m);
   std::vector<double> out(max_lag + 1, 0.0);
   if (den == 0.0) return out;
+  const auto devs = demeaned(xs, m);
   for (std::size_t lag = 0; lag <= max_lag; ++lag) {
-    double num = 0.0;
-    for (std::size_t i = 0; i + lag < n; ++i) {
-      num += (xs[i] - m) * (xs[i + lag] - m);
-    }
-    out[lag] = normalize_lag(num, n, lag, den);
+    out[lag] = simd::dot(devs.first(n - lag), devs.subspan(lag));
   }
+  simd::normalize_lags(out, n, den, out);
   return out;
 }
 
@@ -91,12 +91,8 @@ std::vector<double> autocorr_fft(std::span<const double> xs,
   // Linear (not circular) correlation up to max_lag needs nfft >= n + max_lag.
   const std::size_t nfft = std::max<std::size_t>(next_pow2(n + max_lag + 1), 2);
   auto& padded = ws.real_scratch(1, nfft);
-  double den = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d = xs[i] - m;
-    den += d * d;
-    padded[i] = d;
-  }
+  const double den = simd::sumsq_dev(xs, m);
+  simd::sub_scalar(xs, m, {padded.data(), n});
   std::fill(padded.begin() + static_cast<std::ptrdiff_t>(n), padded.end(), 0.0);
 
   std::vector<double> out(max_lag + 1, 0.0);
@@ -110,9 +106,7 @@ std::vector<double> autocorr_fft(std::span<const double> xs,
   for (auto& c : spec) c = {std::norm(c), 0.0};
   irfft(spec, plan, padded);
 
-  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
-    out[lag] = normalize_lag(padded[lag], n, lag, den);
-  }
+  simd::normalize_lags({padded.data(), max_lag + 1}, n, den, out);
   return out;
 }
 
@@ -139,23 +133,28 @@ std::vector<double> xcorr_naive(std::span<const double> a,
   const std::size_t n = a.size();
   const double ma = stats::mean(a);
   const double mb = stats::mean(b);
-  double da = 0.0;
-  double db = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    da += (a[i] - ma) * (a[i] - ma);
-    db += (b[i] - mb) * (b[i] - mb);
-  }
+  const double da = simd::sumsq_dev(a, ma);
+  const double db = simd::sumsq_dev(b, mb);
   const double norm = std::sqrt(da * db);
   std::vector<double> out(2 * max_lag + 1, 0.0);
   if (norm == 0.0) return out;
+  // Two per-thread deviation buffers (demeaned() reuses one, so the second
+  // signal gets its own).
+  thread_local std::vector<double> bdevs;
+  bdevs.resize(n);
+  simd::sub_scalar(b, mb, bdevs);
+  const auto adevs = demeaned(a, ma);
   for (std::size_t li = 0; li < out.size(); ++li) {
     const int lag = static_cast<int>(li) - static_cast<int>(max_lag);
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const int j = static_cast<int>(i) + lag;
-      if (j < 0 || j >= static_cast<int>(n)) continue;
-      acc += (a[i] - ma) * (b[static_cast<std::size_t>(j)] - mb);
-    }
+    // The overlap of a[i] with b[i + lag] is a contiguous dot product of
+    // the deviation buffers, offset by |lag| on one side.
+    const std::size_t off = static_cast<std::size_t>(lag >= 0 ? lag : -lag);
+    const std::size_t count = n - off;
+    const double acc =
+        lag >= 0 ? simd::dot(adevs.first(count),
+                             std::span<const double>(bdevs).subspan(off))
+                 : simd::dot(adevs.subspan(off),
+                             std::span<const double>(bdevs).first(count));
     out[li] = acc / norm;
   }
   return out;

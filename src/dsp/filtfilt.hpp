@@ -7,10 +7,12 @@
 
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
 #include "dsp/biquad.hpp"
+#include "dsp/simd.hpp"
 
 namespace ptrack::dsp {
 
@@ -35,6 +37,39 @@ std::vector<double> filtfilt(const BiquadCascade& cascade,
 /// allocating overloads (they delegate here).
 void filtfilt_into(const BiquadCascade& cascade, std::span<const double> xs,
                    std::size_t pad, Workspace& ws, std::vector<double>& out);
+
+/// Zero-phase-filters up to simd::kIirLanes equal-length channels in one
+/// lane-parallel pass (one channel per SIMD lane; IIR recurrences are serial
+/// in time, so batching channels is where the parallelism comes from). Each
+/// output is bit-identical to filtfilt_into() on that channel alone with the
+/// same pad. `outs[c]` must be sized to the channel length and must alias
+/// neither the inputs nor workspace real slot 0. `xs.size() <= kIirLanes`,
+/// `cascade.sections().size() <= 8`.
+void filtfilt_multi_into(const BiquadCascade& cascade,
+                         std::span<const std::span<const double>> xs,
+                         std::size_t pad, Workspace& ws,
+                         std::span<const std::span<double>> outs);
+
+/// Float32 variant of filtfilt_multi_into (float slot 0; coefficients are
+/// narrowed to float once, matching the canonical cascade_multif contract).
+void filtfilt_multif_into(const BiquadCascade& cascade,
+                          std::span<const std::span<const float>> xs,
+                          std::size_t pad, Workspace& ws,
+                          std::span<const std::span<float>> outs);
+
+/// Lane-parallel zero-phase filter returning only each channel's mean over
+/// the unpadded region (entries past xs.size() are zero). The mean is the
+/// plain serial left-to-right sum over the filtered channel divided by its
+/// length — bit-identical to accumulating filtfilt_into()'s output — so the
+/// up-axis estimate is unchanged by the batched path.
+std::array<double, simd::kIirLanes> filtfilt_multi_mean(
+    const BiquadCascade& cascade, std::span<const std::span<const double>> xs,
+    std::size_t pad, Workspace& ws);
+
+/// Float32 variant of filtfilt_multi_mean (accumulates in float).
+std::array<float, simd::kIirLanes> filtfilt_multif_mean(
+    const BiquadCascade& cascade, std::span<const std::span<const float>> xs,
+    std::size_t pad, Workspace& ws);
 
 /// Convenience: zero-phase Butterworth low-pass of the given order.
 std::vector<double> zero_phase_lowpass(std::span<const double> xs,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/simd.hpp"
+
 namespace ptrack::dsp {
 
 namespace {
@@ -33,16 +35,11 @@ double prominence_of(std::span<const double> xs, std::size_t peak) {
   const double h = xs[peak];
   // Walk left until a sample higher than the peak (or the edge); track the
   // minimum on the way. Same to the right. Prominence = h - max(minL, minR).
-  double left_min = h;
-  for (std::size_t i = peak; i-- > 0;) {
-    left_min = std::min(left_min, xs[i]);
-    if (xs[i] > h) break;
-  }
-  double right_min = h;
-  for (std::size_t i = peak + 1; i < xs.size(); ++i) {
-    right_min = std::min(right_min, xs[i]);
-    if (xs[i] > h) break;
-  }
+  // min is exact, so the blockwise SIMD scans match the scalar walks bit
+  // for bit.
+  const double left_min = simd::min_until_greater_bwd(xs.first(peak), h);
+  const double right_min = simd::min_until_greater_fwd(
+      xs.subspan(peak + 1), h);
   return h - std::max(left_min, right_min);
 }
 
@@ -100,8 +97,7 @@ std::vector<std::size_t> find_peaks(std::span<const double> xs,
 std::vector<std::size_t> find_valleys(std::span<const double> xs,
                                       const PeakOptions& opt) {
   std::vector<double> neg(xs.size());
-  std::transform(xs.begin(), xs.end(), neg.begin(),
-                 [](double v) { return -v; });
+  simd::negate(xs, neg);
   PeakOptions nopt = opt;
   if (opt.min_height > -1e300) nopt.min_height = opt.min_height;
   return find_peaks(neg, nopt);

@@ -1,10 +1,13 @@
 #include "dsp/projection.hpp"
 
+#include <array>
 #include <cmath>
 #include <utility>
 
 #include "common/error.hpp"
+#include "dsp/butterworth.hpp"
 #include "dsp/filtfilt.hpp"
+#include "dsp/simd.hpp"
 #include "dsp/workspace.hpp"
 
 namespace ptrack::dsp {
@@ -23,17 +26,13 @@ Vec3 estimate_up_channels(std::span<const double> x, std::span<const double> y,
   const double fc = std::min(cutoff_hz, 0.45 * fs);
   Vec3 g{};
   if (ws) {
-    // One channel at a time through a reused output buffer (slot 1; the
-    // filter's padded scratch lives in slot 0).
-    auto& filtered = ws->real_scratch(1, 0);
-    for (const auto& [chan, comp] :
-         {std::pair{x, &Vec3::x}, std::pair{y, &Vec3::y},
-          std::pair{z, &Vec3::z}}) {
-      zero_phase_lowpass_into(chan, fc, fs, 2, *ws, filtered);
-      double sum = 0.0;
-      for (double v : filtered) sum += v;
-      g.*comp = sum / static_cast<double>(filtered.size());
-    }
+    // All three channels through the lane-parallel zero-phase filter in one
+    // pass (padded scratch in slot 0). Per channel this is bit-identical to
+    // the old one-at-a-time zero_phase_lowpass_into + serial mean.
+    const std::array<std::span<const double>, 3> chans{x, y, z};
+    const auto means = filtfilt_multi_mean(butterworth_lowpass(2, fc, fs),
+                                           chans, 64, *ws);
+    g = {means[0], means[1], means[2]};
   } else {
     const auto lx = zero_phase_lowpass(x, fc, fs, 2);
     const auto ly = zero_phase_lowpass(y, fc, fs, 2);
@@ -134,8 +133,56 @@ Vec3 principal_horizontal_direction(std::span<const double> x,
                                     const Vec3& up) {
   expects(x.size() == y.size() && y.size() == z.size(),
           "principal_horizontal_direction: equal channel lengths");
-  return principal_horizontal_impl(
-      x.size(), [&](std::size_t i) { return Vec3{x[i], y[i], z[i]}; }, up);
+  const std::size_t n = x.size();
+  expects(n > 0, "principal_horizontal_direction: non-empty");
+  Vec3 ref = std::abs(up.z) < 0.9 ? kVertical : kAnterior;
+  const Vec3 e1 = up.cross(ref).normalized();
+  const Vec3 e2 = up.cross(e1).normalized();
+
+  // Horizontal-residual coordinates via the SIMD projection kernel (exact
+  // expression-order replica of the Vec3 arithmetic), then the same serial
+  // reductions as the AoS overload — results are bit-identical to it.
+  thread_local std::vector<double> ta;
+  thread_local std::vector<double> tb;
+  ta.resize(n);
+  tb.resize(n);
+  simd::residual_project(x, y, z, up, e1, ta);
+  simd::residual_project(x, y, z, up, e2, tb);
+
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    m1 += ta[i];
+    m2 += tb[i];
+  }
+  m1 /= static_cast<double>(n);
+  m2 /= static_cast<double>(n);
+  double s11 = 0.0;
+  double s12 = 0.0;
+  double s22 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s11 += (ta[i] - m1) * (ta[i] - m1);
+    s12 += (ta[i] - m1) * (tb[i] - m2);
+    s22 += (tb[i] - m2) * (tb[i] - m2);
+  }
+
+  const double tr = s11 + s22;
+  const double det = s11 * s22 - s12 * s12;
+  const double lambda =
+      0.5 * tr + std::sqrt(std::max(0.25 * tr * tr - det, 0.0));
+  double v1;
+  double v2;
+  if (std::abs(s12) > 1e-12) {
+    v1 = lambda - s22;
+    v2 = s12;
+  } else if (s11 >= s22) {
+    v1 = 1.0;
+    v2 = 0.0;
+  } else {
+    v1 = 0.0;
+    v2 = 1.0;
+  }
+  return (e1 * v1 + e2 * v2).normalized();
 }
 
 ProjectedSignal project(std::span<const Vec3> specific_force, double fs) {

@@ -23,8 +23,8 @@ void check_slots_disjoint(const Buffers& buffers, std::size_t slot) {
 
 }  // namespace
 
-std::vector<std::complex<double>>& Workspace::complex_scratch(std::size_t slot,
-                                                              std::size_t n) {
+AlignedVector<std::complex<double>>& Workspace::complex_scratch(
+    std::size_t slot, std::size_t n) {
   expects(slot < kComplexSlots, "Workspace::complex_scratch: valid slot");
   auto& buf = complex_[slot];
   buf.resize(n);
@@ -32,11 +32,21 @@ std::vector<std::complex<double>>& Workspace::complex_scratch(std::size_t slot,
   return buf;
 }
 
-std::vector<double>& Workspace::real_scratch(std::size_t slot, std::size_t n) {
+AlignedVector<double>& Workspace::real_scratch(std::size_t slot,
+                                               std::size_t n) {
   expects(slot < kRealSlots, "Workspace::real_scratch: valid slot");
   auto& buf = real_[slot];
   buf.resize(n);
   check_slots_disjoint(real_, slot);
+  return buf;
+}
+
+AlignedVector<float>& Workspace::float_scratch(std::size_t slot,
+                                               std::size_t n) {
+  expects(slot < kFloatSlots, "Workspace::float_scratch: valid slot");
+  auto& buf = float_[slot];
+  buf.resize(n);
+  check_slots_disjoint(float_, slot);
   return buf;
 }
 

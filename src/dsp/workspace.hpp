@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "dsp/aligned.hpp"
 #include "dsp/fft.hpp"
 
 namespace ptrack::dsp {
@@ -31,6 +32,7 @@ class Workspace {
  public:
   static constexpr std::size_t kComplexSlots = 2;
   static constexpr std::size_t kRealSlots = 4;
+  static constexpr std::size_t kFloatSlots = 2;
 
   Workspace() = default;
   /// Copying yields a fresh, empty workspace: scratch contents are transient
@@ -42,11 +44,17 @@ class Workspace {
   Workspace& operator=(Workspace&&) = default;
 
   /// Scratch buffer of n complex values (resized, contents unspecified).
-  std::vector<std::complex<double>>& complex_scratch(std::size_t slot,
-                                                     std::size_t n);
+  /// All scratch storage is 64-byte aligned (see dsp/aligned.hpp) so
+  /// SIMD kernels fed from workspace slots start on a cache-line boundary.
+  AlignedVector<std::complex<double>>& complex_scratch(std::size_t slot,
+                                                       std::size_t n);
 
   /// Scratch buffer of n doubles (resized, contents unspecified).
-  std::vector<double>& real_scratch(std::size_t slot, std::size_t n);
+  AlignedVector<double>& real_scratch(std::size_t slot, std::size_t n);
+
+  /// Scratch buffer of n floats (resized, contents unspecified) — backing
+  /// store for the float32 pipeline variant's kernels.
+  AlignedVector<float>& float_scratch(std::size_t slot, std::size_t n);
 
   /// Twiddle tables for a power-of-two FFT size, built on first use and
   /// cached for the lifetime of the workspace. The returned reference stays
@@ -54,8 +62,9 @@ class Workspace {
   const FftPlan& fft_plan(std::size_t nfft);
 
  private:
-  std::array<std::vector<std::complex<double>>, kComplexSlots> complex_;
-  std::array<std::vector<double>, kRealSlots> real_;
+  std::array<AlignedVector<std::complex<double>>, kComplexSlots> complex_;
+  std::array<AlignedVector<double>, kRealSlots> real_;
+  std::array<AlignedVector<float>, kFloatSlots> float_;
   /// Few distinct sizes; linear lookup. unique_ptr keeps plan addresses
   /// stable across cache growth.
   std::vector<std::unique_ptr<FftPlan>> plans_;
