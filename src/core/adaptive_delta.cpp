@@ -73,6 +73,7 @@ AdaptiveDelta otsu_threshold(std::span<const double> offsets,
 AdaptiveDelta tune_delta(const imu::Trace& trace,
                          const StepCounterConfig& cfg,
                          double min_separation) {
+  expects(min_separation >= 0.0, "tune_delta: min_separation >= 0");
   AdaptiveDelta fallback;
   fallback.delta = cfg.delta;
   if (trace.size() < 16) return fallback;

@@ -9,26 +9,34 @@
 
 namespace ptrack::core {
 
-std::vector<CriticalPoint> critical_points(std::span<const double> cycle,
-                                           const CriticalPointOptions& opt,
-                                           bool include_zeros) {
-  std::vector<CriticalPoint> out;
-  if (cycle.size() < 5) return out;
+void critical_points_into(std::span<const double> cycle,
+                          const CriticalPointOptions& opt, bool include_zeros,
+                          std::vector<CriticalPoint>& out) {
+  out.clear();
+  if (cycle.size() < 5) return;
 
-  const std::vector<double> centered = stats::demeaned(cycle);
+  // Per-thread scratch: the demeaned copy and the extrema/crossing index
+  // buffers stop allocating once their high-water capacity is reached (this
+  // runs 2-4 times per candidate cycle on the streaming hot path).
+  thread_local std::vector<double> centered;
+  thread_local std::vector<dsp::Extremum> extrema;
+  thread_local std::vector<std::size_t> zeros;
+  centered.assign(cycle.begin(), cycle.end());
+  stats::demean(centered);
   const double span = stats::max(centered) - stats::min(centered);
   const double rms = stats::rms(centered);
 
   dsp::PeakOptions popt;
   popt.min_prominence =
       std::max(opt.prominence_fraction * span, opt.min_abs_prominence);
-  for (const dsp::Extremum& e : dsp::find_extrema(centered, popt)) {
+  dsp::find_extrema_into(centered, popt, extrema);
+  for (const dsp::Extremum& e : extrema) {
     out.push_back({e.index,
                    e.is_max ? CriticalKind::Maximum : CriticalKind::Minimum});
   }
   if (include_zeros) {
-    for (std::size_t z :
-         dsp::zero_crossings(centered, opt.hysteresis_fraction * rms)) {
+    dsp::zero_crossings_into(centered, opt.hysteresis_fraction * rms, zeros);
+    for (std::size_t z : zeros) {
       out.push_back({z, CriticalKind::Zero});
     }
   }
@@ -48,6 +56,13 @@ std::vector<CriticalPoint> critical_points(std::span<const double> cycle,
                    "critical_points: indices lie inside the cycle");
   PTRACK_COUNT("ptrack.core.critical_points.calls");
   PTRACK_COUNT_N("ptrack.core.critical_points.points", out.size());
+}
+
+std::vector<CriticalPoint> critical_points(std::span<const double> cycle,
+                                           const CriticalPointOptions& opt,
+                                           bool include_zeros) {
+  std::vector<CriticalPoint> out;
+  critical_points_into(cycle, opt, include_zeros, out);
   return out;
 }
 

@@ -51,4 +51,11 @@ std::vector<CriticalPoint> critical_points(
     std::span<const double> cycle, const CriticalPointOptions& opt = {},
     bool include_zeros = true);
 
+/// Reuse-friendly form: clears and refills `out`; allocation-free once the
+/// caller's buffer and the per-thread scratch have warmed up. This is the
+/// variant the per-cycle gait identification uses at steady state.
+void critical_points_into(std::span<const double> cycle,
+                          const CriticalPointOptions& opt, bool include_zeros,
+                          std::vector<CriticalPoint>& out);
+
 }  // namespace ptrack::core

@@ -78,28 +78,30 @@ struct SoaForces {
 };
 
 /// Decomposes pre-computed vertical/anterior raw channels into the final
-/// band-limited ProjectedTrace.
-ProjectedTrace finish(std::vector<double> vertical,
-                      std::vector<double> anterior, double fs,
-                      double lowpass_hz, dsp::Workspace* ws) {
-  ProjectedTrace out;
+/// band-limited ProjectedTrace. `out` is resized in place: a caller that
+/// reuses one ProjectedTrace across hops stops allocating once its channel
+/// capacity has warmed up.
+void finish_into(std::span<const double> vertical,
+                 std::span<const double> anterior, double fs,
+                 double lowpass_hz, dsp::Workspace* ws, ProjectedTrace& out) {
   out.fs = fs;
   const double fc = std::min(lowpass_hz, 0.45 * fs);
+  const std::size_t n = vertical.size();
+  out.vertical.resize(n);
+  out.anterior.resize(n);
   if (ws) {
     // Both channels through the lane-parallel zero-phase filter in one
     // pass; per channel bit-identical to zero_phase_lowpass.
-    const std::size_t n = vertical.size();
-    out.vertical.resize(n);
-    out.anterior.resize(n);
     const std::array<std::span<const double>, 2> ins{vertical, anterior};
     const std::array<std::span<double>, 2> outs{out.vertical, out.anterior};
     dsp::filtfilt_multi_into(dsp::butterworth_lowpass(4, fc, fs), ins, 64,
                              *ws, outs);
   } else {
-    out.vertical = dsp::zero_phase_lowpass(vertical, fc, fs, 4);
-    out.anterior = dsp::zero_phase_lowpass(anterior, fc, fs, 4);
+    const std::vector<double> v = dsp::zero_phase_lowpass(vertical, fc, fs, 4);
+    const std::vector<double> a = dsp::zero_phase_lowpass(anterior, fc, fs, 4);
+    std::copy(v.begin(), v.end(), out.vertical.begin());
+    std::copy(a.begin(), a.end(), out.anterior.begin());
   }
-  return out;
 }
 
 /// Anterior projection of gravity-removed residuals, either with one global
@@ -107,12 +109,12 @@ ProjectedTrace finish(std::vector<double> vertical,
 /// carries the previous window's direction in and the last window's out;
 /// batch callers pass a zero-initialized local (no previous direction).
 template <typename Forces>
-std::vector<double> anterior_channel(const Forces& forces, const UpField& ups,
-                                     double fs, double anterior_window_s,
-                                     Vec3& seam_dir,
-                                     const Vec3* fixed_dir = nullptr) {
+void anterior_channel_into(const Forces& forces, const UpField& ups,
+                           double fs, double anterior_window_s, Vec3& seam_dir,
+                           const Vec3* fixed_dir,
+                           std::vector<double>& anterior) {
   const std::size_t n = forces.size();
-  std::vector<double> anterior(n, 0.0);
+  anterior.assign(n, 0.0);
 
   const auto project_range = [&](std::size_t begin, std::size_t end) {
     const Vec3 up = ups.window_mean(begin, end);
@@ -142,7 +144,7 @@ std::vector<double> anterior_channel(const Forces& forces, const UpField& ups,
 
   if (anterior_window_s <= 0.0) {
     project_range(0, n);
-    return anterior;
+    return;
   }
   const auto window =
       std::max<std::size_t>(32, static_cast<std::size_t>(anterior_window_s * fs));
@@ -154,16 +156,19 @@ std::vector<double> anterior_channel(const Forces& forces, const UpField& ups,
     project_range(begin, end);
     begin = end;
   }
-  return anterior;
 }
 
 template <typename Forces>
-ProjectedTrace project_common(const Forces& forces, double fs,
-                              double lowpass_hz, double anterior_window_s,
-                              const UpField& ups, dsp::Workspace* ws,
-                              Vec3& seam_dir,
-                              const Vec3* fixed_dir = nullptr) {
-  std::vector<double> vertical(forces.size());
+void project_common_into(const Forces& forces, double fs, double lowpass_hz,
+                         double anterior_window_s, const UpField& ups,
+                         dsp::Workspace* ws, Vec3& seam_dir,
+                         const Vec3* fixed_dir, ProjectedTrace& out) {
+  // Raw (pre-filter) channels in per-thread scratch: both are transient
+  // inputs to the zero-phase filter, so reusing them across calls removes
+  // the two per-hop vector constructions the streaming path used to pay.
+  thread_local std::vector<double> vertical;
+  thread_local std::vector<double> anterior;
+  vertical.resize(forces.size());
   bool vertical_done = false;
   if constexpr (std::is_same_v<Forces, SoaForces>) {
     if (ups.is_constant()) {
@@ -177,9 +182,21 @@ ProjectedTrace project_common(const Forces& forces, double fs,
       vertical[i] = forces[i].dot(ups[i]) - kGravity;
     }
   }
-  std::vector<double> anterior = anterior_channel(
-      forces, ups, fs, anterior_window_s, seam_dir, fixed_dir);
-  return finish(std::move(vertical), std::move(anterior), fs, lowpass_hz, ws);
+  anterior_channel_into(forces, ups, fs, anterior_window_s, seam_dir,
+                        fixed_dir, anterior);
+  finish_into(vertical, anterior, fs, lowpass_hz, ws, out);
+}
+
+template <typename Forces>
+ProjectedTrace project_common(const Forces& forces, double fs,
+                              double lowpass_hz, double anterior_window_s,
+                              const UpField& ups, dsp::Workspace* ws,
+                              Vec3& seam_dir,
+                              const Vec3* fixed_dir = nullptr) {
+  ProjectedTrace out;
+  project_common_into(forces, fs, lowpass_hz, anterior_window_s, ups, ws,
+                      seam_dir, fixed_dir, out);
+  return out;
 }
 
 /// Float32 gravity estimate: lane-parallel float filtfilt + per-channel
@@ -263,7 +280,7 @@ ProjectedTrace project_trace(const imu::Trace& trace, double lowpass_hz,
                              double anterior_window_s, dsp::Workspace* ws) {
   expects(trace.size() >= 16, "project_trace: >= 16 samples");
   expects(lowpass_hz > 0.0, "project_trace: lowpass_hz > 0");
-  PTRACK_OBS_SPAN("core.project");
+  PTRACK_OBS_SPAN("ptrack.core.project");
   PTRACK_COUNT("ptrack.core.projections");
   const auto forces = trace.accel_vectors();
   const Vec3 up = dsp::estimate_up(forces, trace.fs());
@@ -278,7 +295,7 @@ ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
                                            dsp::Workspace* ws) {
   expects(trace.size() >= 16, "project_trace_with_attitude: >= 16 samples");
   expects(lowpass_hz > 0.0, "project_trace_with_attitude: lowpass_hz > 0");
-  PTRACK_OBS_SPAN("core.project");
+  PTRACK_OBS_SPAN("ptrack.core.project");
   PTRACK_COUNT("ptrack.core.projections");
   dsp::AttitudeEstimator estimator;
   const double dt = trace.dt();
@@ -294,12 +311,13 @@ ProjectedTrace project_trace_with_attitude(const imu::Trace& trace,
                         ws, seam_dir);
 }
 
-ProjectedTrace project_channels(std::span<const double> ax,
-                                std::span<const double> ay,
-                                std::span<const double> az, double fs,
-                                double lowpass_hz, double anterior_window_s,
-                                std::span<const Vec3> ups, dsp::Workspace* ws,
-                                ProjectionSeam* seam, const AxisHistory& axes) {
+void project_channels_into(std::span<const double> ax,
+                           std::span<const double> ay,
+                           std::span<const double> az, double fs,
+                           double lowpass_hz, double anterior_window_s,
+                           std::span<const Vec3> ups, dsp::Workspace* ws,
+                           ProjectionSeam* seam, const AxisHistory& axes,
+                           ProjectedTrace& out) {
   expects(ax.size() >= 16, "project_channels: >= 16 samples");
   expects(ax.size() == ay.size() && ay.size() == az.size(),
           "project_channels: equal channel lengths");
@@ -311,7 +329,7 @@ ProjectedTrace project_channels(std::span<const double> ax,
           "project_channels: axis spans equal-length and >= 16 samples");
   expects(fs > 0.0, "project_channels: fs > 0");
   expects(lowpass_hz > 0.0, "project_channels: lowpass_hz > 0");
-  PTRACK_OBS_SPAN("core.project");
+  PTRACK_OBS_SPAN("ptrack.core.project");
   PTRACK_COUNT("ptrack.core.projections");
   const SoaForces forces{ax, ay, az};
   Vec3 local_seam{};
@@ -326,29 +344,42 @@ ProjectedTrace project_channels(std::span<const double> ax,
     const Vec3 dir =
         dsp::principal_horizontal_direction(axes.ax, axes.ay, axes.az, up);
     if (ups.empty()) {
-      return project_common(forces, fs, lowpass_hz, anterior_window_s,
-                            UpField(up), ws, seam_dir, &dir);
+      project_common_into(forces, fs, lowpass_hz, anterior_window_s,
+                          UpField(up), ws, seam_dir, &dir, out);
+      return;
     }
-    return project_common(forces, fs, lowpass_hz, anterior_window_s,
-                          UpField(ups), ws, seam_dir, &dir);
+    project_common_into(forces, fs, lowpass_hz, anterior_window_s,
+                        UpField(ups), ws, seam_dir, &dir, out);
+    return;
   }
   if (ups.empty()) {
     const Vec3 up = dsp::estimate_up(ax, ay, az, fs, 0.3, ws);
-    return project_common(forces, fs, lowpass_hz, anterior_window_s,
-                          UpField(up), ws, seam_dir);
+    project_common_into(forces, fs, lowpass_hz, anterior_window_s, UpField(up),
+                        ws, seam_dir, nullptr, out);
+    return;
   }
-  return project_common(forces, fs, lowpass_hz, anterior_window_s,
-                        UpField(ups), ws, seam_dir);
+  project_common_into(forces, fs, lowpass_hz, anterior_window_s, UpField(ups),
+                      ws, seam_dir, nullptr, out);
 }
 
-ProjectedTraceF project_channels_f32(std::span<const float> ax,
-                                     std::span<const float> ay,
-                                     std::span<const float> az, double fs,
-                                     double lowpass_hz,
-                                     double anterior_window_s,
-                                     dsp::Workspace& ws,
-                                     ProjectionSeam* seam,
-                                     const AxisHistoryF& axes) {
+ProjectedTrace project_channels(std::span<const double> ax,
+                                std::span<const double> ay,
+                                std::span<const double> az, double fs,
+                                double lowpass_hz, double anterior_window_s,
+                                std::span<const Vec3> ups, dsp::Workspace* ws,
+                                ProjectionSeam* seam, const AxisHistory& axes) {
+  ProjectedTrace out;
+  project_channels_into(ax, ay, az, fs, lowpass_hz, anterior_window_s, ups, ws,
+                        seam, axes, out);
+  return out;
+}
+
+void project_channels_f32_into(std::span<const float> ax,
+                               std::span<const float> ay,
+                               std::span<const float> az, double fs,
+                               double lowpass_hz, double anterior_window_s,
+                               dsp::Workspace& ws, ProjectionSeam* seam,
+                               const AxisHistoryF& axes, ProjectedTraceF& out) {
   expects(ax.size() >= 16, "project_channels_f32: >= 16 samples");
   expects(ax.size() == ay.size() && ay.size() == az.size(),
           "project_channels_f32: equal channel lengths");
@@ -358,7 +389,7 @@ ProjectedTraceF project_channels_f32(std::span<const float> ax,
           "project_channels_f32: axis spans equal-length and >= 16 samples");
   expects(fs > 0.0, "project_channels_f32: fs > 0");
   expects(lowpass_hz > 0.0, "project_channels_f32: lowpass_hz > 0");
-  PTRACK_OBS_SPAN("core.project");
+  PTRACK_OBS_SPAN("ptrack.core.project");
   PTRACK_COUNT("ptrack.core.projections");
 
   const std::span<const float> hx = axes.empty() ? ax : axes.ax;
@@ -369,8 +400,11 @@ ProjectedTraceF project_channels_f32(std::span<const float> ax,
   Vec3 local_seam{};
   Vec3& seam_dir = seam ? seam->prev_anterior_dir : local_seam;
   const std::size_t n = ax.size();
-  std::vector<float> vertical(n);
-  std::vector<float> anterior(n);
+  // Raw channels in per-thread scratch (see project_common_into).
+  thread_local std::vector<float> vertical;
+  thread_local std::vector<float> anterior;
+  vertical.resize(n);
+  anterior.resize(n);
   dsp::simd::axis_projectf(ax, ay, az, up, static_cast<float>(kGravity),
                            vertical);
 
@@ -409,15 +443,30 @@ ProjectedTraceF project_channels_f32(std::span<const float> ax,
     }
   }
 
-  ProjectedTraceF out;
   out.fs = fs;
   out.vertical.resize(n);
   out.anterior.resize(n);
   const double fc = std::min(lowpass_hz, 0.45 * fs);
-  const std::array<std::span<const float>, 2> ins{vertical, anterior};
+  const std::array<std::span<const float>, 2> ins{std::span<const float>(
+                                                      vertical.data(), n),
+                                                  std::span<const float>(
+                                                      anterior.data(), n)};
   const std::array<std::span<float>, 2> outs{out.vertical, out.anterior};
   dsp::filtfilt_multif_into(dsp::butterworth_lowpass(4, fc, fs), ins, 64, ws,
                             outs);
+}
+
+ProjectedTraceF project_channels_f32(std::span<const float> ax,
+                                     std::span<const float> ay,
+                                     std::span<const float> az, double fs,
+                                     double lowpass_hz,
+                                     double anterior_window_s,
+                                     dsp::Workspace& ws,
+                                     ProjectionSeam* seam,
+                                     const AxisHistoryF& axes) {
+  ProjectedTraceF out;
+  project_channels_f32_into(ax, ay, az, fs, lowpass_hz, anterior_window_s, ws,
+                            seam, axes, out);
   return out;
 }
 

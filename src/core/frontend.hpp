@@ -88,6 +88,18 @@ ProjectedTrace project_channels(std::span<const double> ax,
                                 ProjectionSeam* seam = nullptr,
                                 const AxisHistory& axes = {});
 
+/// Reuse-friendly form of project_channels: fills `out` in place (resizing
+/// its channels), so a caller that keeps one ProjectedTrace across hops
+/// stops allocating once the channel capacity has warmed up. This is the
+/// variant the streaming projection stage calls at steady state.
+void project_channels_into(std::span<const double> ax,
+                           std::span<const double> ay,
+                           std::span<const double> az, double fs,
+                           double lowpass_hz, double anterior_window_s,
+                           std::span<const Vec3> ups, dsp::Workspace* ws,
+                           ProjectionSeam* seam, const AxisHistory& axes,
+                           ProjectedTrace& out);
+
 /// Float32 projection results (see project_channels_f32).
 struct ProjectedTraceF {
   std::vector<float> vertical;
@@ -122,5 +134,14 @@ ProjectedTraceF project_channels_f32(std::span<const float> ax,
                                      dsp::Workspace& ws,
                                      ProjectionSeam* seam = nullptr,
                                      const AxisHistoryF& axes = {});
+
+/// Reuse-friendly float32 form: fills `out` in place (see
+/// project_channels_into).
+void project_channels_f32_into(std::span<const float> ax,
+                               std::span<const float> ay,
+                               std::span<const float> az, double fs,
+                               double lowpass_hz, double anterior_window_s,
+                               dsp::Workspace& ws, ProjectionSeam* seam,
+                               const AxisHistoryF& axes, ProjectedTraceF& out);
 
 }  // namespace ptrack::core

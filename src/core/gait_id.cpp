@@ -24,8 +24,10 @@ CycleAnalysis analyze_cycle(std::span<const double> vertical,
 
   // Anterior-energy gate: a noise-floor anterior channel has no meaningful
   // critical points; force synchrony so the cycle falls through to the
-  // stepping test (which it then fails on the phase gate).
-  if (stats::rms(stats::demeaned(anterior)) < cfg.min_anterior_rms) {
+  // stepping test (which it then fails on the phase gate). stddev ==
+  // rms-of-demeaned term for term (same mean, same squared deviations, same
+  // summation order), without materializing the demeaned copy.
+  if (stats::stddev(anterior) < cfg.min_anterior_rms) {
     out.offset = 0.0;
     out.half_cycle_corr = dsp::autocorr_at(anterior, n / 2);
     out.phase_ok = false;
@@ -41,13 +43,19 @@ CycleAnalysis analyze_cycle(std::span<const double> vertical,
   mopt.prominence_fraction = cfg.match_prominence;
   mopt.min_abs_prominence = cfg.match_abs_prominence;
   mopt.hysteresis_fraction = cfg.match_hysteresis;
-  const auto vq = critical_points(vertical, qopt, /*include_zeros=*/false);
-  const auto am = critical_points(anterior, mopt, /*include_zeros=*/true);
+  // Reused per-thread point buffers: analyze_cycle runs for every candidate
+  // cycle of every hop, so the four point sets must not churn the heap.
+  thread_local std::vector<CriticalPoint> vq;
+  thread_local std::vector<CriticalPoint> am;
+  critical_points_into(vertical, qopt, /*include_zeros=*/false, vq);
+  critical_points_into(anterior, mopt, /*include_zeros=*/true, am);
   out.offset =
       cycle_offset(vq, am, n, cfg.use_weighting, cfg.weight_cap);
   if (cfg.symmetric_offset) {
-    const auto aq = critical_points(anterior, qopt, /*include_zeros=*/false);
-    const auto vm = critical_points(vertical, mopt, /*include_zeros=*/true);
+    thread_local std::vector<CriticalPoint> aq;
+    thread_local std::vector<CriticalPoint> vm;
+    critical_points_into(anterior, qopt, /*include_zeros=*/false, aq);
+    critical_points_into(vertical, mopt, /*include_zeros=*/true, vm);
     out.offset = 0.5 * (out.offset + cycle_offset(aq, vm, n, cfg.use_weighting,
                                                   cfg.weight_cap));
   }
@@ -85,6 +93,9 @@ GaitIdentifier::GaitIdentifier(StepCounterConfig cfg) : cfg_(cfg) {
 
 GaitIdentifier::Decision GaitIdentifier::classify(
     const CycleAnalysis& analysis) {
+  PTRACK_CHECK_MSG(std::isfinite(analysis.offset) &&
+                       std::isfinite(analysis.half_cycle_corr),
+                   "GaitIdentifier::classify: finite cycle analysis");
   const Decision d = classify_impl(analysis);
   switch (d.type) {
     case GaitType::Walking: PTRACK_COUNT("ptrack.core.gait.walking"); break;

@@ -22,7 +22,7 @@ void PTrack::set_profile(const StrideProfile& profile) {
 
 TrackResult PTrack::process(const imu::Trace& trace) const {
   if (trace.size() < 16) return {};
-  PTRACK_OBS_SPAN("core.process");
+  PTRACK_OBS_SPAN("ptrack.core.process");
   PTRACK_COUNT("ptrack.core.traces");
   obs::StageTimer timer;
   if (!cfg_.quality.enabled) return run_pipeline(trace, nullptr);
@@ -92,6 +92,7 @@ PTrackCounterAdapter::PTrackCounterAdapter(PTrackConfig cfg)
 
 models::StepDetection PTrackCounterAdapter::count_steps(
     const imu::Trace& trace) {
+  expects(trace.fs() > 0.0, "count_steps: trace has a sample rate");
   const TrackResult result = tracker_.process(trace);
   models::StepDetection out;
   out.count = result.steps;

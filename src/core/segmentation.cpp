@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "common/stats.hpp"
 
 #include "dsp/peaks.hpp"
@@ -10,6 +11,7 @@ namespace ptrack::core {
 
 std::vector<std::size_t> step_peaks(std::span<const double> vertical,
                                     double fs, const StepCounterConfig& cfg) {
+  expects(fs > 0.0, "step_peaks: fs > 0");
   dsp::PeakOptions opt;
   opt.min_distance = std::max<std::size_t>(
       1, static_cast<std::size_t>(cfg.min_step_interval_s * fs));
@@ -21,6 +23,7 @@ std::vector<std::size_t> step_peaks(std::span<const double> vertical,
 std::vector<CycleCandidate> segment_cycles(std::span<const double> vertical,
                                            double fs,
                                            const StepCounterConfig& cfg) {
+  expects(fs > 0.0, "segment_cycles: fs > 0");
   const auto peaks = step_peaks(vertical, fs, cfg);
   std::vector<CycleCandidate> out;
   if (peaks.size() < 3) return out;

@@ -160,6 +160,7 @@ double train_leg_length(const imu::Trace& trace, double arm_length,
 
 SelfTrainingResult self_train(const imu::Trace& trace, double known_distance,
                               const SelfTrainingConfig& cfg) {
+  expects(known_distance > 0.0, "self_train: known_distance > 0");
   SelfTrainingResult out;
   out.arm_length = train_arm_length(trace, cfg);
   const CycleBank bank = classify_cycles(trace, cfg);

@@ -41,6 +41,8 @@ ProjectionStage::ProjectionStage(const StepCounterConfig& cfg, double fs,
 }
 
 void ProjectionStage::advance(const imu::SampleRing& ring, bool flush) {
+  PTRACK_CHECK_MSG(vert_.end() <= ring.end(),
+                   "ProjectionStage: projected frontier within the ring");
   const std::size_t end = ring.end();
 
   // Attitude mode: the complementary filter is causal, so the up track is
@@ -81,12 +83,13 @@ void ProjectionStage::advance(const imu::SampleRing& ring, bool flush) {
                               ring.ayf(axis_begin, end),
                               ring.azf(axis_begin, end)};
         }
-        const ProjectedTraceF p = project_channels_f32(
+        project_channels_f32_into(
             ring.axf(begin, end), ring.ayf(begin, end), ring.azf(begin, end),
-            fs_, cfg_.lowpass_hz, cfg_.anterior_window_s, *ws_, &seam_, axes);
+            fs_, cfg_.lowpass_hz, cfg_.anterior_window_s, *ws_, &seam_, axes,
+            projf_);
         for (std::size_t i = stable; i < target; ++i) {
-          vert_.push(static_cast<double>(p.vertical[i - begin]));
-          ant_.push(static_cast<double>(p.anterior[i - begin]));
+          vert_.push(static_cast<double>(projf_.vertical[i - begin]));
+          ant_.push(static_cast<double>(projf_.anterior[i - begin]));
         }
       } else {
         AxisHistory axes{};
@@ -94,15 +97,15 @@ void ProjectionStage::advance(const imu::SampleRing& ring, bool flush) {
           axes = AxisHistory{ring.ax(axis_begin, end), ring.ay(axis_begin, end),
                              ring.az(axis_begin, end)};
         }
-        const ProjectedTrace p = project_channels(
+        project_channels_into(
             ring.ax(begin, end), ring.ay(begin, end), ring.az(begin, end), fs_,
             cfg_.lowpass_hz, cfg_.anterior_window_s,
             cfg_.use_attitude_filter ? ups_.span(begin, end)
                                      : std::span<const Vec3>{},
-            ws_, &seam_, axes);
+            ws_, &seam_, axes, proj_);
         for (std::size_t i = stable; i < target; ++i) {
-          vert_.push(p.vertical[i - begin]);
-          ant_.push(p.anterior[i - begin]);
+          vert_.push(proj_.vertical[i - begin]);
+          ant_.push(proj_.anterior[i - begin]);
         }
       }
     }
@@ -141,11 +144,18 @@ SegmentationStage::SegmentationStage(const StepCounterConfig& cfg, double fs)
   PTRACK_CHECK_MSG(
       margin_ >= static_cast<std::size_t>(cfg.min_step_interval_s * fs),
       "SegmentationStage: margin covers the min-distance window");
+  // The consumed-prefix erase below keeps the pending peak list at most
+  // ~64 entries plus one hop's worth of fresh peaks; 256 clears that bound
+  // with headroom so steady-state hops never reallocate (DESIGN.md §15) —
+  // without it the list oscillates right at a power-of-two capacity edge.
+  peaks_.reserve(256);
 }
 
 void SegmentationStage::advance(const Ring<double>& vertical, bool flush,
                                 std::vector<CycleCandidate>& out) {
-  PTRACK_OBS_SPAN("core.segment");
+  PTRACK_OBS_SPAN("ptrack.core.segment");
+  PTRACK_CHECK_MSG(scan_floor_ == 0 || vertical.base() <= scan_floor_,
+                   "SegmentationStage: ring retains the unscanned region");
   const std::size_t end = vertical.end();
   const std::size_t accept_to =
       flush ? end : (end > margin_ ? end - margin_ : 0);
@@ -156,15 +166,15 @@ void SegmentationStage::advance(const Ring<double>& vertical, bool flush,
     opt.min_distance = std::max<std::size_t>(
         1, static_cast<std::size_t>(cfg_.min_step_interval_s * fs_));
     opt.min_prominence = cfg_.min_cycle_prominence;
-    const std::vector<std::size_t> local =
-        dsp::find_peaks(vertical.span(scan_begin, end), opt);
-    for (const std::size_t r : local) {
+    dsp::find_peaks_into(vertical.span(scan_begin, end), opt, scan_scratch_);
+    for (const std::size_t r : scan_scratch_) {
       const std::size_t p = scan_begin + r;
       // Peaks at or before the last finalized one were decided in an
       // earlier scan over identical data (projection output is final);
       // peaks inside the margin wait for more right context.
       if (have_last_final_ && p <= last_final_peak_) continue;
       if (p >= accept_to) break;
+      // ptrack-lint: allow(alloc) bounded by the ctor's reserve(256)
       peaks_.push_back(p);
       last_final_peak_ = p;
       have_last_final_ = true;
@@ -187,6 +197,7 @@ void SegmentationStage::advance(const Ring<double>& vertical, bool flush,
     const std::size_t p2 = peaks_[pair_index_ + 2];
     const bool gaps_ok = (p1 - p0) <= max_gap && (p2 - p1) <= max_gap;
     if (gaps_ok) {
+      // ptrack-lint: allow(alloc) caller-owned hop buffer, steady capacity
       out.push_back({p0, p1, p2});
       pair_index_ += 2;  // non-overlapping cycles
     } else {
@@ -218,6 +229,10 @@ EventAssembler::EventAssembler(const StepCounterConfig& counter_cfg,
   eff_window_ = scfg_.smooth_window;
   if (eff_window_ > 1 && eff_window_ % 2 == 0) ++eff_window_;
   half_ = eff_window_ / 2;
+  // Setup-time reservations: both buffers have config-bounded occupancy,
+  // so sizing them here keeps the steady-state hop allocation-free.
+  withheld_.reserve(static_cast<std::size_t>(ccfg_.streak));
+  median_scratch_.reserve(eff_window_);
 }
 
 void EventAssembler::set_profile(const StrideProfile& profile) {
@@ -230,7 +245,7 @@ void EventAssembler::advance(std::span<const CycleCandidate> fresh,
                              const Ring<double>& anterior,
                              const imu::SampleRing& raw, bool flush,
                              StageStats* stats) {
-  PTRACK_OBS_SPAN("core.count");
+  PTRACK_OBS_SPAN("ptrack.core.count");
   for (const CycleCandidate& c : fresh) {
     obs::StageTimer timer;
     // A gap between candidates breaks any stepping streak; cycles withheld
@@ -263,10 +278,12 @@ void EventAssembler::advance(std::span<const CycleCandidate> fresh,
     if (decision.type == GaitType::Interference) {
       if (decision.withheld) {
         // Provisional: a later streak completion may retro-confirm it.
+        // ptrack-lint: allow(alloc) bounded by the ctor's reserve(streak)
         withheld_.push_back(record);
       } else {
         // Streak broken: earlier withheld cycles are Interference for good.
         resolve_withheld_interference();
+        // ptrack-lint: allow(alloc) steady capacity via per-hop drain
         cycles_out_.push_back(record);
       }
       continue;
@@ -305,6 +322,7 @@ void EventAssembler::advance(std::span<const CycleCandidate> fresh,
 }
 
 void EventAssembler::resolve_withheld_interference() {
+  // ptrack-lint: allow(alloc) steady capacity via per-hop drain
   for (const CycleRecord& w : withheld_) cycles_out_.push_back(w);
   withheld_.clear();
 }
@@ -312,6 +330,11 @@ void EventAssembler::resolve_withheld_interference() {
 void EventAssembler::confirm(CycleRecord record, const Ring<double>& vertical,
                              const Ring<double>& anterior,
                              const imu::SampleRing& raw) {
+  PTRACK_CHECK_MSG(record.begin < record.mid && record.mid < record.end &&
+                       record.end <= vertical.end(),
+                   "EventAssembler::confirm: ordered cycle bounds");
+  // Confirmed-cycle log: steady capacity after the per-hop drain.
+  // ptrack-lint: allow(alloc) steady capacity via per-hop discard_cycles
   cycles_out_.push_back(record);
 
   // Stride estimation reads only the cycle's own span, so estimating at
@@ -323,8 +346,9 @@ void EventAssembler::confirm(CycleRecord record, const Ring<double>& vertical,
   local.end = record.end - record.begin;
   const ChannelSpans spans{vertical.span(record.begin, record.end),
                            anterior.span(record.begin, record.end), fs_};
-  const std::vector<SweepEstimate> estimates =
-      estimator_.estimate_cycle(spans, local);
+  const SweepEstimateSet estimate_set =
+      estimator_.estimate_cycle_set(spans, local);
+  const std::span<const SweepEstimate> estimates = estimate_set.span();
   PTRACK_COUNT_N("ptrack.core.stride.estimates", estimates.size());
 
   const std::size_t bounds[3] = {record.begin, record.mid, record.end};
@@ -360,7 +384,7 @@ void EventAssembler::confirm(CycleRecord record, const Ring<double>& vertical,
       fill = last_positive_;
     }
     ev.stride = fill;
-    pending_events_.push_back(ev);
+    pending_events_.push(ev);
     fills_.push(fill);
     ++events_created_;
   }
@@ -374,6 +398,7 @@ double EventAssembler::smoothed_stride(std::size_t i,
   const std::size_t lo = i >= half_ ? i - half_ : 0;
   const std::size_t hi = std::min(i + half_, n_total - 1);
   median_scratch_.clear();
+  // ptrack-lint: allow(alloc) bounded by the ctor's reserve(eff_window_)
   for (std::size_t k = lo; k <= hi; ++k) median_scratch_.push_back(fills_[k]);
   const auto mid = median_scratch_.begin() +
                    static_cast<std::ptrdiff_t>(median_scratch_.size() / 2);
@@ -385,7 +410,9 @@ double EventAssembler::smoothed_stride(std::size_t i,
 }
 
 void EventAssembler::finalize_events(bool flush) {
-  PTRACK_OBS_SPAN("core.stride");
+  PTRACK_OBS_SPAN("ptrack.core.stride");
+  PTRACK_CHECK_MSG(events_final_ <= events_created_,
+                   "EventAssembler: finalized frontier within created events");
   const std::size_t n = events_created_;
   while (events_final_ < n) {
     const std::size_t i = events_final_;
@@ -408,11 +435,12 @@ void EventAssembler::finalize_events(bool flush) {
       // skips smoothing entirely below 3 events.
       value = n >= 3 ? smoothed_stride(i, n) : fills_[i];
     }
-    StepEvent ev = pending_events_.front();
-    pending_events_.pop_front();
+    StepEvent ev = pending_events_[i];
     ev.stride = value;
+    // ptrack-lint: allow(alloc) steady capacity via per-hop drain_events
     events_out_.push_back(ev);
     ++events_final_;
+    pending_events_.trim_to(events_final_);
     fills_.trim_to(events_final_ > half_ ? events_final_ - half_ : 0);
   }
 }
@@ -423,6 +451,12 @@ std::vector<StepEvent> EventAssembler::take_events() {
 
 std::vector<CycleRecord> EventAssembler::take_cycles() {
   return std::exchange(cycles_out_, {});
+}
+
+void EventAssembler::drain_events(std::vector<StepEvent>& out) {
+  // ptrack-lint: allow(alloc) append into the caller's reserved sink
+  out.insert(out.end(), events_out_.begin(), events_out_.end());
+  events_out_.clear();
 }
 
 std::size_t EventAssembler::min_required() const {
@@ -445,6 +479,8 @@ void StagePipeline::set_profile(const StrideProfile& profile) {
 }
 
 void StagePipeline::advance(const imu::SampleRing& ring, bool flush) {
+  PTRACK_CHECK_MSG(ring.base() <= min_required_index(),
+                   "StagePipeline: ring retains every stage's context");
   ++stats_.advances;
   obs::StageTimer timer;
   projection_.advance(ring, flush);

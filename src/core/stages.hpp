@@ -43,7 +43,6 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <span>
 #include <vector>
 
@@ -130,6 +129,12 @@ class ProjectionStage {
   Ring<double> ant_;
   ProjectionSeam seam_{};
 
+  // Reused per-hop projection outputs: project_channels_into refills them
+  // in place, so re-projection stops allocating once the region capacity
+  // has warmed up.
+  ProjectedTrace proj_{};
+  ProjectedTraceF projf_{};
+
   // Attitude-filter mode: per-sample up track, fed causally.
   Ring<Vec3> ups_;
   dsp::AttitudeEstimator attitude_{};
@@ -157,6 +162,7 @@ class SegmentationStage {
   std::size_t margin_;    ///< peak finalization margin (samples)
 
   std::vector<std::size_t> peaks_;  ///< finalized peaks awaiting pairing
+  std::vector<std::size_t> scan_scratch_;  ///< per-hop peak-scan results
   std::size_t pair_index_ = 0;      ///< batch pairing loop index into peaks_
   std::size_t last_final_peak_ = 0;
   bool have_last_final_ = false;
@@ -187,6 +193,14 @@ class EventAssembler {
   /// Drains finalized cycle records (candidate order; each exactly once).
   std::vector<CycleRecord> take_cycles();
 
+  /// Appends finalized events to `out` and clears the internal buffer
+  /// *keeping its capacity* — the steady-state form (take_events hands the
+  /// buffer away, so the next hop re-grows it from nothing).
+  void drain_events(std::vector<StepEvent>& out);
+  /// Discards finalized cycle records, keeping the buffer capacity (for
+  /// consumers that only want events).
+  void discard_cycles() { cycles_out_.clear(); }
+
   /// Earliest absolute index still needed (withheld cycles' channel spans
   /// and quality flags); SIZE_MAX when nothing is pending.
   [[nodiscard]] std::size_t min_required() const;
@@ -211,9 +225,10 @@ class EventAssembler {
   std::vector<CycleRecord> withheld_;  ///< open streak, <= streak-1 entries
 
   // Pending events: created at confirmation, finalized when their stride
-  // fill and smoothing window are stable. fills_ is indexed by absolute
-  // event number (one stride per event, = the batch post-fill sequence).
-  std::deque<StepEvent> pending_events_;
+  // fill and smoothing window are stable. Both rings are indexed by
+  // absolute event number (one stride per event, = the batch post-fill
+  // sequence); pending_events_ retains [events_final_, events_created_).
+  Ring<StepEvent> pending_events_;
   Ring<double> fills_;
   std::size_t events_created_ = 0;
   std::size_t events_final_ = 0;
@@ -246,6 +261,13 @@ class StagePipeline {
 
   std::vector<StepEvent> take_events() { return assembler_.take_events(); }
   std::vector<CycleRecord> take_cycles() { return assembler_.take_cycles(); }
+
+  /// Capacity-preserving drains (see EventAssembler): the streaming hot
+  /// path uses these so a hop never hands buffer capacity away.
+  void drain_events(std::vector<StepEvent>& out) {
+    assembler_.drain_events(out);
+  }
+  void discard_cycles() { assembler_.discard_cycles(); }
 
   /// Earliest raw absolute index any stage will still read: the caller may
   /// trim_to() its SampleRing to this after draining.

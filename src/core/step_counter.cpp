@@ -26,9 +26,9 @@ TrackResult StepCounter::process_projected(
   const double fs = projected.fs;
   expects(fs > 0.0, "process_projected: fs > 0");
 
-  PTRACK_OBS_SPAN("core.count");
+  PTRACK_OBS_SPAN("ptrack.core.count");
   const auto candidates = [&] {
-    PTRACK_OBS_SPAN("core.segment");
+    PTRACK_OBS_SPAN("ptrack.core.segment");
     return segment_cycles(projected.vertical, fs, cfg_);
   }();
   PTRACK_COUNT_N("ptrack.core.cycles", candidates.size());

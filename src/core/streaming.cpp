@@ -1,7 +1,9 @@
 #include "core/streaming.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/alloc_hooks.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -29,6 +31,7 @@ double validated_fs(double fs, const StreamingConfig& config) {
 
 }  // namespace
 
+// ptrack-lint: allow(entry-check) fs validated by validated_fs() below
 StreamingTracker::StreamingTracker(double fs, StreamingConfig config)
     : fs_(validated_fs(fs, config)),
       config_(config),
@@ -46,6 +49,8 @@ StreamingTracker::StreamingTracker(double fs, StreamingConfig config)
 }
 
 void StreamingTracker::push(const imu::Sample& sample) {
+  PTRACK_CHECK_MSG(samples_since_hop_ < hop_samples_,
+                   "StreamingTracker::push: hop cadence invariant");
   imu::Sample s = sample;
   s.t = next_t_;
   next_t_ += 1.0 / fs_;
@@ -82,25 +87,40 @@ void StreamingTracker::push(const imu::Trace& trace) {
 }
 
 void StreamingTracker::run_hop(bool flush) {
-  PTRACK_OBS_SPAN("streaming.window");
+  PTRACK_CHECK_MSG(ring_.base() <= pipe_.min_required_index(),
+                   "StreamingTracker::run_hop: pipeline context retained");
+  PTRACK_OBS_SPAN("ptrack.streaming.window");
   ++windows_processed_;
   PTRACK_COUNT("ptrack.core.streaming.windows");
 
-  pipe_.advance(ring_, flush);
+  // Steady-state allocation discipline: every incremental (non-flush) hop
+  // after warm-up runs under a NoAllocScope. By default the scope only
+  // counts (visible via alloc::thread_stats()); with enforce_no_alloc and
+  // checks enabled, a stray allocation throws at its call site.
+  const auto mode = (!flush && warmed_up_ && config_.enforce_no_alloc)
+                        ? alloc::NoAllocScope::Mode::kEnforce
+                        : alloc::NoAllocScope::Mode::kCount;
+  {
+    alloc::NoAllocScope guard("StreamingTracker::run_hop", mode);
+    pipe_.advance(ring_, flush);
 
-  // The assembler finalizes events chronologically and never retracts, so
-  // the drained batch appends to ready_ already sorted — no per-hop sort
-  // (and no re-sort of everything already pending, as the recompute path
-  // once did).
-  std::vector<StepEvent> events = pipe_.take_events();
-  ready_.insert(ready_.end(), events.begin(), events.end());
-  pipe_.take_cycles();  // streaming exposes events only
+    // The assembler finalizes events chronologically and never retracts, so
+    // the drained batch appends to ready_ already sorted — no per-hop sort
+    // (and no re-sort of everything already pending, as the recompute path
+    // once did). Capacity-preserving drains keep the hop allocation-free
+    // once ready_ has warmed up.
+    pipe_.drain_events(ready_);
+    pipe_.discard_cycles();  // streaming exposes events only
 
-  // Bounded memory: drop raw samples no stage will read again.
-  ring_.trim_to(std::min(pipe_.min_required_index(), ring_.end()));
+    // Bounded memory: drop raw samples no stage will read again.
+    ring_.trim_to(std::min(pipe_.min_required_index(), ring_.end()));
+  }
+  if (flush) warmed_up_ = true;
 }
 
 void StreamingTracker::push_recompute(const imu::Sample& s) {
+  PTRACK_CHECK_MSG(config_.mode == StreamingConfig::Mode::kRecompute,
+                   "StreamingTracker::push_recompute: recompute-mode entry");
   window_.push_back(s);
 
   // Trim the sliding window.
@@ -118,8 +138,10 @@ void StreamingTracker::push_recompute(const imu::Sample& s) {
 }
 
 void StreamingTracker::process_window(double horizon) {
+  PTRACK_CHECK_MSG(std::isfinite(horizon),
+                   "StreamingTracker::process_window: finite horizon");
   if (window_.size() < 32) return;
-  PTRACK_OBS_SPAN("streaming.window");
+  PTRACK_OBS_SPAN("ptrack.streaming.window");
   ++windows_processed_;
   PTRACK_COUNT("ptrack.core.streaming.windows");
 
@@ -152,16 +174,24 @@ void StreamingTracker::process_window(double horizon) {
 
 std::vector<StepEvent> StreamingTracker::poll() {
   std::vector<StepEvent> out;
-  out.swap(ready_);
-  emitted_steps_ += out.size();
-  PTRACK_COUNT_N("ptrack.core.streaming.events", out.size());
-  for (const StepEvent& e : out) {
-    emitted_distance_ += e.stride;
-    emitted_degraded_ += e.degraded ? 1 : 0;
-  }
+  out.reserve(ready_.size());
+  poll_into(out);
   return out;
 }
 
+// ptrack-lint: allow(entry-check) append-only drain; nothing to validate
+void StreamingTracker::poll_into(std::vector<StepEvent>& out) {
+  out.insert(out.end(), ready_.begin(), ready_.end());
+  emitted_steps_ += ready_.size();
+  PTRACK_COUNT_N("ptrack.core.streaming.events", ready_.size());
+  for (const StepEvent& e : ready_) {
+    emitted_distance_ += e.stride;
+    emitted_degraded_ += e.degraded ? 1 : 0;
+  }
+  ready_.clear();
+}
+
+// ptrack-lint: allow(entry-check) terminal flush is legal in any state
 std::vector<StepEvent> StreamingTracker::finish() {
   if (config_.mode == StreamingConfig::Mode::kRecompute) {
     process_window(next_t_ + 1.0);  // flush: no guard

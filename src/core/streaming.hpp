@@ -70,6 +70,13 @@ struct StreamingConfig {
   /// Mode::kRecompute and with use_attitude_filter (construction throws).
   /// See core::Precision for the accuracy contract.
   Precision precision = Precision::kDouble;
+  /// Arm an alloc::NoAllocScope around every steady-state incremental hop
+  /// (each non-flush advance after the first flush). With PTrack checks
+  /// enabled, any heap allocation inside such a hop then throws
+  /// InvariantViolation at the offending allocation site — the enforcement
+  /// mode of the zero-allocation steady-state contract (DESIGN.md §15).
+  /// Off by default: production streams should count, not throw.
+  bool enforce_no_alloc = false;
 };
 
 /// Lifetime statistics of a StreamingTracker (see stats()). All values are
@@ -110,6 +117,11 @@ class StreamingTracker {
   /// emitted exactly once.
   std::vector<StepEvent> poll();
 
+  /// Appends the confirmed events to `out` instead of returning a fresh
+  /// vector: with a reused `out`, polling is allocation-free at steady
+  /// state (poll() wraps this).
+  void poll_into(std::vector<StepEvent>& out);
+
   /// Flushes all finalization margins at end of stream and returns the
   /// final events. The tracker can keep streaming afterwards (the flush
   /// seam behaves like a stream pause: open stepping streaks are dropped).
@@ -130,6 +142,12 @@ class StreamingTracker {
   [[nodiscard]] double distance() const { return emitted_distance_; }
 
   [[nodiscard]] double fs() const { return fs_; }
+
+  /// Toggles StreamingConfig::enforce_no_alloc at runtime. A typical
+  /// harness streams a warm-up prefix with enforcement off (buffers and
+  /// scratch still growing to steady size), then arms it for the measured
+  /// region.
+  void set_enforce_no_alloc(bool on) { config_.enforce_no_alloc = on; }
 
   /// Snapshot of the tracker's lifetime statistics (hops run, events
   /// emitted, degraded fraction).
@@ -162,6 +180,7 @@ class StreamingTracker {
   std::vector<imu::RepairedSample> repair_buf_;  ///< per-push scratch
   std::size_t hop_samples_;
   std::size_t samples_since_hop_ = 0;
+  bool warmed_up_ = false;  ///< a flush hop has run (buffers are sized)
 
   // --- Recompute mode state ---------------------------------------------
   PTrack pipeline_;

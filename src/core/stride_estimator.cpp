@@ -19,6 +19,32 @@ StrideEstimator::StrideEstimator(StrideConfig cfg) : cfg_(cfg) {
   expects(cfg_.profile.k > 0.0, "StrideEstimator: k > 0");
 }
 
+namespace {
+
+// Fused demean + cumtrapz into a reusable buffer: same mean, same
+// deviation rounding and same summation order as
+// cumtrapz(stats::demeaned(xs), dt), so the result is bit-identical without
+// the intermediate demeaned copy.
+void demeaned_cumtrapz(std::span<const double> xs, double dt,
+                       std::vector<double>& out) {
+  out.resize(xs.size());
+  if (xs.empty()) return;
+  const double m = stats::mean(xs);
+  out[0] = 0.0;
+  double c_prev = xs[0] - m;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double c = xs[i] - m;
+    out[i] = out[i - 1] + 0.5 * (c_prev + c) * dt;
+    c_prev = c;
+  }
+}
+
+std::vector<SweepEstimate> materialize(const SweepEstimateSet& set) {
+  return {set.span().begin(), set.span().end()};
+}
+
+}  // namespace
+
 std::vector<SweepEstimate> StrideEstimator::estimate_cycle(
     const ProjectedTrace& projected, const CycleRecord& cycle) const {
   return estimate_cycle(
@@ -27,6 +53,11 @@ std::vector<SweepEstimate> StrideEstimator::estimate_cycle(
 }
 
 std::vector<SweepEstimate> StrideEstimator::estimate_cycle(
+    const ChannelSpans& channels, const CycleRecord& cycle) const {
+  return materialize(estimate_cycle_set(channels, cycle));
+}
+
+SweepEstimateSet StrideEstimator::estimate_cycle_set(
     const ChannelSpans& channels, const CycleRecord& cycle) const {
   expects(channels.vertical.size() == channels.anterior.size(),
           "estimate_cycle: equal channel lengths");
@@ -45,11 +76,21 @@ std::vector<SweepEstimate> StrideEstimator::estimate_cycle(
     return cycle.type == GaitType::Walking ? walking_cycle(channels, cycle)
                                            : stepping_cycle(channels, cycle);
   }
+  // Streaming-scalar |velocity| maximum: identical recurrence to the
+  // materialized cumtrapz-of-demeaned chain, so the gate decides exactly as
+  // before without building the velocity vector.
   const std::span<const double> ant = channels.anterior.subspan(cycle.begin, n);
-  const std::vector<double> vel =
-      dsp::cumtrapz(stats::demeaned(ant), 1.0 / channels.fs);
+  const double dt = 1.0 / channels.fs;
+  const double m = stats::mean(ant);
   double vmax = 0.0;
-  for (double v : vel) vmax = std::max(vmax, std::abs(v));
+  double c_prev = ant[0] - m;
+  double v_prev = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double c = ant[i] - m;
+    v_prev = v_prev + 0.5 * (c_prev + c) * dt;
+    vmax = std::max(vmax, std::abs(v_prev));
+    c_prev = c;
+  }
 
   if (vmax > cfg_.swing_velocity_threshold) {
     return walking_cycle(channels, cycle);
@@ -62,7 +103,7 @@ std::vector<SweepEstimate> StrideEstimator::estimate_cycle(
   return stepping_cycle(channels, cycle);
 }
 
-std::vector<SweepEstimate> StrideEstimator::walking_cycle(
+SweepEstimateSet StrideEstimator::walking_cycle(
     const ChannelSpans& channels, const CycleRecord& cycle) const {
   const double fs = channels.fs;
   const double dt = 1.0 / fs;
@@ -74,8 +115,11 @@ std::vector<SweepEstimate> StrideEstimator::walking_cycle(
 
   // Arm anterior velocity (mean removal: the cycle bounds sit close to arm
   // reversals, so the reconstructed velocity is near zero at both ends).
-  const std::vector<double> demeaned = stats::demeaned(ant);
-  const std::vector<double> vel = dsp::cumtrapz(demeaned, dt);
+  // Per-thread buffers: one velocity vector and one crossing list per cycle
+  // would otherwise churn the heap on every hop.
+  thread_local std::vector<double> vel;
+  thread_local std::vector<std::size_t> crossings;
+  demeaned_cumtrapz(ant, dt, vel);
 
   // Sweep boundaries are the arm reversals = zero crossings of the arm's
   // anterior velocity; anchor each boundary on a crossing when one exists
@@ -83,7 +127,7 @@ std::vector<SweepEstimate> StrideEstimator::walking_cycle(
   double vmax = 0.0;
   for (double v : vel) vmax = std::max(vmax, std::abs(v));
   if (vmax <= 0.0) return {};
-  const auto crossings = dsp::zero_crossings(vel, 0.05 * vmax);
+  dsp::zero_crossings_into(vel, 0.05 * vmax, crossings);
 
   std::size_t begin_b = 0;
   std::size_t split = 0;
@@ -120,7 +164,8 @@ std::vector<SweepEstimate> StrideEstimator::walking_cycle(
     double h2 = 0.0;
     double d = 0.0;
   };
-  std::vector<SweepMeasure> measures;
+  std::array<SweepMeasure, 2> measures{};
+  std::size_t n_measures = 0;
   const std::array<std::pair<std::size_t, std::size_t>, 2> sweeps{
       {{begin_b, split}, {split, end_b + 1}}};
   for (const auto& [a, b] : sweeps) {
@@ -151,10 +196,10 @@ std::vector<SweepEstimate> StrideEstimator::walking_cycle(
     const std::span<const double> sweep_ant(ant.data() + a, b - a);
     m.d = std::abs(dsp::net_displacement(sweep_ant, dt));
     if (m.d <= 1e-4) continue;
-    measures.push_back(m);
+    measures[n_measures++] = m;
   }
 
-  if (measures.empty()) return {};
+  if (n_measures == 0) return {};
 
   // Aggregate the cycle's sweeps into one geometry solve: the two sweeps
   // observe the same arm geometry and the same bounce, so averaging h1, h2
@@ -164,12 +209,12 @@ std::vector<SweepEstimate> StrideEstimator::walking_cycle(
   double h1 = 0.0;
   double h2 = 0.0;
   double d_cycle = 0.0;
-  for (const SweepMeasure& m : measures) {
-    h1 += m.h1;
-    h2 += m.h2;
-    d_cycle += m.d;
+  for (std::size_t i = 0; i < n_measures; ++i) {
+    h1 += measures[i].h1;
+    h2 += measures[i].h2;
+    d_cycle += measures[i].d;
   }
-  const double count = static_cast<double>(measures.size());
+  const double count = static_cast<double>(n_measures);
   h1 /= count;
   h2 /= count;
   d_cycle /= count;
@@ -188,23 +233,23 @@ std::vector<SweepEstimate> StrideEstimator::walking_cycle(
   // facade must be non-negative even when the solve is flagged invalid.
   PTRACK_CHECK_MSG(sol.bounce >= 0.0 && stride >= 0.0,
                    "walking_cycle: bounce and stride are non-negative");
-  std::vector<SweepEstimate> out;
-  for (const SweepMeasure& m : measures) {
+  SweepEstimateSet out;
+  for (std::size_t i = 0; i < n_measures; ++i) {
     SweepEstimate est;
-    est.t = static_cast<double>(w0 + m.end_index) / fs;
+    est.t = static_cast<double>(w0 + measures[i].end_index) / fs;
     est.bounce = sol.bounce;
     est.valid = sol.valid;
     est.stride = stride;
-    out.push_back(est);
+    out.push(est);
   }
   return out;
 }
 
-std::vector<SweepEstimate> StrideEstimator::stepping_cycle(
+SweepEstimateSet StrideEstimator::stepping_cycle(
     const ChannelSpans& channels, const CycleRecord& cycle) const {
   const double fs = channels.fs;
   const double dt = 1.0 / fs;
-  std::vector<SweepEstimate> out;
+  SweepEstimateSet out;
 
   const std::array<std::pair<std::size_t, std::size_t>, 2> steps{
       {{cycle.begin, cycle.mid}, {cycle.mid, cycle.end}}};
@@ -221,7 +266,7 @@ std::vector<SweepEstimate> StrideEstimator::stepping_cycle(
                                     cfg_.profile.k);
     PTRACK_CHECK_MSG(!est.valid || (est.bounce > 0.0 && est.stride > 0.0),
                      "stepping_cycle: valid estimates carry positive lengths");
-    out.push_back(est);
+    out.push(est);
   }
   return out;
 }

@@ -15,6 +15,10 @@
 
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <span>
+
 #include "core/frontend.hpp"
 #include "core/types.hpp"
 
@@ -26,6 +30,20 @@ struct SweepEstimate {
   double stride = 0.0;  ///< estimated stride (m)
   double bounce = 0.0;  ///< estimated bounce (m)
   bool valid = false;   ///< geometry solve succeeded
+};
+
+/// Fixed-capacity estimate set: a cycle holds at most two steps, so the
+/// per-cycle results fit inline and the streaming hot path never allocates
+/// for them.
+struct SweepEstimateSet {
+  std::array<SweepEstimate, 2> storage{};
+  std::size_t count = 0;
+
+  void push(const SweepEstimate& e) { storage[count++] = e; }
+  [[nodiscard]] std::span<const SweepEstimate> span() const {
+    return {storage.data(), count};
+  }
+  [[nodiscard]] bool empty() const { return count == 0; }
 };
 
 /// Span view over projected vertical/anterior channels: the zero-copy
@@ -52,13 +70,19 @@ class StrideEstimator {
   [[nodiscard]] std::vector<SweepEstimate> estimate_cycle(
       const ChannelSpans& channels, const CycleRecord& cycle) const;
 
+  /// Allocation-free variant (same estimates, inline storage): what the
+  /// streaming event assembler calls per confirmed cycle. The vector
+  /// overloads wrap this.
+  [[nodiscard]] SweepEstimateSet estimate_cycle_set(
+      const ChannelSpans& channels, const CycleRecord& cycle) const;
+
   [[nodiscard]] const StrideConfig& config() const { return cfg_; }
   void set_profile(const StrideProfile& profile) { cfg_.profile = profile; }
 
  private:
-  [[nodiscard]] std::vector<SweepEstimate> walking_cycle(
+  [[nodiscard]] SweepEstimateSet walking_cycle(
       const ChannelSpans& channels, const CycleRecord& cycle) const;
-  [[nodiscard]] std::vector<SweepEstimate> stepping_cycle(
+  [[nodiscard]] SweepEstimateSet stepping_cycle(
       const ChannelSpans& channels, const CycleRecord& cycle) const;
 
   StrideConfig cfg_;

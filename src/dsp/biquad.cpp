@@ -69,8 +69,11 @@ BiquadCoeffs bandpass(double center_hz, double fs, double q) {
 
 std::vector<double> Biquad::process(std::span<const double> xs) {
   std::vector<double> out;
+  // ptrack-lint: push-allow(alloc) batch-only wrapper; streaming uses
+  // the allocation-free incremental path
   out.reserve(xs.size());
   for (double x : xs) out.push_back(step(x));
+  // ptrack-lint: pop-allow(alloc)
   return out;
 }
 
@@ -78,15 +81,20 @@ void Biquad::process_inplace(std::span<double> xs) {
   for (double& x : xs) x = step(x);
 }
 
-BiquadCascade::BiquadCascade(std::vector<BiquadCoeffs> sections) {
-  sections_.reserve(sections.size());
-  for (const auto& c : sections) sections_.emplace_back(c);
+BiquadCascade::BiquadCascade(std::span<const BiquadCoeffs> sections) {
+  expects(sections.size() <= kMaxSections,
+          "BiquadCascade: at most kMaxSections sections");
+  count_ = sections.size();
+  for (std::size_t i = 0; i < count_; ++i) sections_[i] = Biquad(sections[i]);
 }
 
 std::vector<double> BiquadCascade::process(std::span<const double> xs) {
   std::vector<double> out;
+  // ptrack-lint: push-allow(alloc) batch-only wrapper; streaming uses
+  // the allocation-free incremental path
   out.reserve(xs.size());
   for (double x : xs) out.push_back(step(x));
+  // ptrack-lint: pop-allow(alloc)
   return out;
 }
 

@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -63,13 +65,20 @@ class Biquad {
 };
 
 /// A series cascade of biquad sections (e.g. a high-order Butterworth).
+///
+/// Sections live inline (no heap): pedestrian-tracking filters top out at
+/// order 12 (6 sections), so kMaxSections bounds every design this library
+/// can produce, and constructing/copying a cascade on the per-hop path is
+/// allocation-free by construction.
 class BiquadCascade {
  public:
+  static constexpr std::size_t kMaxSections = 8;
+
   BiquadCascade() = default;
-  explicit BiquadCascade(std::vector<BiquadCoeffs> sections);
+  explicit BiquadCascade(std::span<const BiquadCoeffs> sections);
 
   double step(double x) {
-    for (auto& s : sections_) x = s.step(x);
+    for (std::size_t i = 0; i < count_; ++i) x = sections_[i].step(x);
     return x;
   }
 
@@ -80,11 +89,14 @@ class BiquadCascade {
 
   void reset();
 
-  [[nodiscard]] std::size_t order() const { return 2 * sections_.size(); }
-  [[nodiscard]] const std::vector<Biquad>& sections() const { return sections_; }
+  [[nodiscard]] std::size_t order() const { return 2 * count_; }
+  [[nodiscard]] std::span<const Biquad> sections() const {
+    return {sections_.data(), count_};
+  }
 
  private:
-  std::vector<Biquad> sections_;
+  std::array<Biquad, kMaxSections> sections_{};
+  std::size_t count_ = 0;
 };
 
 }  // namespace ptrack::dsp

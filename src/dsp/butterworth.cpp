@@ -11,14 +11,22 @@ namespace {
 
 // Section quality factors of an order-n Butterworth: one section per
 // conjugate pole pair, Q_k = 1 / (2 sin((2k+1)pi/(2n))). An odd order adds a
-// real pole, realized as a degenerate (first-order) biquad.
-std::vector<double> butterworth_qs(int order) {
-  std::vector<double> qs;
-  for (int k = 0; k < order / 2; ++k) {
-    const double theta = (2.0 * k + 1.0) * kPi / (2.0 * order);
-    qs.push_back(1.0 / (2.0 * std::sin(theta)));
+// real pole, realized as a degenerate (first-order) biquad. Order is capped
+// at 12, so the section set always fits BiquadCascade's inline storage and
+// filter design stays heap-free (it runs on the per-hop projection path).
+struct SectionSet {
+  std::array<BiquadCoeffs, BiquadCascade::kMaxSections> coeffs{};
+  std::size_t count = 0;
+
+  void push(const BiquadCoeffs& c) { coeffs[count++] = c; }
+  [[nodiscard]] std::span<const BiquadCoeffs> span() const {
+    return {coeffs.data(), count};
   }
-  return qs;
+};
+
+double butterworth_q(int k, int order) {
+  const double theta = (2.0 * k + 1.0) * kPi / (2.0 * order);
+  return 1.0 / (2.0 * std::sin(theta));
 }
 
 BiquadCoeffs first_order_lowpass(double cutoff_hz, double fs) {
@@ -54,20 +62,20 @@ void check_design(int order, double cutoff_hz, double fs) {
 
 BiquadCascade butterworth_lowpass(int order, double cutoff_hz, double fs) {
   check_design(order, cutoff_hz, fs);
-  std::vector<BiquadCoeffs> sections;
-  for (double q : butterworth_qs(order))
-    sections.push_back(lowpass(cutoff_hz, fs, q));
-  if (order % 2 == 1) sections.push_back(first_order_lowpass(cutoff_hz, fs));
-  return BiquadCascade(std::move(sections));
+  SectionSet sections;
+  for (int k = 0; k < order / 2; ++k)
+    sections.push(lowpass(cutoff_hz, fs, butterworth_q(k, order)));
+  if (order % 2 == 1) sections.push(first_order_lowpass(cutoff_hz, fs));
+  return BiquadCascade(sections.span());
 }
 
 BiquadCascade butterworth_highpass(int order, double cutoff_hz, double fs) {
   check_design(order, cutoff_hz, fs);
-  std::vector<BiquadCoeffs> sections;
-  for (double q : butterworth_qs(order))
-    sections.push_back(highpass(cutoff_hz, fs, q));
-  if (order % 2 == 1) sections.push_back(first_order_highpass(cutoff_hz, fs));
-  return BiquadCascade(std::move(sections));
+  SectionSet sections;
+  for (int k = 0; k < order / 2; ++k)
+    sections.push(highpass(cutoff_hz, fs, butterworth_q(k, order)));
+  if (order % 2 == 1) sections.push(first_order_highpass(cutoff_hz, fs));
+  return BiquadCascade(sections.span());
 }
 
 }  // namespace ptrack::dsp

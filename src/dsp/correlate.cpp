@@ -47,6 +47,7 @@ double normalize_lag(double raw, std::size_t n, std::size_t lag, double den) {
 /// each lag into a plain dot product over the deviations.
 std::span<const double> demeaned(std::span<const double> xs, double m) {
   thread_local std::vector<double> devs;
+  // ptrack-lint: allow(alloc) per-thread scratch; steady capacity
   devs.resize(xs.size());
   simd::sub_scalar(xs, m, devs);
   return devs;
@@ -141,6 +142,7 @@ std::vector<double> xcorr_naive(std::span<const double> a,
   // Two per-thread deviation buffers (demeaned() reuses one, so the second
   // signal gets its own).
   thread_local std::vector<double> bdevs;
+  // ptrack-lint: allow(alloc) per-thread scratch; steady capacity
   bdevs.resize(n);
   simd::sub_scalar(b, mb, bdevs);
   const auto adevs = demeaned(a, ma);
@@ -237,9 +239,49 @@ std::vector<double> xcorr(std::span<const double> a, std::span<const double> b,
 
 int best_lag(std::span<const double> a, std::span<const double> b,
              std::size_t max_lag) {
-  const auto c = xcorr(a, b, max_lag);
-  const auto it = std::max_element(c.begin(), c.end());
-  return static_cast<int>(it - c.begin()) - static_cast<int>(max_lag);
+  if (fft_pays_off(a.size(), 2 * max_lag + 1)) {
+    const auto c = xcorr(a, b, max_lag);
+    const auto it = std::max_element(c.begin(), c.end());
+    return static_cast<int>(it - c.begin()) - static_cast<int>(max_lag);
+  }
+  // Small-input path (every per-cycle gait call lands here): the same lag
+  // loop as xcorr_naive with a running first-max-wins maximum instead of a
+  // materialized correlation vector, so the arg max comes out bit-identical
+  // to max_element over xcorr_naive's output without allocating it.
+  expects(a.size() == b.size(), "xcorr: equal sizes");
+  expects(!a.empty(), "xcorr: non-empty");
+  expects(max_lag < a.size(), "xcorr: max_lag < size");
+  PTRACK_COUNT("ptrack.dsp.xcorr.naive");
+  const std::size_t n = a.size();
+  const double ma = stats::mean(a);
+  const double mb = stats::mean(b);
+  const double da = simd::sumsq_dev(a, ma);
+  const double db = simd::sumsq_dev(b, mb);
+  const double norm = std::sqrt(da * db);
+  if (norm == 0.0) return -static_cast<int>(max_lag);  // all-zero: first wins
+  thread_local std::vector<double> bdevs;
+  // ptrack-lint: allow(alloc) per-thread scratch; steady capacity
+  bdevs.resize(n);
+  simd::sub_scalar(b, mb, bdevs);
+  const auto adevs = demeaned(a, ma);
+  int best = -static_cast<int>(max_lag);
+  double best_val = -2.0;  // below any normalized correlation
+  for (std::size_t li = 0; li < 2 * max_lag + 1; ++li) {
+    const int lag = static_cast<int>(li) - static_cast<int>(max_lag);
+    const std::size_t off = static_cast<std::size_t>(lag >= 0 ? lag : -lag);
+    const std::size_t count = n - off;
+    const double acc =
+        lag >= 0 ? simd::dot(adevs.first(count),
+                             std::span<const double>(bdevs).subspan(off))
+                 : simd::dot(adevs.subspan(off),
+                             std::span<const double>(bdevs).first(count));
+    const double v = acc / norm;
+    if (v > best_val) {
+      best_val = v;
+      best = lag;
+    }
+  }
+  return best;
 }
 
 std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,

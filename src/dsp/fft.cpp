@@ -28,6 +28,7 @@ FftPlan make_fft_plan(std::size_t n) {
   FftPlan plan;
   plan.n = n;
   if (n == 1) return plan;
+  // ptrack-lint: allow(alloc) plan construction (setup; cached by Workspace)
   plan.twiddles.resize(n - 1);
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const double ang = -kTwoPi / static_cast<double>(len);

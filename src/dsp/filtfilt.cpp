@@ -189,6 +189,7 @@ void filtfilt_into(const BiquadCascade& cascade, std::span<const double> xs,
   pad_reflect_into(xs, pad, padded);
   filtfilt_inplace(cascade, padded);
 
+  // ptrack-lint: allow(alloc) refills caller scratch; steady capacity
   out.assign(padded.begin() + static_cast<std::ptrdiff_t>(pad),
              padded.begin() + static_cast<std::ptrdiff_t>(pad + xs.size()));
 }

@@ -49,7 +49,10 @@ std::vector<double> moving_median(std::span<const double> xs, std::size_t w) {
   const std::size_t n = xs.size();
   std::vector<double> out(n);
   std::vector<double> window;
+  // ptrack-lint: allow(alloc) batch-only helper; not on the streaming path
   window.reserve(w);
+  // ptrack-lint: push-allow(alloc) per-window refill of the local scratch
+
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t lo = i >= half ? i - half : 0;
     const std::size_t hi = std::min(i + half, n - 1);
@@ -65,16 +68,19 @@ std::vector<double> moving_median(std::span<const double> xs, std::size_t w) {
       out[i] = 0.5 * (lo_mid + hi_mid);
     }
   }
+  // ptrack-lint: pop-allow(alloc)
   return out;
 }
 
 std::vector<double> ema(std::span<const double> xs, double alpha) {
   expects(alpha > 0.0 && alpha <= 1.0, "ema: alpha in (0,1]");
   std::vector<double> out;
+  // ptrack-lint: allow(alloc) batch-only helper; not on the streaming path
   out.reserve(xs.size());
   double y = xs.empty() ? 0.0 : xs.front();
   for (double x : xs) {
     y = alpha * x + (1.0 - alpha) * y;
+    // ptrack-lint: allow(alloc) appends within the reservation above
     out.push_back(y);
   }
   return out;

@@ -9,11 +9,12 @@ namespace ptrack::dsp {
 
 namespace {
 
-// Raw local maxima, plateau-aware: for a flat top, report the center.
-std::vector<std::size_t> raw_maxima(std::span<const double> xs) {
-  std::vector<std::size_t> out;
+// Raw local maxima appended to `out`, plateau-aware: for a flat top, report
+// the center.
+void raw_maxima_into(std::span<const double> xs, std::vector<std::size_t>& out) {
+  out.clear();
   const std::size_t n = xs.size();
-  if (n < 3) return out;
+  if (n < 3) return;
   std::size_t i = 1;
   while (i + 1 < n) {
     if (xs[i] > xs[i - 1]) {
@@ -21,6 +22,7 @@ std::vector<std::size_t> raw_maxima(std::span<const double> xs) {
       std::size_t j = i;
       while (j + 1 < n && xs[j + 1] == xs[i]) ++j;
       if (j + 1 < n && xs[j + 1] < xs[i]) {
+        // ptrack-lint: allow(alloc) grows caller scratch; steady capacity
         out.push_back((i + j) / 2);
       }
       i = j + 1;
@@ -28,7 +30,6 @@ std::vector<std::size_t> raw_maxima(std::span<const double> xs) {
       ++i;
     }
   }
-  return out;
 }
 
 double prominence_of(std::span<const double> xs, std::size_t peak) {
@@ -48,65 +49,85 @@ void enforce_min_distance(std::span<const double> xs,
                           std::size_t min_distance) {
   if (min_distance <= 1 || peaks.size() < 2) return;
   // Greedy by height: keep taller peaks, drop any neighbor that is too close
-  // to an already kept peak.
-  std::vector<std::size_t> by_height(peaks);
+  // to an already kept peak. Scratch is thread-local so steady-state callers
+  // stop paying per-call allocations once the high-water capacity is reached.
+  thread_local std::vector<std::size_t> by_height;
+  thread_local std::vector<unsigned char> keep;
+  // ptrack-lint: push-allow(alloc) per-thread scratch; steady capacity
+  by_height.assign(peaks.begin(), peaks.end());
   std::sort(by_height.begin(), by_height.end(),
             [&](std::size_t a, std::size_t b) { return xs[a] > xs[b]; });
-  std::vector<bool> keep(peaks.size(), true);
+  keep.assign(peaks.size(), 1);
+  // ptrack-lint: pop-allow(alloc)
   const auto pos_of = [&](std::size_t idx) {
     return static_cast<std::size_t>(
         std::lower_bound(peaks.begin(), peaks.end(), idx) - peaks.begin());
   };
   for (std::size_t idx : by_height) {
     const std::size_t p = pos_of(idx);
-    if (!keep[p]) continue;
+    if (keep[p] == 0) continue;
     // Drop shorter neighbors within min_distance.
     for (std::size_t q = p; q-- > 0;) {
       if (peaks[p] - peaks[q] >= min_distance) break;
-      keep[q] = false;
+      keep[q] = 0;
     }
     for (std::size_t q = p + 1; q < peaks.size(); ++q) {
       if (peaks[q] - peaks[p] >= min_distance) break;
-      keep[q] = false;
+      keep[q] = 0;
     }
   }
-  std::vector<std::size_t> filtered;
+  // In-place compaction of the survivors (stable).
+  std::size_t w = 0;
   for (std::size_t i = 0; i < peaks.size(); ++i)
-    if (keep[i]) filtered.push_back(peaks[i]);
-  peaks.swap(filtered);
+    if (keep[i] != 0) peaks[w++] = peaks[i];
+  // ptrack-lint: allow(alloc) shrinks in place; resize never grows here
+  peaks.resize(w);
 }
 
 }  // namespace
 
-std::vector<std::size_t> find_peaks(std::span<const double> xs,
-                                    const PeakOptions& opt) {
-  std::vector<std::size_t> peaks = raw_maxima(xs);
+void find_peaks_into(std::span<const double> xs, const PeakOptions& opt,
+                     std::vector<std::size_t>& out) {
+  raw_maxima_into(xs, out);
 
   if (opt.min_height > -1e300) {
-    std::erase_if(peaks, [&](std::size_t i) { return xs[i] < opt.min_height; });
+    std::erase_if(out, [&](std::size_t i) { return xs[i] < opt.min_height; });
   }
   if (opt.min_prominence > 0.0) {
-    std::erase_if(peaks, [&](std::size_t i) {
+    std::erase_if(out, [&](std::size_t i) {
       return prominence_of(xs, i) < opt.min_prominence;
     });
   }
-  enforce_min_distance(xs, peaks, opt.min_distance);
+  enforce_min_distance(xs, out, opt.min_distance);
+}
+
+std::vector<std::size_t> find_peaks(std::span<const double> xs,
+                                    const PeakOptions& opt) {
+  std::vector<std::size_t> peaks;
+  find_peaks_into(xs, opt, peaks);
   return peaks;
+}
+
+void find_valleys_into(std::span<const double> xs, const PeakOptions& opt,
+                       std::vector<std::size_t>& out) {
+  thread_local std::vector<double> neg;
+  // ptrack-lint: allow(alloc) per-thread scratch; steady capacity
+  neg.resize(xs.size());
+  simd::negate(xs, neg);
+  find_peaks_into(neg, opt, out);
 }
 
 std::vector<std::size_t> find_valleys(std::span<const double> xs,
                                       const PeakOptions& opt) {
-  std::vector<double> neg(xs.size());
-  simd::negate(xs, neg);
-  PeakOptions nopt = opt;
-  if (opt.min_height > -1e300) nopt.min_height = opt.min_height;
-  return find_peaks(neg, nopt);
+  std::vector<std::size_t> valleys;
+  find_valleys_into(xs, opt, valleys);
+  return valleys;
 }
 
-std::vector<std::size_t> zero_crossings(std::span<const double> xs,
-                                        double hysteresis) {
-  std::vector<std::size_t> out;
-  if (xs.empty()) return out;
+void zero_crossings_into(std::span<const double> xs, double hysteresis,
+                         std::vector<std::size_t>& out) {
+  out.clear();
+  if (xs.empty()) return;
   // State: +1 after confirmed positive excursion, -1 after negative,
   // 0 unknown. The hysteresis only *gates* a crossing; the reported index
   // is the actual sign-change sample, found by backtracking — otherwise
@@ -123,10 +144,17 @@ std::vector<std::size_t> zero_crossings(std::span<const double> xs,
              (side > 0 ? xs[cross - 1] >= 0.0 : xs[cross - 1] <= 0.0)) {
         --cross;
       }
+      // ptrack-lint: allow(alloc) grows caller scratch; steady capacity
       out.push_back(cross);
     }
     state = side;
   }
+}
+
+std::vector<std::size_t> zero_crossings(std::span<const double> xs,
+                                        double hysteresis) {
+  std::vector<std::size_t> out;
+  zero_crossings_into(xs, hysteresis, out);
   return out;
 }
 
@@ -134,16 +162,26 @@ double peak_prominence(std::span<const double> xs, std::size_t peak) {
   return prominence_of(xs, peak);
 }
 
-std::vector<Extremum> find_extrema(std::span<const double> xs,
-                                   const PeakOptions& opt) {
-  const auto maxima = find_peaks(xs, opt);
-  const auto minima = find_valleys(xs, opt);
-  std::vector<Extremum> out;
+void find_extrema_into(std::span<const double> xs, const PeakOptions& opt,
+                       std::vector<Extremum>& out) {
+  thread_local std::vector<std::size_t> maxima;
+  thread_local std::vector<std::size_t> minima;
+  find_peaks_into(xs, opt, maxima);
+  find_valleys_into(xs, opt, minima);
+  out.clear();
+  // ptrack-lint: push-allow(alloc) grows caller scratch; steady capacity
   out.reserve(maxima.size() + minima.size());
   for (std::size_t i : maxima) out.push_back({i, true, xs[i]});
   for (std::size_t i : minima) out.push_back({i, false, xs[i]});
+  // ptrack-lint: pop-allow(alloc)
   std::sort(out.begin(), out.end(),
             [](const Extremum& a, const Extremum& b) { return a.index < b.index; });
+}
+
+std::vector<Extremum> find_extrema(std::span<const double> xs,
+                                   const PeakOptions& opt) {
+  std::vector<Extremum> out;
+  find_extrema_into(xs, opt, out);
   return out;
 }
 

@@ -30,15 +30,32 @@ struct PeakOptions {
 std::vector<std::size_t> find_peaks(std::span<const double> xs,
                                     const PeakOptions& opt = {});
 
+/// Reuse-friendly form: clears and refills `out`. Once `out` (and the
+/// thread-local scratch behind the distance filter) has reached its
+/// high-water capacity, repeated calls stop touching the heap — this is the
+/// variant the steady-state streaming stages use.
+void find_peaks_into(std::span<const double> xs, const PeakOptions& opt,
+                     std::vector<std::size_t>& out);
+
 /// Indices of local minima (peaks of the negated signal).
 std::vector<std::size_t> find_valleys(std::span<const double> xs,
                                       const PeakOptions& opt = {});
+
+/// Reuse-friendly form of find_valleys(); same steady-state contract as
+/// find_peaks_into().
+void find_valleys_into(std::span<const double> xs, const PeakOptions& opt,
+                       std::vector<std::size_t>& out);
 
 /// Indices where the signal crosses zero (sample after the sign change).
 /// `hysteresis` requires the excursion on each side to exceed the given
 /// magnitude before a new crossing is reported, suppressing noise chatter.
 std::vector<std::size_t> zero_crossings(std::span<const double> xs,
                                         double hysteresis = 0.0);
+
+/// Reuse-friendly form of zero_crossings(): clears and refills `out`;
+/// allocation-free once `out` has warmed up.
+void zero_crossings_into(std::span<const double> xs, double hysteresis,
+                         std::vector<std::size_t>& out);
 
 /// One extremum with its kind, used by critical-point analysis.
 struct Extremum {
@@ -51,6 +68,11 @@ struct Extremum {
 /// and spacing filtering applied per kind.
 std::vector<Extremum> find_extrema(std::span<const double> xs,
                                    const PeakOptions& opt = {});
+
+/// Reuse-friendly form of find_extrema(); same steady-state contract as
+/// find_peaks_into().
+void find_extrema_into(std::span<const double> xs, const PeakOptions& opt,
+                       std::vector<Extremum>& out);
 
 /// Prominence of the local maximum at `peak` (see PeakOptions); exposed for
 /// counters that post-filter peaks against locally adaptive thresholds.

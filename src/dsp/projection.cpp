@@ -59,6 +59,8 @@ Vec3 principal_horizontal_impl(std::size_t n, GetForce&& get, const Vec3& up) {
   double m1 = 0.0;
   double m2 = 0.0;
   std::vector<std::pair<double, double>> h;
+  // ptrack-lint: push-allow(alloc) batch axis estimation; the streaming
+  // frontend estimates axes over bounded history at hop rate instead
   h.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Vec3 f = get(i);
@@ -69,6 +71,7 @@ Vec3 principal_horizontal_impl(std::size_t n, GetForce&& get, const Vec3& up) {
     m1 += a;
     m2 += b;
   }
+  // ptrack-lint: pop-allow(alloc)
   m1 /= static_cast<double>(h.size());
   m2 /= static_cast<double>(h.size());
   double s11 = 0.0;
@@ -144,8 +147,10 @@ Vec3 principal_horizontal_direction(std::span<const double> x,
   // reductions as the AoS overload — results are bit-identical to it.
   thread_local std::vector<double> ta;
   thread_local std::vector<double> tb;
+  // ptrack-lint: push-allow(alloc) per-thread scratch; steady capacity
   ta.resize(n);
   tb.resize(n);
+  // ptrack-lint: pop-allow(alloc)
   simd::residual_project(x, y, z, up, e1, ta);
   simd::residual_project(x, y, z, up, e2, tb);
 
@@ -203,6 +208,8 @@ ProjectedSignal project_with_axes(std::span<const Vec3> specific_force,
   out.up = up;
   out.forward = forward;
   const Vec3 side = up.cross(forward).normalized();
+  // ptrack-lint: push-allow(alloc) batch-only AoS projection; the streaming
+  // path projects through the SoA channel frontend
   out.vertical.reserve(specific_force.size());
   out.anterior.reserve(specific_force.size());
   out.lateral.reserve(specific_force.size());
@@ -213,6 +220,7 @@ ProjectedSignal project_with_axes(std::span<const Vec3> specific_force,
     out.anterior.push_back(f.dot(forward));
     out.lateral.push_back(f.dot(side));
   }
+  // ptrack-lint: pop-allow(alloc)
   return out;
 }
 

@@ -26,10 +26,12 @@ std::vector<double> resample_linear(std::span<const double> xs, double fs_in,
   const double duration = static_cast<double>(xs.size() - 1) / fs_in;
   const auto n_out = static_cast<std::size_t>(std::floor(duration * fs_out)) + 1;
   std::vector<double> out;
+  // ptrack-lint: push-allow(alloc) batch-only resampler (load-time use)
   out.reserve(n_out);
   for (std::size_t i = 0; i < n_out; ++i) {
     out.push_back(sample_at(xs, fs_in, static_cast<double>(i) / fs_out));
   }
+  // ptrack-lint: pop-allow(alloc)
   return out;
 }
 

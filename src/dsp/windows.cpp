@@ -48,6 +48,7 @@ std::vector<std::pair<std::size_t, std::size_t>> frame_indices(
   expects(frame >= 1 && hop >= 1, "frame_indices: frame, hop >= 1");
   std::vector<std::pair<std::size_t, std::size_t>> out;
   for (std::size_t begin = 0; begin + frame <= n; begin += hop) {
+    // ptrack-lint: allow(alloc) batch-only framing helper
     out.emplace_back(begin, begin + frame);
   }
   return out;

@@ -27,6 +27,7 @@ AlignedVector<std::complex<double>>& Workspace::complex_scratch(
     std::size_t slot, std::size_t n) {
   expects(slot < kComplexSlots, "Workspace::complex_scratch: valid slot");
   auto& buf = complex_[slot];
+  // ptrack-lint: allow(alloc) workspace scratch; steady capacity
   buf.resize(n);
   check_slots_disjoint(complex_, slot);
   return buf;
@@ -36,6 +37,7 @@ AlignedVector<double>& Workspace::real_scratch(std::size_t slot,
                                                std::size_t n) {
   expects(slot < kRealSlots, "Workspace::real_scratch: valid slot");
   auto& buf = real_[slot];
+  // ptrack-lint: allow(alloc) workspace scratch; steady capacity
   buf.resize(n);
   check_slots_disjoint(real_, slot);
   return buf;
@@ -45,6 +47,7 @@ AlignedVector<float>& Workspace::float_scratch(std::size_t slot,
                                                std::size_t n) {
   expects(slot < kFloatSlots, "Workspace::float_scratch: valid slot");
   auto& buf = float_[slot];
+  // ptrack-lint: allow(alloc) workspace scratch; steady capacity
   buf.resize(n);
   check_slots_disjoint(float_, slot);
   return buf;
@@ -60,6 +63,7 @@ const FftPlan& Workspace::fft_plan(std::size_t nfft) {
     }
   }
   PTRACK_COUNT("ptrack.dsp.fft_plan.misses");
+  // ptrack-lint: allow(alloc) first-use plan construction; cached forever
   plans_.push_back(std::make_unique<FftPlan>(make_fft_plan(nfft)));
   // Plans are cached by exact size and never evicted: one entry per size.
   PTRACK_CHECK_MSG(plans_.back()->n == nfft,

@@ -358,14 +358,14 @@ void count_quality(const QualityReport& report) {
 }  // namespace
 
 QualityReport assess(const Trace& trace, const QualityConfig& cfg) {
-  PTRACK_OBS_SPAN("imu.quality");
+  PTRACK_OBS_SPAN("ptrack.imu.quality");
   QualityReport report = analyze(trace, cfg, nullptr);
   count_quality(report);
   return report;
 }
 
 QualityResult assess_and_repair(const Trace& trace, const QualityConfig& cfg) {
-  PTRACK_OBS_SPAN("imu.quality");
+  PTRACK_OBS_SPAN("ptrack.imu.quality");
   std::vector<Sample> samples = trace.samples();
   QualityReport report = analyze(trace, cfg, &samples);
   count_quality(report);
@@ -382,6 +382,7 @@ IncrementalQuality::IncrementalQuality(double fs, QualityConfig cfg)
   validate(cfg_);
   max_fill_ =
       static_cast<std::size_t>(std::llround(cfg_.max_fill_s * fs_));
+  pending_.reserve(latency_bound() + 1);
 }
 
 void IncrementalQuality::detect_on_push(const Sample& s, std::uint8_t& flags) {
@@ -587,7 +588,7 @@ void IncrementalQuality::finalize_ready(std::vector<RepairedSample>& out,
         break;
       }
       const Pending front = pending_.front();
-      pending_.pop_front();
+      pending_.erase(pending_.begin(), pending_.begin() + 1);
       emit(front.s, front.s, front.flags, out);
       continue;
     }

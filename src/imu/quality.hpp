@@ -20,7 +20,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -231,7 +230,10 @@ class IncrementalQuality {
   double fs_;
   std::size_t max_fill_;
 
-  std::deque<Pending> pending_;
+  // Bounded hold-back buffer (<= latency_bound() entries, reserved at
+  // construction): a vector keeps the steady-state push path allocation-free;
+  // the head erase is O(latency_bound), i.e. a handful of moves.
+  std::vector<Pending> pending_;
 
   // Held-run (dropout) tracking over the raw stream.
   Sample prev_raw_{};

@@ -7,6 +7,8 @@
 
 namespace ptrack::imu {
 
+// ptrack-lint: push-allow(alloc) amortized channel growth; the dead prefix
+// is compacted by trim_to, so capacity plateaus at the retention window
 void SampleRing::push(const Sample& s, std::uint8_t flags) {
   ax_.push_back(s.accel.x);
   ay_.push_back(s.accel.y);
@@ -21,12 +23,14 @@ void SampleRing::push(const Sample& s, std::uint8_t flags) {
     azf_.push_back(static_cast<float>(s.accel.z));
   }
 }
+// ptrack-lint: pop-allow(alloc)
 
 void SampleRing::enable_f32() {
   if (f32_) return;
   f32_ = true;
   const auto mirror = [](const std::vector<double>& src,
                          std::vector<float>& dst) {
+    // ptrack-lint: allow(alloc) one-shot mode switch before streaming
     dst.resize(src.size());
     for (std::size_t i = 0; i < src.size(); ++i) {
       dst[i] = static_cast<float>(src[i]);

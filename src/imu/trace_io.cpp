@@ -81,7 +81,7 @@ Trace trace_from_document(const csv::Document& doc, const std::string& name) {
 }
 
 Trace load_csv(const std::string& path) {
-  PTRACK_OBS_SPAN("imu.load_csv");
+  PTRACK_OBS_SPAN("ptrack.imu.load_csv");
   Trace trace = trace_from_document(csv::read(path), path);
   PTRACK_COUNT("ptrack.imu.load.traces");
   return trace;

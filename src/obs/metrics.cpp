@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/alloc_hooks.hpp"
 #include "common/error.hpp"
 
 namespace ptrack::obs {
@@ -167,7 +168,14 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second;
 }
 
-void Registry::write_json(json::Writer& w) const {
+void Registry::write_json(json::Writer& w) {
+  // Sample the allocation-hook gauges before taking the lock (gauge()
+  // locks the same mutex on first registration).
+  gauge("ptrack.common.alloc.live_allocations")
+      .set(static_cast<double>(alloc::live_allocations()));
+  gauge("ptrack.common.alloc.live_bytes")
+      .set(static_cast<double>(alloc::live_bytes()));
+
   std::lock_guard<std::mutex> lk(mutex_);
   w.begin_object();
   w.key("counters").begin_object();

@@ -159,7 +159,10 @@ class Registry {
   /// {"counters":{name:n,...},"gauges":{...},"histograms":{name:
   ///  {"count":n,"sum":s,"buckets":[{"le":b,"count":n},...],
   ///   "overflow":n},...}}. Names are emitted sorted (deterministic).
-  void write_json(json::Writer& w) const;
+  /// Non-const: scrape time is when the live-allocation gauges
+  /// (`ptrack.common.alloc.live_{allocations,bytes}`) are sampled from the
+  /// alloc hooks into the registry.
+  void write_json(json::Writer& w);
 
   /// Zeroes every registered metric (tests and benches; not thread-safe
   /// against concurrent writers beyond the per-cell atomicity).

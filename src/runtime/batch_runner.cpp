@@ -30,7 +30,7 @@ std::vector<TraceResult> BatchRunner::run(
   std::vector<TraceResult> results(traces.size());
   if (traces.empty()) return results;
 
-  PTRACK_OBS_SPAN("runtime.batch");
+  PTRACK_OBS_SPAN("ptrack.runtime.batch");
   PTRACK_COUNT("ptrack.runtime.batch.runs");
   // The obs decision is latched once per batch so a mid-run toggle cannot
   // produce half-measured tasks, and the disabled path never reads clocks.
@@ -50,7 +50,7 @@ std::vector<TraceResult> BatchRunner::run(
   pool_.run(traces.size(), [&](std::size_t task, std::size_t worker) {
     PTRACK_CHECK_MSG(task < results.size() && worker < trackers.size(),
                      "BatchRunner: task and worker indices in range");
-    PTRACK_OBS_SPAN("runtime.task");
+    PTRACK_OBS_SPAN("ptrack.runtime.task");
     const std::uint64_t task_start_ns = obs_on ? obs::now_ns() : 0;
     // Exceptions are converted to values here, inside the task, so one bad
     // trace cannot poison the pool (ThreadPool rethrows escaped exceptions

@@ -1,0 +1,83 @@
+// Contracts of the aligned DSP scratch storage (dsp/aligned.hpp) and the
+// SIMD dispatcher's ISA clamping (dsp/simd.hpp force_isa): alignment is a
+// performance promise the allocator must actually deliver, and forcing an
+// ISA the CPU lacks must select the scalar fallback, never an illegal
+// instruction path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "dsp/aligned.hpp"
+#include "dsp/simd.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return reinterpret_cast<std::uintptr_t>(p) % align == 0;
+}
+
+}  // namespace
+
+TEST(AlignedAllocator, DeliversRequestedAlignment) {
+  dsp::AlignedVector<double> v(1, 0.0);
+  for (std::size_t n : {1u, 3u, 64u, 1000u, 4097u}) {
+    v.assign(n, 1.5);
+    ASSERT_TRUE(aligned_to(v.data(), 64)) << "n = " << n;
+    EXPECT_EQ(v.back(), 1.5);
+  }
+  // A non-default alignment parameter is honored too.
+  std::vector<float, dsp::AlignedAllocator<float, 128>> w(33, 2.0F);
+  EXPECT_TRUE(aligned_to(w.data(), 128));
+}
+
+TEST(AlignedAllocator, RebindPreservesAlignment) {
+  using A = dsp::AlignedAllocator<double, 64>;
+  using R = A::rebind<float>::other;
+  static_assert(std::is_same_v<R, dsp::AlignedAllocator<float, 64>>);
+  // Rebound copies compare equal (stateless allocator family).
+  A a;
+  R r(a);
+  EXPECT_TRUE(r == R{});
+  float* p = r.allocate(17);
+  EXPECT_TRUE(aligned_to(p, 64));
+  r.deallocate(p, 17);
+}
+
+TEST(AlignedAllocator, MovePropagatesStorage) {
+  dsp::AlignedVector<double> src(257, 3.25);
+  const double* data = src.data();
+  dsp::AlignedVector<double> dst = std::move(src);
+  // Stateless equal allocators: the move steals the buffer outright.
+  EXPECT_EQ(dst.data(), data);
+  EXPECT_EQ(dst.size(), 257u);
+  EXPECT_EQ(dst[0], 3.25);
+  EXPECT_TRUE(aligned_to(dst.data(), 64));
+}
+
+TEST(SimdDispatch, ForcingALackingIsaFallsBackToScalar) {
+  const dsp::simd::Isa det = dsp::simd::detected();
+  for (const dsp::simd::Isa isa :
+       {dsp::simd::Isa::kAvx2, dsp::simd::Isa::kNeon}) {
+    if (isa == det) continue;  // this CPU supports it; nothing to reject
+    dsp::simd::force_isa(isa);
+    EXPECT_EQ(dsp::simd::active(), dsp::simd::Isa::kScalar)
+        << "forcing " << dsp::simd::isa_name(isa)
+        << " on a CPU that lacks it must clamp to the scalar fallback";
+  }
+  dsp::simd::force_isa(det);  // restore for any later test in this binary
+  EXPECT_EQ(dsp::simd::active(), det);
+}
+
+TEST(SimdDispatch, ForcingScalarAlwaysWorks) {
+  const dsp::simd::Isa det = dsp::simd::detected();
+  dsp::simd::force_isa(dsp::simd::Isa::kScalar);
+  EXPECT_EQ(dsp::simd::active(), dsp::simd::Isa::kScalar);
+  dsp::simd::force_isa(det);
+  EXPECT_EQ(dsp::simd::active(), det);
+}

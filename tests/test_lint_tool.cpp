@@ -1,0 +1,248 @@
+// End-to-end test of the ptrack_lint binary (tools/ptrack_lint.cpp): builds
+// small fixture trees with deliberate violations of each rule, runs the real
+// tool through std::system (located via the PTRACK_LINT_PATH compile
+// definition) and checks exit codes, human output and the JSON report.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int run_lint(const std::string& args, std::string* output = nullptr) {
+  // Per-process capture file: ctest runs each discovered case as its own
+  // process, possibly in parallel, so a shared name would interleave.
+#ifdef _WIN32
+  const long pid = 0;
+#else
+  const long pid = static_cast<long>(::getpid());
+#endif
+  const fs::path out_file =
+      fs::temp_directory_path() /
+      ("ptrack_lint_test_stdout." + std::to_string(pid) + ".txt");
+  const std::string cmd = std::string(PTRACK_LINT_PATH) + " " + args + " > " +
+                          out_file.string() + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (output != nullptr) {
+    std::ifstream in(out_file);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    *output = ss.str();
+  }
+#ifdef _WIN32
+  return status;
+#else
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#endif
+}
+
+fs::path fixture_dir(const std::string& tag) {
+  const fs::path dir = fs::temp_directory_path() / ("ptrack_lint_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void write_text(const fs::path& p, const std::string& text) {
+  fs::create_directories(p.parent_path());
+  std::ofstream out(p);
+  ASSERT_TRUE(out.is_open());
+  out << text;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+TEST(PtrackLint, CleanTreeExitsZero) {
+  const fs::path dir = fixture_dir("clean");
+  write_text(dir / "core" / "thing.cpp",
+             "#include \"thing.hpp\"\n"
+             "namespace ptrack::core {\n"
+             "void process(int n) {\n"
+             "  expects(n > 0, \"process: n > 0\");\n"
+             "  for (int i = 0; i < n; ++i) { consume(i); }\n"
+             "  finish(n); more(n); even_more(n); and_more(n); tail(n);\n"
+             "}\n"
+             "}\n");
+  write_text(dir / "core" / "thing.hpp",
+             "#pragma once\nnamespace ptrack::core { void process(int); }\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 0) << out;
+  EXPECT_NE(out.find("0 findings"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, AllocRuleFlagsGrowthInHotTus) {
+  const fs::path dir = fixture_dir("alloc");
+  // dsp/*.cpp is a hot-path TU: bare push_back outside a ctor must fire.
+  write_text(dir / "dsp" / "filt.cpp",
+             "namespace ptrack::dsp {\n"
+             "void filt(std::vector<double>& out) {\n"
+             "  out.push_back(1.0);\n"
+             "}\n"
+             "}\n");
+  // The same call in a non-hot TU is fine.
+  write_text(dir / "synth" / "gen.cpp",
+             "namespace ptrack::synth {\n"
+             "void gen(std::vector<double>& out) { out.push_back(1.0); }\n"
+             "}\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 1) << out;
+  EXPECT_NE(out.find("[alloc]"), std::string::npos) << out;
+  EXPECT_NE(out.find("filt.cpp:3"), std::string::npos) << out;
+  EXPECT_EQ(out.find("gen.cpp"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, AllocRuleExemptsConstructorsAndHonorsDirectives) {
+  const fs::path dir = fixture_dir("alloc_exempt");
+  write_text(dir / "dsp" / "stage.cpp",
+             "namespace ptrack::dsp {\n"
+             "Stage::Stage(std::size_t n) {\n"
+             "  buf_.reserve(n);\n"  // ctor: reserved setup, exempt
+             "}\n"
+             "void Stage::run() {\n"
+             "  // ptrack-lint: allow(alloc) amortized into reserved scratch\n"
+             "  buf_.push_back(0.0);\n"
+             "  scratch_.resize(8);\n"  // NOT covered: two lines below
+             "}\n"
+             "}\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 1) << out;
+  // Only the resize escapes the directive's one-line reach.
+  EXPECT_EQ(out.find("push_back"), std::string::npos) << out;
+  EXPECT_EQ(out.find("reserve"), std::string::npos) << out;
+  EXPECT_NE(out.find("resize"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, PushPopAllowCoversARegion) {
+  const fs::path dir = fixture_dir("pushpop");
+  write_text(dir / "dsp" / "ring.cpp",
+             "namespace ptrack::dsp {\n"
+             "// ptrack-lint: push-allow(alloc) amortized ring growth\n"
+             "void Ring::push(double x) {\n"
+             "  a_.push_back(x);\n"
+             "  b_.push_back(x);\n"
+             "}\n"
+             "// ptrack-lint: pop-allow(alloc)\n"
+             "void Ring::other() { c_.push_back(1.0); }\n"
+             "}\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 1) << out;
+  EXPECT_EQ(out.find("ring.cpp:4"), std::string::npos) << out;
+  EXPECT_EQ(out.find("ring.cpp:5"), std::string::npos) << out;
+  EXPECT_NE(out.find("ring.cpp:8"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, UnbalancedPushAllowIsAFinding) {
+  const fs::path dir = fixture_dir("unbalanced");
+  write_text(dir / "util.cpp",
+             "// ptrack-lint: push-allow(alloc) never closed\n"
+             "namespace ptrack { void f() {} }\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 1) << out;
+  EXPECT_NE(out.find("never closed by pop-allow"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, SpanNameRuleRequiresDottedLiteral) {
+  const fs::path dir = fixture_dir("span");
+  write_text(dir / "obs_user.cpp",
+             "namespace ptrack {\n"
+             "void a() { PTRACK_OBS_SPAN(\"ptrack.core.project\"); }\n"
+             "void b() { PTRACK_OBS_SPAN(\"core.project\"); }\n"
+             "void c() { PTRACK_OBS_SPAN(name_variable); }\n"
+             "}\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 1) << out;
+  EXPECT_EQ(out.find("obs_user.cpp:2"), std::string::npos) << out;
+  EXPECT_NE(out.find("obs_user.cpp:3"), std::string::npos) << out;
+  EXPECT_NE(out.find("obs_user.cpp:4"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, EntryCheckRuleWantsGuardsInCoreCpp) {
+  const fs::path dir = fixture_dir("entry");
+  write_text(dir / "core" / "api.cpp",
+             "namespace ptrack::core {\n"
+             "void guarded(int n) {\n"
+             "  expects(n > 0, \"n > 0\");\n"
+             "  aa(n); bb(n); cc(n); dd(n); ee(n); ff(n); gg(n); hh(n);\n"
+             "  ii(n); jj(n); kk(n); ll(n); mm(n); nn(n); oo(n); pp(n);\n"
+             "}\n"
+             "void unguarded(int n) {\n"
+             "  aa(n); bb(n); cc(n); dd(n); ee(n); ff(n); gg(n); hh(n);\n"
+             "  ii(n); jj(n); kk(n); ll(n); mm(n); nn(n); oo(n); pp(n);\n"
+             "}\n"
+             "void trivial(int n) { aa(n); }\n"  // tiny body: exempt
+             "namespace {\n"
+             "void helper(int n) {\n"  // anonymous namespace: exempt
+             "  aa(n); bb(n); cc(n); dd(n); ee(n); ff(n); gg(n); hh(n);\n"
+             "  ii(n); jj(n); kk(n); ll(n); mm(n); nn(n); oo(n); pp(n);\n"
+             "}\n"
+             "}\n"
+             "}\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 1) << out;
+  EXPECT_NE(out.find("'unguarded'"), std::string::npos) << out;
+  EXPECT_EQ(out.find("'guarded'"), std::string::npos) << out;
+  EXPECT_EQ(out.find("'trivial'"), std::string::npos) << out;
+  EXPECT_EQ(out.find("'helper'"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, HeaderRuleWantsPragmaOnceAndNoUsingNamespace) {
+  const fs::path dir = fixture_dir("header");
+  write_text(dir / "good.hpp", "#pragma once\nnamespace ptrack {}\n");
+  write_text(dir / "bad.hpp",
+             "namespace ptrack {}\nusing namespace std;\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 1) << out;
+  EXPECT_NE(out.find("missing #pragma once"), std::string::npos) << out;
+  EXPECT_NE(out.find("using namespace"), std::string::npos) << out;
+  EXPECT_EQ(out.find("good.hpp"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, JsonReportIsMachineReadable) {
+  const fs::path dir = fixture_dir("report");
+  write_text(dir / "dsp" / "x.cpp",
+             "namespace ptrack::dsp { void f(V& v) { v.resize(3); } }\n");
+  const fs::path report = dir / "report.json";
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string() + " --report " + report.string(), &out), 1)
+      << out;
+  const std::string json = slurp(report);
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\": \"alloc\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos) << json;
+
+  // A clean tree writes clean: true with an empty findings array.
+  const fs::path clean = fixture_dir("report_clean");
+  write_text(clean / "ok.hpp", "#pragma once\n");
+  EXPECT_EQ(
+      run_lint(clean.string() + " --report " + report.string(), &out), 0)
+      << out;
+  const std::string clean_json = slurp(report);
+  EXPECT_NE(clean_json.find("\"clean\": true"), std::string::npos)
+      << clean_json;
+  EXPECT_NE(clean_json.find("\"findings\": []"), std::string::npos)
+      << clean_json;
+}
+
+TEST(PtrackLint, UsageErrorsExitTwo) {
+  std::string out;
+  EXPECT_EQ(run_lint("", &out), 2);
+  EXPECT_EQ(run_lint("--bogus-flag", &out), 2);
+  EXPECT_EQ(run_lint("/nonexistent/path/xyz", &out), 2);
+}

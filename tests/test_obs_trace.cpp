@@ -156,10 +156,10 @@ TEST(ObsTrace, PipelineRunLeavesStageSpansAndTiming) {
 
   const auto closed = balanced_span_counts(exported_trace());
 #if PTRACK_OBS_ENABLED
-  EXPECT_GE(closed.at("core.process"), 1u);
-  EXPECT_GE(closed.at("core.project"), 1u);
-  EXPECT_GE(closed.at("core.count"), 1u);
-  EXPECT_GE(closed.at("imu.quality"), 1u);
+  EXPECT_GE(closed.at("ptrack.core.process"), 1u);
+  EXPECT_GE(closed.at("ptrack.core.project"), 1u);
+  EXPECT_GE(closed.at("ptrack.core.count"), 1u);
+  EXPECT_GE(closed.at("ptrack.imu.quality"), 1u);
 
   EXPECT_GT(result.timing.quality_us, 0.0);
   EXPECT_GT(result.timing.project_us, 0.0);

@@ -18,7 +18,7 @@
 //   - per tid the B/E events nest like balanced parentheses (matching
 //     names), with nothing left open — the invariant the exporter's
 //     re-balancing promises;
-//   - unless --allow-empty, at least one "core.process" span is present.
+//   - unless --allow-empty, at least one "ptrack.core.process" span is present.
 //
 // Exit code 0 when everything holds, 1 with a message on the first
 // violation — cheap enough to run on every CI batch smoke.
@@ -194,7 +194,7 @@ int check_trace(const std::string& path, bool allow_empty) {
       }
       stack.pop_back();
       ++spans;
-      if (name == "core.process") saw_process = true;
+      if (name == "ptrack.core.process") saw_process = true;
     }
   }
   for (const auto& [tid, stack] : stacks) {
@@ -209,7 +209,7 @@ int check_trace(const std::string& path, bool allow_empty) {
     return 1;
   }
   if (!allow_empty && !saw_process) {
-    std::cerr << "obs_check: " << path << ": no core.process span\n";
+    std::cerr << "obs_check: " << path << ": no ptrack.core.process span\n";
     return 1;
   }
   std::cout << "obs_check: " << path << ": OK (" << spans
