@@ -1,0 +1,177 @@
+// ptrack_serve: long-running ingest daemon. Devices connect over TCP or a
+// Unix domain socket, speak the PTrack wire protocol (net/wire.hpp) and
+// stream IMU samples; the daemon multiplexes every connection onto an
+// incremental core::StreamingTracker and streams finalized step events
+// back. net/server.hpp documents the robustness policy (admission control,
+// backpressure, eviction, fault isolation, graceful drain).
+//
+// Usage:
+//   ptrack_serve --uds /tmp/ptrack.sock
+//   ptrack_serve --tcp 7440 [--host 0.0.0.0]
+//
+// Lifecycle: the daemon prints one "listening on ..." line to stdout once
+// every endpoint is bound (CI waits for it), then serves until SIGTERM or
+// SIGINT. Both signals trigger a graceful drain: stop accepting, flush
+// every live tracker's finalization margins as EVENT/DRAINED frames, then
+// exit 0. A second signal is not needed — the drain deadline bounds the
+// shutdown.
+//
+// Observability: --metrics-out FILE writes a ptrack.metrics.v1 snapshot
+// (the same schema as ptrack_cli) after the drain, covering the
+// ptrack.net.* counters; tools/obs_check --net-metrics validates it.
+
+#include <cstdint>
+#include <cstdio>
+#include <csignal>
+#include <fcntl.h>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+/// Write end of the signal self-pipe; the only state a handler touches.
+volatile int g_signal_pipe_wr = -1;
+
+extern "C" void on_shutdown_signal(int) {
+  // async-signal-safe: one write(2), no locks, no allocation.
+  const std::uint8_t byte = 1;
+  if (g_signal_pipe_wr >= 0) {
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe_wr, &byte, 1);
+  }
+}
+
+void write_metrics(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open " + path);
+  json::Writer w(out);
+  w.begin_object();
+  w.key("schema").value("ptrack.metrics.v1");
+  w.key("obs_compiled").value(PTRACK_OBS_ENABLED != 0);
+  w.key("metrics");
+  obs::Registry::instance().write_json(w);
+  w.end_object();
+  check(w.complete(), "ptrack_serve: complete metrics document");
+  out << '\n';
+}
+
+int run(const cli::Args& args) {
+  net::ServerConfig cfg;
+  cfg.max_sessions = static_cast<std::size_t>(args.get_int("max-sessions"));
+  cfg.memory_budget_bytes =
+      static_cast<std::size_t>(args.get_int("memory-budget-mb")) << 20;
+  cfg.idle_timeout_s = args.get_double("idle-timeout");
+  cfg.stall_timeout_s = args.get_double("stall-timeout");
+  cfg.drain_deadline_s = args.get_double("drain-deadline");
+  cfg.session.streaming.hop_s = args.get_double("hop");
+  cfg.session.allow_f32 = !args.get_bool("no-f32");
+
+  // Signal self-pipe: the handler writes one byte, the reactor's poll set
+  // sees the read end become readable and starts the drain.
+  int sig_pipe[2];
+  if (::pipe(sig_pipe) != 0) {
+    std::cerr << "ptrack_serve: cannot create the signal pipe\n";
+    return 1;
+  }
+  for (const int fd : {sig_pipe[0], sig_pipe[1]}) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  g_signal_pipe_wr = sig_pipe[1];
+  cfg.shutdown_fd = sig_pipe[0];
+
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  net::Server server(std::move(cfg));
+  if (args.has("uds")) {
+    server.listen(net::Endpoint::uds(args.get_string("uds")));
+    std::cout << "ptrack_serve: listening on uds:" << args.get_string("uds")
+              << "\n";
+  }
+  if (args.has("tcp")) {
+    const long port = args.get_int("tcp");
+    if (port < 0 || port > 65535) {
+      std::cerr << "ptrack_serve: --tcp out of range\n";
+      return 2;
+    }
+    server.listen(net::Endpoint::tcp(
+        args.get_string("host"), static_cast<std::uint16_t>(port)));
+    std::cout << "ptrack_serve: listening on tcp:" << args.get_string("host")
+              << ":" << server.tcp_port() << "\n";
+  }
+  std::cout.flush();
+
+  server.run();  // returns after a completed drain (SIGTERM/SIGINT)
+
+  if (args.has("metrics-out")) write_metrics(args.get_string("metrics-out"));
+
+  if (!args.get_bool("quiet")) {
+    const net::ServerStats s = server.stats();
+    std::cout << "ptrack_serve: drained. accepted=" << s.accepted
+              << " shed=" << s.shed << " closed=" << s.closed
+              << " evicted=" << (s.evicted_idle + s.evicted_stall +
+                                 s.evicted_slow)
+              << " session_errors=" << s.session_errors
+              << " frames_ok=" << s.frames_ok
+              << " frames_rejected=" << s.frames_rejected
+              << " samples=" << s.samples_in << " events=" << s.events_out
+              << "\n";
+  }
+  g_signal_pipe_wr = -1;
+  ::close(sig_pipe[0]);
+  ::close(sig_pipe[1]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<cli::OptionSpec> specs = {
+      {"uds", "listen on a Unix domain socket at this path", "", false},
+      {"tcp", "listen on this TCP port (0 = ephemeral)", "", false},
+      {"host", "TCP bind address", "127.0.0.1", false},
+      {"max-sessions", "admission limit on concurrent sessions", "4096",
+       false},
+      {"memory-budget-mb", "global session-memory budget (MiB)", "512",
+       false},
+      {"idle-timeout", "evict after this many seconds without a complete "
+                       "frame", "30", false},
+      {"stall-timeout", "deadline (s) for a partial frame or an unfinished "
+                        "HELLO", "10", false},
+      {"drain-deadline", "graceful-shutdown flush budget (s)", "2", false},
+      {"hop", "streaming hop interval (s)", "1", false},
+      {"no-f32", "reject float32-precision HELLOs", "", true},
+      {"metrics-out", "write a metrics snapshot (JSON) here after the "
+                      "drain", "", false},
+      {"quiet", "suppress the exit summary", "", true},
+  };
+  try {
+    const cli::Args args(argc, argv, specs);
+    if (args.help_requested()) {
+      std::cout << args.usage("ptrack_serve");
+      return 0;
+    }
+    if (!args.has("uds") && !args.has("tcp")) {
+      std::cerr << "ptrack_serve: need --uds and/or --tcp\n"
+                << args.usage("ptrack_serve");
+      return 2;
+    }
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "ptrack_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

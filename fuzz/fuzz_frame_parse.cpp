@@ -1,0 +1,85 @@
+// Fuzz target: the ingest wire-protocol frame parser on arbitrary bytes.
+//
+// net::FrameDecoder is the trust boundary of ptrack_serve — every byte a
+// device (or an attacker) sends crosses it before anything else runs. The
+// decoder must stay strictly bounded: never allocate past its reservation,
+// never produce a payload beyond kMaxPayloadBytes, poison permanently on
+// the first malformed header, and never crash or loop regardless of input.
+// The typed payload parsers behind it must reject garbage with `false`,
+// never with UB.
+//
+// The first input byte seeds the feed chunk size so the corpus exercises
+// the incremental resume paths (headers and payloads split at arbitrary
+// byte boundaries), not just whole-buffer parsing.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "imu/sample.hpp"
+#include "net/wire.hpp"
+
+using namespace ptrack;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::size_t chunk = 1 + static_cast<std::size_t>(data[0] % 64) * 37;
+  std::span<const std::uint8_t> rest(data + 1, size - 1);
+
+  net::FrameDecoder decoder;
+  std::vector<core::StepEvent> events;
+  while (!rest.empty()) {
+    const std::size_t n = rest.size() < chunk ? rest.size() : chunk;
+    decoder.feed(rest.subspan(0, n));
+    rest = rest.subspan(n);
+
+    net::Frame frame;
+    net::DecodeStatus status;
+    while ((status = decoder.next(frame)) == net::DecodeStatus::kFrame) {
+      if (frame.payload.size() > net::kMaxPayloadBytes) __builtin_trap();
+      // Run every typed parser over the payload: each must either accept
+      // within its documented bounds or reject with false — never crash.
+      net::Hello hello;
+      if (net::parse_hello(frame.payload, hello)) {
+        if (frame.payload.size() != net::kHelloPayloadBytes)
+          __builtin_trap();
+      }
+      net::HelloAck ack;
+      static_cast<void>(net::parse_hello_ack(frame.payload, ack));
+      net::SampleBlockView block;
+      if (net::parse_samples(frame.payload, block)) {
+        if (block.count == 0 || block.count > net::kMaxSamplesPerFrame) {
+          __builtin_trap();
+        }
+        // Decoding the first and last sample must stay in bounds.
+        static_cast<void>(net::sample_at(block, 0));
+        static_cast<void>(net::sample_at(block, block.count - 1));
+      }
+      events.clear();
+      if (net::parse_events(frame.payload, events)) {
+        if (events.size() * net::kEventWireBytes + 4 != frame.payload.size())
+          __builtin_trap();
+      }
+      net::WireError err;
+      if (net::parse_error(frame.payload, err)) {
+        if (err.detail.size() > net::kMaxErrorDetailBytes) __builtin_trap();
+      }
+      net::Drained drained;
+      static_cast<void>(net::parse_drained(frame.payload, drained));
+    }
+    if (status == net::DecodeStatus::kError) {
+      // Poison is permanent: the same typed error forever after, and no
+      // more frames can ever be produced.
+      if (decoder.error() == net::ErrorCode::kNone) __builtin_trap();
+      const net::ErrorCode first = decoder.error();
+      decoder.feed(rest.subspan(0, rest.size() < 16 ? rest.size() : 16));
+      if (decoder.next(frame) != net::DecodeStatus::kError) __builtin_trap();
+      if (decoder.error() != first) __builtin_trap();
+      break;
+    }
+  }
+  return 0;
+}

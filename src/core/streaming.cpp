@@ -193,10 +193,19 @@ void StreamingTracker::poll_into(std::vector<StepEvent>& out) {
 
 // ptrack-lint: allow(entry-check) terminal flush is legal in any state
 std::vector<StepEvent> StreamingTracker::finish() {
+  std::vector<StepEvent> out;
+  out.reserve(ready_.size());
+  drain_into(out);
+  return out;
+}
+
+// ptrack-lint: allow(entry-check) terminal flush is legal in any state
+void StreamingTracker::drain_into(std::vector<StepEvent>& out) {
   if (config_.mode == StreamingConfig::Mode::kRecompute) {
     process_window(next_t_ + 1.0);  // flush: no guard
     last_processed_t_ = next_t_;
-    return poll();
+    poll_into(out);
+    return;
   }
   if (quality_) {
     repair_buf_.clear();
@@ -207,7 +216,7 @@ std::vector<StepEvent> StreamingTracker::finish() {
   }
   run_hop(/*flush=*/true);
   samples_since_hop_ = 0;
-  return poll();
+  poll_into(out);
 }
 
 }  // namespace ptrack::core

@@ -128,6 +128,16 @@ class StreamingTracker {
   /// Emits nothing when fewer than 32 samples were ever pushed.
   std::vector<StepEvent> finish();
 
+  /// The allocation-shaped dual of finish(): flushes all finalization
+  /// margins and appends the final events to `out` (poll_into discipline —
+  /// with a reused `out`, draining is allocation-free once warm). This is
+  /// the finalize API for hosts that must flush many live trackers on
+  /// shutdown — e.g. ptrack_serve's SIGTERM drain path, which walks the
+  /// session table calling drain_into on every open stream. Equivalent to
+  /// the batch pipeline over the same samples (the PR-5 oracle tie:
+  /// tests/test_core_streaming.cpp DrainMatchesBatchOracle).
+  void drain_into(std::vector<StepEvent>& out);
+
   /// Steps emitted so far (confirmed only).
   [[nodiscard]] std::size_t steps() const { return emitted_steps_; }
 

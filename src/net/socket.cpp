@@ -1,0 +1,225 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ptrack::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un uds_addr(const Endpoint& ep) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (ep.path.empty() || ep.path.size() >= sizeof(addr.sun_path)) {
+    throw Error("uds path empty or too long: '" + ep.path + "'");
+  }
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("bad IPv4 address: '" + ep.host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Endpoint Endpoint::uds(std::string p) {
+  Endpoint ep;
+  ep.kind = Kind::kUds;
+  ep.path = std::move(p);
+  return ep;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint ep;
+  ep.kind = Kind::kTcp;
+  ep.host = std::move(host);
+  ep.port = port;
+  return ep;
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() { return std::exchange(fd_, -1); }
+
+void Socket::set_nonblocking(bool on) const {
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (fcntl(fd_, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void Socket::set_io_timeout(double seconds) const {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      1e6 * (seconds - std::floor(seconds)));
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0 ||
+      setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    throw_errno("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+  }
+}
+
+void Socket::set_send_buffer(std::size_t bytes) const {
+  const int value = static_cast<int>(bytes);
+  if (setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &value, sizeof(value)) < 0) {
+    throw_errno("setsockopt(SO_SNDBUF)");
+  }
+}
+
+std::ptrdiff_t Socket::read_some(std::span<std::uint8_t> buf) const {
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n >= 0) return static_cast<std::ptrdiff_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == ECONNRESET) return 0;  // peer loss == orderly close here
+    throw_errno("recv");
+  }
+}
+
+std::size_t Socket::write_some(std::span<const std::uint8_t> buf) const {
+  while (true) {
+    const ssize_t n =
+        ::send(fd_, buf.data(), buf.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw_errno("send");
+  }
+}
+
+bool Socket::write_all(std::span<const std::uint8_t> buf) const {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::send(fd_, buf.data() + off, buf.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // timeout, peer gone, or zero-progress send
+  }
+  return true;
+}
+
+Socket listen_on(const Endpoint& ep, int backlog) {
+  const int domain = ep.kind == Endpoint::Kind::kUds ? AF_UNIX : AF_INET;
+  Socket s(::socket(domain, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  if (ep.kind == Endpoint::Kind::kUds) {
+    ::unlink(ep.path.c_str());  // stale socket file from a crashed run
+    const sockaddr_un addr = uds_addr(ep);
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw_errno("bind(" + ep.path + ")");
+    }
+  } else {
+    const int one = 1;
+    if (setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+        0) {
+      throw_errno("setsockopt(SO_REUSEADDR)");
+    }
+    const sockaddr_in addr = tcp_addr(ep);
+    if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw_errno("bind(" + ep.host + ")");
+    }
+  }
+  if (::listen(s.fd(), backlog) < 0) throw_errno("listen");
+  s.set_nonblocking(true);
+  return s;
+}
+
+std::uint16_t local_port(const Socket& listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  &len) < 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket accept_on(const Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      s.set_nonblocking(true);
+      return s;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Socket();
+    }
+    throw_errno("accept");
+  }
+}
+
+Socket connect_to(const Endpoint& ep) {
+  const int domain = ep.kind == Endpoint::Kind::kUds ? AF_UNIX : AF_INET;
+  Socket s(::socket(domain, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  int rc = 0;
+  if (ep.kind == Endpoint::Kind::kUds) {
+    const sockaddr_un addr = uds_addr(ep);
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    const sockaddr_in addr = tcp_addr(ep);
+    rc = ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc < 0) throw_errno("connect");
+  return s;
+}
+
+void unlink_uds(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUds && !ep.path.empty()) {
+    ::unlink(ep.path.c_str());
+  }
+}
+
+}  // namespace ptrack::net

@@ -1,0 +1,93 @@
+// Thin RAII layer over POSIX stream sockets (TCP and Unix-domain), shaped
+// for the single-threaded poll reactor in net/server.cpp and the blocking
+// test clients in net/chaos.cpp. Deliberately minimal: no buffering, no
+// framing (net/wire.hpp owns that), no platform abstraction beyond what the
+// repo targets (POSIX).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ptrack::net {
+
+/// Where a server listens / a client connects. kUds is the default for
+/// tests and CI (no port allocation races, works in sandboxes); kTcp is the
+/// deployment front door.
+struct Endpoint {
+  enum class Kind { kUds, kTcp };
+  Kind kind = Kind::kUds;
+  std::string path;             ///< kUds: filesystem path of the socket
+  std::string host = "127.0.0.1";  ///< kTcp
+  std::uint16_t port = 0;          ///< kTcp; 0 = ephemeral (listen only)
+
+  static Endpoint uds(std::string p);
+  static Endpoint tcp(std::string host, std::uint16_t port);
+};
+
+/// Owning file-descriptor wrapper. Move-only; close() is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+  /// Releases ownership of the descriptor without closing it.
+  [[nodiscard]] int release();
+
+  void set_nonblocking(bool on) const;
+  /// SO_RCVTIMEO/SO_SNDTIMEO for the blocking client paths (seconds).
+  void set_io_timeout(double seconds) const;
+  /// SO_SNDBUF (the kernel may round/double it). Tests shrink it to make
+  /// backpressure observable without megabytes of traffic.
+  void set_send_buffer(std::size_t bytes) const;
+
+  /// Nonblocking-friendly read. Returns bytes read (> 0), 0 on orderly
+  /// peer shutdown, -1 when the call would block, and throws ptrack::Error
+  /// on a hard socket error.
+  [[nodiscard]] std::ptrdiff_t read_some(std::span<std::uint8_t> buf) const;
+
+  /// Nonblocking-friendly write. Returns bytes written (>= 0; 0 or short
+  /// when the send buffer is full), throws ptrack::Error on a hard error
+  /// (EPIPE/ECONNRESET included — callers treat that as peer loss).
+  [[nodiscard]] std::size_t write_some(
+      std::span<const std::uint8_t> buf) const;
+
+  /// Blocking write of the whole buffer (client paths; honors
+  /// set_io_timeout). Returns false when the peer vanished or the timeout
+  /// elapsed before everything was written.
+  [[nodiscard]] bool write_all(std::span<const std::uint8_t> buf) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on the endpoint. For kUds any stale socket file is
+/// unlinked first. Throws ptrack::Error on failure. The returned socket is
+/// nonblocking.
+[[nodiscard]] Socket listen_on(const Endpoint& ep, int backlog = 128);
+
+/// The port a kTcp listener actually bound (resolves port 0).
+[[nodiscard]] std::uint16_t local_port(const Socket& listener);
+
+/// Accepts one pending connection (nonblocking listener). Returns an
+/// invalid Socket when no connection is pending; throws on hard errors.
+/// The accepted socket is nonblocking.
+[[nodiscard]] Socket accept_on(const Socket& listener);
+
+/// Blocking connect for the client paths. Throws ptrack::Error on failure.
+[[nodiscard]] Socket connect_to(const Endpoint& ep);
+
+/// Removes the socket file of a kUds endpoint (server shutdown hygiene).
+void unlink_uds(const Endpoint& ep);
+
+}  // namespace ptrack::net

@@ -1,0 +1,413 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/error.hpp"
+
+namespace ptrack::net {
+
+namespace {
+
+// Bytewise little-endian scalar codec: portable across host byte orders,
+// and memcpy-free of alignment assumptions.
+
+// ptrack-lint: push-allow(alloc) encoders append into the caller's output
+// buffer, which the session pre-reserves and recycles (compact_out keeps
+// capacity) — steady-state growth into reserved scratch
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFFu));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    static_cast<std::uint16_t>(p[1]) << 8);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(const std::uint8_t* p) {
+  return std::bit_cast<double>(get_u64(p));
+}
+
+float get_f32(const std::uint8_t* p) {
+  return std::bit_cast<float>(get_u32(p));
+}
+
+/// Writes the 12-byte header. The payload length is patched in by
+/// append_frame once the payload has been appended.
+void put_header(std::vector<std::uint8_t>& out, FrameType type,
+                std::uint32_t payload_len) {
+  put_u32(out, kMagic);
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16(out, 0);  // flags: must be 0 in v1
+  put_u32(out, payload_len);
+}
+// ptrack-lint: pop-allow(alloc)
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kMalformedFrame: return "malformed frame";
+    case ErrorCode::kOversizedFrame: return "oversized frame";
+    case ErrorCode::kBadMagic: return "bad magic";
+    case ErrorCode::kBadVersion: return "unsupported protocol version";
+    case ErrorCode::kProtocol: return "protocol state violation";
+    case ErrorCode::kBadHello: return "invalid HELLO";
+    case ErrorCode::kOverloaded: return "server overloaded";
+    case ErrorCode::kSlowConsumer: return "slow consumer";
+    case ErrorCode::kIdleTimeout: return "idle timeout";
+    case ErrorCode::kShuttingDown: return "server shutting down";
+  }
+  return "unknown";
+}
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kSamples: return "SAMPLES";
+    case FrameType::kBye: return "BYE";
+    case FrameType::kHelloAck: return "HELLO_ACK";
+    case FrameType::kEvent: return "EVENT";
+    case FrameType::kError: return "ERROR";
+    case FrameType::kDrained: return "DRAINED";
+  }
+  return "unknown";
+}
+
+bool known_frame_type(std::uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kHello:
+    case FrameType::kSamples:
+    case FrameType::kBye:
+    case FrameType::kHelloAck:
+    case FrameType::kEvent:
+    case FrameType::kError:
+    case FrameType::kDrained:
+      return true;
+  }
+  return false;
+}
+
+imu::Sample sample_at(const SampleBlockView& block, std::size_t i) {
+  PTRACK_CHECK_MSG(i < block.count, "sample_at: index inside the block");
+  const std::uint8_t* p = block.data + i * kSampleWireBytes;
+  imu::Sample s;
+  s.accel = {get_f64(p), get_f64(p + 8), get_f64(p + 16)};
+  s.gyro = {get_f64(p + 24), get_f64(p + 32), get_f64(p + 40)};
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Encoders
+
+// ptrack-lint: push-allow(alloc) same contract as the codec helpers: all
+// growth lands in the caller's recycled output buffer
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload) {
+  expects(payload.size() <= kMaxPayloadBytes,
+          "append_frame: payload within the wire bound");
+  put_header(out, type, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_hello(std::vector<std::uint8_t>& out, const Hello& hello) {
+  put_header(out, FrameType::kHello,
+             static_cast<std::uint32_t>(kHelloPayloadBytes));
+  put_u64(out, hello.session_id);
+  put_f64(out, hello.fs);
+  out.push_back(hello.precision);
+  for (int i = 0; i < 7; ++i) out.push_back(0);  // reserved
+}
+
+void append_hello_ack(std::vector<std::uint8_t>& out, const HelloAck& ack) {
+  put_header(out, FrameType::kHelloAck,
+             static_cast<std::uint32_t>(kHelloAckPayloadBytes));
+  put_u64(out, ack.session_id);
+  put_u32(out, ack.max_samples_per_frame);
+  put_u32(out, ack.version);
+}
+
+void append_bye(std::vector<std::uint8_t>& out) {
+  put_header(out, FrameType::kBye, 0);
+}
+
+void append_samples(std::vector<std::uint8_t>& out,
+                    std::span<const imu::Sample> samples) {
+  expects(!samples.empty() && samples.size() <= kMaxSamplesPerFrame,
+          "append_samples: 1..kMaxSamplesPerFrame samples");
+  const std::size_t payload = 4 + samples.size() * kSampleWireBytes;
+  put_header(out, FrameType::kSamples, static_cast<std::uint32_t>(payload));
+  put_u32(out, static_cast<std::uint32_t>(samples.size()));
+  for (const imu::Sample& s : samples) {
+    put_f64(out, s.accel.x);
+    put_f64(out, s.accel.y);
+    put_f64(out, s.accel.z);
+    put_f64(out, s.gyro.x);
+    put_f64(out, s.gyro.y);
+    put_f64(out, s.gyro.z);
+  }
+}
+
+void append_events(std::vector<std::uint8_t>& out,
+                   std::span<const core::StepEvent> events) {
+  const std::size_t payload = 4 + events.size() * kEventWireBytes;
+  expects(payload <= kMaxPayloadBytes,
+          "append_events: event block within the wire bound");
+  put_header(out, FrameType::kEvent, static_cast<std::uint32_t>(payload));
+  put_u32(out, static_cast<std::uint32_t>(events.size()));
+  for (const core::StepEvent& e : events) {
+    put_f64(out, e.t);
+    put_f64(out, e.stride);
+    put_f32(out, static_cast<float>(e.quality));
+    out.push_back(static_cast<std::uint8_t>(e.type));
+    out.push_back(e.degraded ? 1 : 0);
+    put_u16(out, 0);  // reserved
+  }
+}
+
+void append_error(std::vector<std::uint8_t>& out, ErrorCode code,
+                  std::uint16_t retry_after_s, std::string_view detail) {
+  if (detail.size() > kMaxErrorDetailBytes) {
+    detail = detail.substr(0, kMaxErrorDetailBytes);
+  }
+  const std::size_t payload = 8 + detail.size();
+  put_header(out, FrameType::kError, static_cast<std::uint32_t>(payload));
+  put_u16(out, static_cast<std::uint16_t>(code));
+  put_u16(out, retry_after_s);
+  put_u32(out, static_cast<std::uint32_t>(detail.size()));
+  for (const char c : detail) out.push_back(static_cast<std::uint8_t>(c));
+}
+
+void append_drained(std::vector<std::uint8_t>& out, const Drained& drained) {
+  put_header(out, FrameType::kDrained,
+             static_cast<std::uint32_t>(kDrainedPayloadBytes));
+  put_u64(out, drained.events_total);
+  put_u64(out, drained.samples_total);
+}
+// ptrack-lint: pop-allow(alloc)
+
+// ---------------------------------------------------------------------------
+// Payload parsers
+
+bool parse_hello(std::span<const std::uint8_t> payload, Hello& out) {
+  if (payload.size() != kHelloPayloadBytes) return false;
+  out.session_id = get_u64(payload.data());
+  out.fs = get_f64(payload.data() + 8);
+  out.precision = payload[16];
+  for (std::size_t i = 17; i < kHelloPayloadBytes; ++i) {
+    if (payload[i] != 0) return false;  // reserved bytes must be zero
+  }
+  return true;
+}
+
+bool parse_hello_ack(std::span<const std::uint8_t> payload, HelloAck& out) {
+  if (payload.size() != kHelloAckPayloadBytes) return false;
+  out.session_id = get_u64(payload.data());
+  out.max_samples_per_frame = get_u32(payload.data() + 8);
+  out.version = get_u32(payload.data() + 12);
+  return true;
+}
+
+bool parse_samples(std::span<const std::uint8_t> payload,
+                   SampleBlockView& out) {
+  if (payload.size() < 4) return false;
+  const std::uint32_t count = get_u32(payload.data());
+  if (count == 0 || count > kMaxSamplesPerFrame) return false;
+  if (payload.size() != 4 + static_cast<std::size_t>(count) *
+                                kSampleWireBytes) {
+    return false;
+  }
+  out.count = count;
+  out.data = payload.data() + 4;
+  return true;
+}
+
+bool parse_events(std::span<const std::uint8_t> payload,
+                  std::vector<core::StepEvent>& out) {
+  if (payload.size() < 4) return false;
+  const std::uint32_t count = get_u32(payload.data());
+  if (payload.size() != 4 + static_cast<std::size_t>(count) *
+                                kEventWireBytes) {
+    return false;
+  }
+  // ptrack-lint: allow(alloc) client-side decode into the caller's reused vector
+  out.reserve(out.size() + count);
+  const std::uint8_t* p = payload.data() + 4;
+  for (std::uint32_t i = 0; i < count; ++i, p += kEventWireBytes) {
+    core::StepEvent e;
+    e.t = get_f64(p);
+    e.stride = get_f64(p + 8);
+    e.quality = static_cast<double>(get_f32(p + 16));
+    const std::uint8_t type = p[20];
+    if (type > static_cast<std::uint8_t>(core::GaitType::Interference)) {
+      return false;
+    }
+    e.type = static_cast<core::GaitType>(type);
+    if (p[21] > 1) return false;
+    e.degraded = p[21] == 1;
+    if (get_u16(p + 22) != 0) return false;  // reserved
+    // ptrack-lint: allow(alloc) bounded by the reserve above
+    out.push_back(e);
+  }
+  return true;
+}
+
+bool parse_error(std::span<const std::uint8_t> payload, WireError& out) {
+  if (payload.size() < 8) return false;
+  const std::uint16_t code = get_u16(payload.data());
+  if (code == 0 ||
+      code > static_cast<std::uint16_t>(ErrorCode::kShuttingDown)) {
+    return false;
+  }
+  out.code = static_cast<ErrorCode>(code);
+  out.retry_after_s = get_u16(payload.data() + 2);
+  const std::uint32_t len = get_u32(payload.data() + 4);
+  if (len > kMaxErrorDetailBytes || payload.size() != 8 + len) return false;
+  // ptrack-lint: allow(alloc) error path, not steady state (<= 256 bytes)
+  out.detail.assign(reinterpret_cast<const char*>(payload.data() + 8), len);
+  return true;
+}
+
+bool parse_drained(std::span<const std::uint8_t> payload, Drained& out) {
+  if (payload.size() != kDrainedPayloadBytes) return false;
+  out.events_total = get_u64(payload.data());
+  out.samples_total = get_u64(payload.data() + 8);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder
+
+FrameDecoder::FrameDecoder(std::size_t max_payload,
+                           std::size_t read_chunk_hint)
+    : max_payload_(max_payload),
+      capacity_(kHeaderBytes + max_payload + read_chunk_hint) {
+  expects(max_payload <= kMaxPayloadBytes,
+          "FrameDecoder: max_payload within the protocol bound");
+  // Connection-setup reservation: after this, a disciplined reader (drain
+  // frames between feeds, feed <= read_chunk_hint at a time) never grows
+  // the buffer again.
+  buf_.reserve(capacity_);
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (error_ != ErrorCode::kNone) return;  // poisoned: drop input
+  if (buffered() + bytes.size() > capacity_) {
+    // A reader that drains frames between feeds cannot get here; treat it
+    // as an oversize violation rather than growing without bound.
+    poison(ErrorCode::kOversizedFrame, "decoder buffer bound exceeded");
+    return;
+  }
+  compact(bytes.size());
+  // Appends into the ctor reservation; the feed discipline above bounds
+  // buffered bytes below the reserved capacity.
+  // ptrack-lint: allow(alloc) bounded append into the ctor reservation
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+DecodeStatus FrameDecoder::next(Frame& out) {
+  if (error_ != ErrorCode::kNone) return DecodeStatus::kError;
+  if (buffered() < kHeaderBytes) return DecodeStatus::kNeedMore;
+  const std::uint8_t* h = buf_.data() + pos_;
+  if (get_u32(h) != kMagic) {
+    poison(ErrorCode::kBadMagic, "frame magic mismatch");
+    return DecodeStatus::kError;
+  }
+  if (h[4] != kProtocolVersion) {
+    poison(ErrorCode::kBadVersion, "unknown protocol version");
+    return DecodeStatus::kError;
+  }
+  if (!known_frame_type(h[5])) {
+    poison(ErrorCode::kMalformedFrame, "unknown frame type");
+    return DecodeStatus::kError;
+  }
+  if (get_u16(h + 6) != 0) {
+    poison(ErrorCode::kMalformedFrame, "nonzero flags in v1");
+    return DecodeStatus::kError;
+  }
+  const std::uint32_t payload_len = get_u32(h + 8);
+  if (payload_len > max_payload_) {
+    poison(ErrorCode::kOversizedFrame, "payload length beyond bound");
+    return DecodeStatus::kError;
+  }
+  if (buffered() < kHeaderBytes + payload_len) return DecodeStatus::kNeedMore;
+  out.type = static_cast<FrameType>(h[5]);
+  out.payload = std::span<const std::uint8_t>(h + kHeaderBytes, payload_len);
+  pos_ += kHeaderBytes + payload_len;
+  return DecodeStatus::kFrame;
+}
+
+bool FrameDecoder::mid_frame() const {
+  if (error_ != ErrorCode::kNone || buffered() == 0) return false;
+  if (buffered() < kHeaderBytes) return true;  // partial header
+  const std::uint8_t* h = buf_.data() + pos_;
+  const std::uint32_t payload_len = get_u32(h + 8);
+  // A header that will be rejected on the next pull is not "mid frame".
+  if (get_u32(h) != kMagic || payload_len > max_payload_) return false;
+  return buffered() < kHeaderBytes + payload_len;
+}
+
+void FrameDecoder::poison(ErrorCode code, const char* detail) {
+  error_ = code;
+  detail_ = detail;
+  buf_.clear();
+  pos_ = 0;
+}
+
+void FrameDecoder::compact(std::size_t incoming) {
+  // Reclaim the consumed prefix before it can push the live region past
+  // the reservation; one memmove, amortized over the consumed bytes.
+  if (pos_ == 0) return;
+  if (pos_ >= buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+    return;
+  }
+  if (pos_ >= capacity_ / 2 || buf_.size() + incoming > capacity_) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+}  // namespace ptrack::net

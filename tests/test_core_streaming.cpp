@@ -47,6 +47,42 @@ TEST(Streaming, MatchesBatchStepCountOnWalking) {
               0.08 * batch_steps + 2.0);
 }
 
+TEST(Streaming, DrainMatchesBatchOracle) {
+  const auto r = make(synth::Scenario::pure_walking(60.0), 509);
+
+  // Reference stream: push everything, flush once through finish().
+  core::StreamingTracker ref(r.trace.fs(), config_for_user());
+  ref.push(r.trace);
+  const auto want = ref.finish();
+  ASSERT_GT(want.size(), 45u);
+
+  // drain_into with interleaved polling — the shape of ptrack_serve's
+  // SIGTERM drain path — must reproduce the exact same event stream.
+  core::StreamingTracker stream(r.trace.fs(), config_for_user());
+  std::vector<core::StepEvent> got;
+  for (std::size_t i = 0; i < r.trace.size(); ++i) {
+    stream.push(r.trace[i]);
+    if (i % 137 == 136) stream.poll_into(got);
+  }
+  stream.drain_into(got);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].t, want[i].t) << "event " << i;
+    EXPECT_EQ(got[i].stride, want[i].stride) << "event " << i;
+    EXPECT_EQ(got[i].quality, want[i].quality) << "event " << i;
+    EXPECT_EQ(got[i].type, want[i].type) << "event " << i;
+    EXPECT_EQ(got[i].degraded, want[i].degraded) << "event " << i;
+  }
+
+  // And the drained stream stays tied to the batch pipeline's step count.
+  core::PTrack batch(config_for_user().pipeline);
+  const auto batch_result = batch.process(r.trace);
+  const double batch_steps = static_cast<double>(batch_result.steps);
+  EXPECT_NEAR(static_cast<double>(got.size()), batch_steps,
+              0.08 * batch_steps + 2.0);
+}
+
 TEST(Streaming, EventsEmittedIncrementally) {
   const auto r = make(synth::Scenario::pure_walking(30.0), 502);
   core::StreamingTracker stream(r.trace.fs(), config_for_user());

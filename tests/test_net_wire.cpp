@@ -1,0 +1,309 @@
+// Wire-protocol unit tests: payload codec round trips, the FrameDecoder's
+// strict bounded parsing (truncation/resume, oversize, bad magic/version,
+// nonzero flags, unknown types) and its poison-permanently contract.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/types.hpp"
+#include "imu/sample.hpp"
+#include "net/wire.hpp"
+
+using namespace ptrack;
+using namespace ptrack::net;
+
+namespace {
+
+std::vector<imu::Sample> make_samples(std::size_t n) {
+  std::vector<imu::Sample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    imu::Sample s;
+    s.accel = {0.1 * x, -0.2 * x, 9.81 + 0.01 * x};
+    s.gyro = {0.001 * x, -0.002 * x, 0.003 * x};
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<core::StepEvent> make_events(std::size_t n) {
+  std::vector<core::StepEvent> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::StepEvent e;
+    e.t = 0.51 * static_cast<double>(i + 1);
+    e.stride = 0.7 + 0.001 * static_cast<double>(i);
+    e.quality = 1.0 - 0.03125 * static_cast<double>(i % 8);  // f32-exact
+    e.type = i % 2 == 0 ? core::GaitType::Walking : core::GaitType::Stepping;
+    e.degraded = i % 3 == 0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+/// Decodes exactly one frame out of `bytes` and asserts nothing trails it.
+Frame decode_one(FrameDecoder& dec, const std::vector<std::uint8_t>& bytes) {
+  dec.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kFrame);
+  Frame trailing;
+  EXPECT_EQ(dec.next(trailing), DecodeStatus::kNeedMore);
+  return frame;
+}
+
+}  // namespace
+
+TEST(NetWire, HelloRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  append_hello(bytes, Hello{0xDEADBEEFCAFE1234ull, 104.0, 1});
+  FrameDecoder dec;
+  const Frame frame = decode_one(dec, bytes);
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  Hello hello;
+  ASSERT_TRUE(parse_hello(frame.payload, hello));
+  EXPECT_EQ(hello.session_id, 0xDEADBEEFCAFE1234ull);
+  EXPECT_DOUBLE_EQ(hello.fs, 104.0);
+  EXPECT_EQ(hello.precision, 1);
+}
+
+TEST(NetWire, HelloRejectsNonzeroReservedBytes) {
+  std::vector<std::uint8_t> bytes;
+  append_hello(bytes, Hello{1, 100.0, 0});
+  bytes.back() = 0x5A;  // last reserved byte
+  FrameDecoder dec;
+  const Frame frame = decode_one(dec, bytes);
+  Hello hello;
+  EXPECT_FALSE(parse_hello(frame.payload, hello));
+}
+
+TEST(NetWire, HelloAckRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  HelloAck ack;
+  ack.session_id = 42;
+  ack.max_samples_per_frame = 1024;
+  ack.version = kProtocolVersion;
+  append_hello_ack(bytes, ack);
+  FrameDecoder dec;
+  const Frame frame = decode_one(dec, bytes);
+  EXPECT_EQ(frame.type, FrameType::kHelloAck);
+  HelloAck parsed;
+  ASSERT_TRUE(parse_hello_ack(frame.payload, parsed));
+  EXPECT_EQ(parsed.session_id, 42u);
+  EXPECT_EQ(parsed.max_samples_per_frame, 1024u);
+  EXPECT_EQ(parsed.version, static_cast<std::uint32_t>(kProtocolVersion));
+}
+
+TEST(NetWire, SamplesRoundTripBitExact) {
+  const auto samples = make_samples(37);
+  std::vector<std::uint8_t> bytes;
+  append_samples(bytes, samples);
+  FrameDecoder dec;
+  const Frame frame = decode_one(dec, bytes);
+  EXPECT_EQ(frame.type, FrameType::kSamples);
+  SampleBlockView block;
+  ASSERT_TRUE(parse_samples(frame.payload, block));
+  ASSERT_EQ(block.count, 37u);
+  for (std::size_t i = 0; i < block.count; ++i) {
+    const imu::Sample s = sample_at(block, i);
+    EXPECT_EQ(s.accel.x, samples[i].accel.x);
+    EXPECT_EQ(s.accel.y, samples[i].accel.y);
+    EXPECT_EQ(s.accel.z, samples[i].accel.z);
+    EXPECT_EQ(s.gyro.x, samples[i].gyro.x);
+    EXPECT_EQ(s.gyro.y, samples[i].gyro.y);
+    EXPECT_EQ(s.gyro.z, samples[i].gyro.z);
+    EXPECT_EQ(s.t, 0.0);  // the receiving session owns the time base
+  }
+}
+
+TEST(NetWire, SamplesCountMismatchRejected) {
+  const auto samples = make_samples(4);
+  std::vector<std::uint8_t> bytes;
+  append_samples(bytes, samples);
+  // Flip the count field (first payload byte after the 12-byte header).
+  bytes[kHeaderBytes] = 5;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame frame;
+  ASSERT_EQ(dec.next(frame), DecodeStatus::kFrame);
+  SampleBlockView block;
+  EXPECT_FALSE(parse_samples(frame.payload, block));
+}
+
+TEST(NetWire, EventsRoundTrip) {
+  const auto events = make_events(9);
+  std::vector<std::uint8_t> bytes;
+  append_events(bytes, events);
+  FrameDecoder dec;
+  const Frame frame = decode_one(dec, bytes);
+  EXPECT_EQ(frame.type, FrameType::kEvent);
+  std::vector<core::StepEvent> parsed;
+  ASSERT_TRUE(parse_events(frame.payload, parsed));
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].t, events[i].t);            // f64 on the wire
+    EXPECT_EQ(parsed[i].stride, events[i].stride);  // f64 on the wire
+    EXPECT_EQ(static_cast<float>(parsed[i].quality),
+              static_cast<float>(events[i].quality));  // f32 on the wire
+    EXPECT_EQ(parsed[i].type, events[i].type);
+    EXPECT_EQ(parsed[i].degraded, events[i].degraded);
+  }
+}
+
+TEST(NetWire, ErrorRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  append_error(bytes, ErrorCode::kOverloaded, 7, "come back later");
+  FrameDecoder dec;
+  const Frame frame = decode_one(dec, bytes);
+  EXPECT_EQ(frame.type, FrameType::kError);
+  WireError err;
+  ASSERT_TRUE(parse_error(frame.payload, err));
+  EXPECT_EQ(err.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(err.retry_after_s, 7);
+  EXPECT_EQ(err.detail, "come back later");
+}
+
+TEST(NetWire, DrainedRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  append_drained(bytes, Drained{123, 456789});
+  FrameDecoder dec;
+  const Frame frame = decode_one(dec, bytes);
+  Drained d;
+  ASSERT_TRUE(parse_drained(frame.payload, d));
+  EXPECT_EQ(d.events_total, 123u);
+  EXPECT_EQ(d.samples_total, 456789u);
+}
+
+TEST(NetWire, DecoderResumesAcrossArbitrarySplits) {
+  // One HELLO + one SAMPLES frame, fed a byte at a time: every prefix is
+  // kNeedMore, the full stream yields exactly the two frames.
+  std::vector<std::uint8_t> bytes;
+  append_hello(bytes, Hello{9, 128.0, 0});
+  append_samples(bytes, make_samples(3));
+  FrameDecoder dec;
+  std::size_t frames = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    dec.feed({&bytes[i], 1});
+    Frame frame;
+    while (dec.next(frame) == DecodeStatus::kFrame) {
+      ++frames;
+      EXPECT_EQ(frame.type,
+                frames == 1 ? FrameType::kHello : FrameType::kSamples);
+    }
+    if (i + 1 < bytes.size()) {
+      EXPECT_EQ(dec.error(), ErrorCode::kNone);
+    }
+  }
+  EXPECT_EQ(frames, 2u);
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(NetWire, MidFrameReportsTricklingPayload) {
+  std::vector<std::uint8_t> bytes;
+  append_samples(bytes, make_samples(8));
+  FrameDecoder dec;
+  EXPECT_FALSE(dec.mid_frame());
+  dec.feed({bytes.data(), kHeaderBytes + 5});  // header + partial payload
+  Frame frame;
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kNeedMore);
+  EXPECT_TRUE(dec.mid_frame());
+  dec.feed({bytes.data() + kHeaderBytes + 5, bytes.size() - kHeaderBytes - 5});
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kFrame);
+  EXPECT_FALSE(dec.mid_frame());
+}
+
+TEST(NetWire, BadMagicPoisons) {
+  std::vector<std::uint8_t> bytes;
+  append_bye(bytes);
+  bytes[0] ^= 0xFF;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kError);
+  EXPECT_EQ(dec.error(), ErrorCode::kBadMagic);
+}
+
+TEST(NetWire, BadVersionPoisons) {
+  std::vector<std::uint8_t> bytes;
+  append_bye(bytes);
+  bytes[4] = 99;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kError);
+  EXPECT_EQ(dec.error(), ErrorCode::kBadVersion);
+}
+
+TEST(NetWire, NonzeroFlagsPoison) {
+  std::vector<std::uint8_t> bytes;
+  append_bye(bytes);
+  bytes[6] = 1;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kError);
+  EXPECT_EQ(dec.error(), ErrorCode::kMalformedFrame);
+}
+
+TEST(NetWire, UnknownTypePoisons) {
+  std::vector<std::uint8_t> bytes;
+  append_bye(bytes);
+  bytes[5] = 0x7F;
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kError);
+  EXPECT_EQ(dec.error(), ErrorCode::kMalformedFrame);
+}
+
+TEST(NetWire, OversizedPayloadLengthPoisons) {
+  std::vector<std::uint8_t> bytes;
+  append_bye(bytes);
+  const std::uint32_t too_big =
+      static_cast<std::uint32_t>(kMaxPayloadBytes + 1);
+  for (std::size_t i = 0; i < 4; ++i) {  // little-endian length field
+    bytes[8 + i] = static_cast<std::uint8_t>((too_big >> (8 * i)) & 0xFF);
+  }
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame frame;
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kError);
+  EXPECT_EQ(dec.error(), ErrorCode::kOversizedFrame);
+}
+
+TEST(NetWire, PoisonIsPermanent) {
+  std::vector<std::uint8_t> bad;
+  append_bye(bad);
+  bad[0] ^= 0xFF;
+  FrameDecoder dec;
+  dec.feed(bad);
+  Frame frame;
+  ASSERT_EQ(dec.next(frame), DecodeStatus::kError);
+  // A perfectly valid frame afterwards must NOT resynchronize the stream.
+  std::vector<std::uint8_t> good;
+  append_bye(good);
+  dec.feed(good);
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kError);
+  EXPECT_EQ(dec.error(), ErrorCode::kBadMagic);
+}
+
+TEST(NetWire, FeedBeyondCapacityPoisonsInsteadOfGrowing) {
+  FrameDecoder dec(/*max_payload=*/64, /*read_chunk_hint=*/16);
+  // An undisciplined owner feeding far past header+max_payload+chunk.
+  const std::vector<std::uint8_t> blob(1024, 0xAB);
+  dec.feed(blob);
+  Frame frame;
+  EXPECT_EQ(dec.next(frame), DecodeStatus::kError);
+  EXPECT_EQ(dec.error(), ErrorCode::kOversizedFrame);
+}
+
+TEST(NetWire, ToStringCoversAllCodes) {
+  for (std::uint16_t c = 0;
+       c <= static_cast<std::uint16_t>(ErrorCode::kShuttingDown); ++c) {
+    EXPECT_STRNE(to_string(static_cast<ErrorCode>(c)), "unknown");
+  }
+  EXPECT_STRNE(to_string(FrameType::kHello), "unknown");
+  EXPECT_STRNE(to_string(FrameType::kDrained), "unknown");
+}

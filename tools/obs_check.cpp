@@ -1,6 +1,6 @@
 // obs_check — CI validator for the observability outputs of ptrack_cli.
 //
-//   obs_check --metrics m.json [--trace t.json] [--allow-empty]
+//   obs_check --metrics m.json [--trace t.json] [--allow-empty] [--net]
 //
 // Metrics snapshot checks:
 //   - the file parses with common/json and carries schema
@@ -10,7 +10,11 @@
 //     batch run must touch (load, quality, process, projection,
 //     segmentation, critical points, stride, batch bookkeeping) are present
 //     and non-zero, at least one gait decision was recorded, and the batch
-//     latency histograms saw at least one observation.
+//     latency histograms saw at least one observation;
+//   - with --net the required set switches to the ptrack.net.* ingest
+//     counters ptrack_serve drives (sessions accepted/closed, bytes in/out,
+//     the active-sessions gauge, the queue-depth histogram) — the serve
+//     smoke job's variant of the same gate.
 //
 // Chrome trace checks:
 //   - the file parses and has the trace_event envelope;
@@ -85,7 +89,19 @@ const std::vector<std::string>& required_counters() {
   return k;
 }
 
-int check_metrics(const std::string& path, bool allow_empty) {
+/// Counters a ptrack_serve run that served at least one complete healthy
+/// session always drives (shed/evicted/errors legitimately stay zero).
+const std::vector<std::string>& required_net_counters() {
+  static const std::vector<std::string> k = {
+      "ptrack.net.sessions.accepted",
+      "ptrack.net.sessions.closed",
+      "ptrack.net.bytes.in",
+      "ptrack.net.bytes.out",
+  };
+  return k;
+}
+
+int check_metrics(const std::string& path, bool allow_empty, bool net) {
   const json::Value doc = json::parse(slurp(path));
   if (doc.at("schema").as_string() != "ptrack.metrics.v1") {
     std::cerr << "obs_check: " << path << ": unexpected schema\n";
@@ -123,6 +139,34 @@ int check_metrics(const std::string& path, bool allow_empty) {
   if (allow_empty || !compiled) {
     std::cout << "obs_check: " << path << ": structure OK ("
               << counters.size() << " counters)\n";
+    return 0;
+  }
+
+  if (net) {
+    for (const std::string& name : required_net_counters()) {
+      const auto it = counters.find(name);
+      if (it == counters.end() || it->second.as_number() <= 0.0) {
+        std::cerr << "obs_check: " << path << ": required counter '" << name
+                  << "' missing or zero\n";
+        return 1;
+      }
+    }
+    if (gauges.find("ptrack.net.sessions.active") == gauges.end()) {
+      std::cerr << "obs_check: " << path
+                << ": gauge 'ptrack.net.sessions.active' missing\n";
+      return 1;
+    }
+    const auto it = histograms.find("ptrack.net.queue.depth_bytes");
+    if (it == histograms.end() ||
+        it->second.at("count").as_number() <= 0.0) {
+      std::cerr << "obs_check: " << path
+                << ": histogram 'ptrack.net.queue.depth_bytes' missing or "
+                   "empty\n";
+      return 1;
+    }
+    std::cout << "obs_check: " << path << ": net OK (" << counters.size()
+              << " counters, " << gauges.size() << " gauges, "
+              << histograms.size() << " histograms)\n";
     return 0;
   }
 
@@ -229,6 +273,10 @@ int main(int argc, char** argv) {
          {"allow-empty",
           "only check structure, not that the pipeline counters are "
           "non-zero (for PTRACK_OBS=OFF builds)",
+          "", true},
+         {"net",
+          "the metrics file comes from ptrack_serve: require the "
+          "ptrack.net.* ingest counters instead of the batch pipeline set",
           "", true}});
     if (args.help_requested()) {
       std::cout << args.usage("obs_check");
@@ -241,7 +289,8 @@ int main(int argc, char** argv) {
     }
     int rc = 0;
     if (args.has("metrics")) {
-      rc = check_metrics(args.get_string("metrics"), allow_empty);
+      rc = check_metrics(args.get_string("metrics"), allow_empty,
+                         args.get_bool("net"));
     }
     if (rc == 0 && args.has("trace")) {
       rc = check_trace(args.get_string("trace"), allow_empty);

@@ -6,7 +6,8 @@
 // the enclosing function of every token, and enforces four rules:
 //
 //   alloc       In hot-path TUs (core/stages.cpp, dsp/*.cpp,
-//               imu/sample_ring.cpp) no `new`, `make_unique`/`make_shared`
+//               imu/sample_ring.cpp, net/*.cpp except the chaos test
+//               clients) no `new`, `make_unique`/`make_shared`
 //               or container-growth call (push_back, emplace_back, resize,
 //               reserve, insert, emplace, assign) may appear outside a
 //               constructor body (reserved setup). Steady-state growth into
@@ -559,7 +560,11 @@ bool is_hot_path_tu(const std::string& generic_path) {
   if (ends_with("core/stages.cpp")) return true;
   if (ends_with("imu/sample_ring.cpp")) return true;
   if (!ends_with(".cpp")) return false;
-  return generic_path.find("dsp/") != std::string::npos;
+  if (generic_path.find("dsp/") != std::string::npos) return true;
+  // The ingest reactor's steady state must also be allocation-free; the
+  // chaos test clients are deliberately exempt (blocking test support).
+  return generic_path.find("net/") != std::string::npos &&
+         !ends_with("net/chaos.cpp");
 }
 
 bool is_growth_call(const std::string& name) {
