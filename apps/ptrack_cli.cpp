@@ -54,6 +54,7 @@
 #include "core/self_training.hpp"
 #include "core/streaming.hpp"
 #include "imu/trace_io.hpp"
+#include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/batch_runner.hpp"
@@ -71,15 +72,7 @@ void write_obs_outputs(const cli::Args& args) {
     const std::string path = args.get_string("metrics-out");
     std::ofstream out(path);
     if (!out) throw Error("cannot open " + path);
-    json::Writer w(out);
-    w.begin_object();
-    w.key("schema").value("ptrack.metrics.v1");
-    w.key("obs_compiled").value(PTRACK_OBS_ENABLED != 0);
-    w.key("metrics");
-    obs::Registry::instance().write_json(w);
-    w.end_object();
-    check(w.complete(), "ptrack_cli: complete metrics document");
-    out << '\n';
+    obs::write_metrics_document(out);
   }
   if (args.has("trace-out")) {
     const std::string path = args.get_string("trace-out");

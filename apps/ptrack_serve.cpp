@@ -16,9 +16,17 @@
 // exit 0. A second signal is not needed — the drain deadline bounds the
 // shutdown.
 //
-// Observability: --metrics-out FILE writes a ptrack.metrics.v1 snapshot
-// (the same schema as ptrack_cli) after the drain, covering the
-// ptrack.net.* counters; tools/obs_check --net-metrics validates it.
+// Observability (DESIGN.md §17):
+//   * --admin-uds / --admin-tcp bind the read-only HTTP admin plane
+//     (GET /metrics, /metrics.json, /healthz, /readyz, /sessions) inside
+//     the same reactor; tools/ptrack_top watches it live.
+//   * --log-level SPEC sets structured-logging levels ("debug" or
+//     "info,net=debug"); records are JSON lines on stderr.
+//   * --metrics-out FILE writes a ptrack.metrics.v1 snapshot (the same
+//     schema as ptrack_cli) after the drain, covering the ptrack.net.*
+//     counters; tools/obs_check --net-metrics validates it. SIGUSR1 dumps
+//     the same snapshot (plus buffered log records) on demand, without
+//     draining the server.
 
 #include <cstdint>
 #include <cstdio>
@@ -31,8 +39,9 @@
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
-#include "common/json.hpp"
 #include "net/server.hpp"
+#include "obs/export.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 using namespace ptrack;
@@ -50,21 +59,28 @@ extern "C" void on_shutdown_signal(int) {
   }
 }
 
+extern "C" void on_dump_signal(int) {
+  // Byte 2 = dump request: the reactor invokes cfg.dump_hook, so the
+  // snapshot is written on the reactor thread, not in the handler.
+  const std::uint8_t byte = 2;
+  if (g_signal_pipe_wr >= 0) {
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe_wr, &byte, 1);
+  }
+}
+
 void write_metrics(const std::string& path) {
   std::ofstream out(path);
   if (!out) throw Error("cannot open " + path);
-  json::Writer w(out);
-  w.begin_object();
-  w.key("schema").value("ptrack.metrics.v1");
-  w.key("obs_compiled").value(PTRACK_OBS_ENABLED != 0);
-  w.key("metrics");
-  obs::Registry::instance().write_json(w);
-  w.end_object();
-  check(w.complete(), "ptrack_serve: complete metrics document");
-  out << '\n';
+  obs::write_metrics_document(out);
 }
 
 int run(const cli::Args& args) {
+  if (!obs::log::apply_level_spec(args.get_string("log-level"))) {
+    std::cerr << "ptrack_serve: bad --log-level (want \"debug\" or "
+                 "\"info,net=debug\")\n";
+    return 2;
+  }
+
   net::ServerConfig cfg;
   cfg.max_sessions = static_cast<std::size_t>(args.get_int("max-sessions"));
   cfg.memory_budget_bytes =
@@ -74,6 +90,22 @@ int run(const cli::Args& args) {
   cfg.drain_deadline_s = args.get_double("drain-deadline");
   cfg.session.streaming.hop_s = args.get_double("hop");
   cfg.session.allow_f32 = !args.get_bool("no-f32");
+
+  // SIGUSR1 snapshot: runs on the reactor thread between poll iterations,
+  // so it sees a consistent registry and may use streams freely.
+  const std::string metrics_path =
+      args.has("metrics-out") ? args.get_string("metrics-out") : "";
+  cfg.dump_hook = [&metrics_path]() {
+    if (metrics_path.empty()) {
+      PTRACK_LOG_WARN("serve", "dump_skipped",
+                      kv("reason", "no --metrics-out path"));
+      return;
+    }
+    write_metrics(metrics_path);
+    obs::log::drain();
+    PTRACK_LOG_INFO("serve", "metrics_dumped",
+                    kv("path", metrics_path.c_str()));
+  };
 
   // Signal self-pipe: the handler writes one byte, the reactor's poll set
   // sees the read end become readable and starts the drain.
@@ -94,6 +126,10 @@ int run(const cli::Args& args) {
   ::sigemptyset(&sa.sa_mask);
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  struct sigaction sa_dump = {};
+  sa_dump.sa_handler = on_dump_signal;
+  ::sigemptyset(&sa_dump.sa_mask);
+  ::sigaction(SIGUSR1, &sa_dump, nullptr);
 
   net::Server server(std::move(cfg));
   if (args.has("uds")) {
@@ -112,11 +148,28 @@ int run(const cli::Args& args) {
     std::cout << "ptrack_serve: listening on tcp:" << args.get_string("host")
               << ":" << server.tcp_port() << "\n";
   }
+  if (args.has("admin-uds")) {
+    server.listen_admin(net::Endpoint::uds(args.get_string("admin-uds")));
+    std::cout << "ptrack_serve: admin on uds:" << args.get_string("admin-uds")
+              << "\n";
+  }
+  if (args.has("admin-tcp")) {
+    const long port = args.get_int("admin-tcp");
+    if (port < 0 || port > 65535) {
+      std::cerr << "ptrack_serve: --admin-tcp out of range\n";
+      return 2;
+    }
+    server.listen_admin(net::Endpoint::tcp(
+        args.get_string("host"), static_cast<std::uint16_t>(port)));
+    std::cout << "ptrack_serve: admin on tcp:" << args.get_string("host")
+              << ":" << server.admin_tcp_port() << "\n";
+  }
   std::cout.flush();
 
   server.run();  // returns after a completed drain (SIGTERM/SIGINT)
 
-  if (args.has("metrics-out")) write_metrics(args.get_string("metrics-out"));
+  if (!metrics_path.empty()) write_metrics(metrics_path);
+  obs::log::drain();  // flush records buffered since the reactor exited
 
   if (!args.get_bool("quiet")) {
     const net::ServerStats s = server.stats();
@@ -154,8 +207,14 @@ int main(int argc, char** argv) {
       {"drain-deadline", "graceful-shutdown flush budget (s)", "2", false},
       {"hop", "streaming hop interval (s)", "1", false},
       {"no-f32", "reject float32-precision HELLOs", "", true},
+      {"admin-uds", "serve the HTTP admin plane on a Unix domain socket "
+                    "at this path", "", false},
+      {"admin-tcp", "serve the HTTP admin plane on this TCP port "
+                    "(0 = ephemeral)", "", false},
+      {"log-level", "structured-log levels: LEVEL or "
+                    "LEVEL,subsys=LEVEL,...", "info", false},
       {"metrics-out", "write a metrics snapshot (JSON) here after the "
-                      "drain", "", false},
+                      "drain (and on SIGUSR1)", "", false},
       {"quiet", "suppress the exit summary", "", true},
   };
   try {

@@ -9,16 +9,23 @@
 // repeats the identical healthy workload while M chaos clients per mode
 // cycle (corrupt frames, slowloris drips, oversized headers, mid-stream
 // disconnects, protocol violations) hammer the same listener in a loop for
-// the whole phase. Both phases also verify full protocol completion
-// (HELLO_ACK .. DRAINED) and count emitted events.
+// the whole phase. Phase C repeats phase B while a scraper thread polls
+// the HTTP admin plane (/metrics, /metrics.json, /sessions, /healthz) at
+// 10 Hz — the telemetry-overhead configuration. All phases also verify
+// full protocol completion (HELLO_ACK .. DRAINED) and count emitted
+// events.
 //
 // Flags:
 //   --reduced     fewer clients, shorter traces (the CI smoke configuration)
-//   --gate        fail (exit 1) unless BOTH hold:
+//   --gate        fail (exit 1) unless ALL hold:
 //                   1. chaos-phase healthy p99 frame latency <= 1.2x the
 //                      healthy-only p99 (plus a 300 us absolute floor so
 //                      sub-millisecond scheduler noise cannot flake CI);
-//                   2. every healthy client in both phases completed the
+//                   2. scraped-phase healthy p99 <= 1.1x the unscraped
+//                      chaos p99 (same floor) — a 10 Hz scrape may not
+//                      tax ingest;
+//                   3. every scrape answered (zero failures);
+//                   4. every healthy client in all phases completed the
 //                      full protocol with the expected event count.
 //   --json PATH   write {"bench":"ingest_storm","metrics":{...}} (also via
 //                 the PTRACK_BENCH_JSON environment variable)
@@ -40,6 +47,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "net/chaos.hpp"
+#include "net/http.hpp"
 #include "net/server.hpp"
 #include "net/wire.hpp"
 #include "synth/synthesizer.hpp"
@@ -166,17 +174,41 @@ struct PhaseResult {
   std::size_t events = 0;
   std::size_t healthy_ok = 0;
   std::size_t chaos_runs = 0;
+  std::size_t scrapes = 0;
+  std::size_t scrape_failures = 0;
   double wall_s = 0.0;
 };
 
 PhaseResult run_phase(const std::string& name, const net::Endpoint& ep,
                       const std::vector<imu::Trace>& traces,
-                      std::size_t chaos_threads) {
+                      std::size_t chaos_threads,
+                      const net::Endpoint* admin_ep = nullptr) {
   PhaseResult res;
   res.name = name;
   const auto start = Clock::now();
 
   std::atomic<bool> stop{false};
+  std::atomic<std::size_t> scrapes{0};
+  std::atomic<std::size_t> scrape_failures{0};
+  std::thread scraper;
+  if (admin_ep != nullptr) {
+    // 10 Hz rotation over every admin route — the documented operating
+    // point of an external metrics collector plus a ptrack_top.
+    scraper = std::thread([&] {
+      const char* kTargets[] = {"/metrics", "/metrics.json", "/sessions",
+                                "/healthz"};
+      std::size_t k = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const net::HttpGetResult r =
+            net::http_get(*admin_ep, kTargets[k++ % std::size(kTargets)]);
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+        if (!r.ok || r.status != 200 || r.body.empty()) {
+          scrape_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+  }
   std::atomic<std::size_t> chaos_runs{0};
   std::vector<std::thread> chaos;
   const net::ChaosMode kModes[] = {
@@ -215,6 +247,9 @@ PhaseResult run_phase(const std::string& name, const net::Endpoint& ep,
   for (std::thread& t : healthy) t.join();
   stop.store(true, std::memory_order_relaxed);
   for (std::thread& t : chaos) t.join();
+  if (scraper.joinable()) scraper.join();
+  res.scrapes = scrapes.load();
+  res.scrape_failures = scrape_failures.load();
 
   std::vector<double> all_us;
   for (const HealthyOutcome& o : outcomes) {
@@ -270,7 +305,11 @@ int main(int argc, char** argv) {
     net::Server server(std::move(cfg));
     const net::Endpoint ep = net::Endpoint::uds(
         "/tmp/ptrack_ingest_storm_" + std::to_string(::getpid()) + ".sock");
+    const net::Endpoint admin_ep = net::Endpoint::uds(
+        "/tmp/ptrack_ingest_storm_" + std::to_string(::getpid()) +
+        ".admin.sock");
     server.listen(ep);
+    server.listen_admin(admin_ep);
     std::thread reactor([&] { server.run(); });
     while (!server.running()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -279,27 +318,41 @@ int main(int argc, char** argv) {
     const PhaseResult a = run_phase("healthy_only", ep, traces, 0);
     const PhaseResult b = run_phase("healthy_plus_chaos", ep, traces,
                                     n_chaos);
+    const PhaseResult c = run_phase("healthy_chaos_scraped", ep, traces,
+                                    n_chaos, &admin_ep);
     server.request_stop();
     reactor.join();
 
     std::printf(
         "ingest_storm: %zu healthy x %.0f s traces, %zu chaos threads in "
-        "phase B\n",
+        "phases B/C, 10 Hz admin scraping in phase C\n",
         n_healthy, trace_s, n_chaos);
-    std::printf("  %-20s %10s %10s %10s %12s %9s %6s\n", "phase", "p50 us",
-                "p90 us", "p99 us", "events/s", "chaos", "ok");
-    for (const PhaseResult* p : {&a, &b}) {
-      std::printf("  %-20s %10.1f %10.1f %10.1f %12.1f %9zu %3zu/%zu\n",
-                  p->name.c_str(), p->p50_us, p->p90_us, p->p99_us,
-                  p->events_per_s, p->chaos_runs, p->healthy_ok, n_healthy);
+    std::printf("  %-22s %10s %10s %10s %12s %9s %8s %6s\n", "phase",
+                "p50 us", "p90 us", "p99 us", "events/s", "chaos",
+                "scrapes", "ok");
+    for (const PhaseResult* p : {&a, &b, &c}) {
+      std::printf(
+          "  %-22s %10.1f %10.1f %10.1f %12.1f %9zu %8zu %3zu/%zu\n",
+          p->name.c_str(), p->p50_us, p->p90_us, p->p99_us, p->events_per_s,
+          p->chaos_runs, p->scrapes, p->healthy_ok, n_healthy);
     }
 
     const double allowed_p99 = 1.2 * a.p99_us + 300.0;
     const bool p99_held = b.p99_us <= allowed_p99;
-    const bool all_ok =
-        a.healthy_ok == n_healthy && b.healthy_ok == n_healthy;
+    const double allowed_scraped_p99 = 1.1 * b.p99_us + 300.0;
+    const bool scrape_overhead_held = c.p99_us <= allowed_scraped_p99;
+    const bool scrapes_ok = c.scrapes > 0 && c.scrape_failures == 0;
+    const bool all_ok = a.healthy_ok == n_healthy &&
+                        b.healthy_ok == n_healthy &&
+                        c.healthy_ok == n_healthy;
     std::printf("  chaos p99 %.1f us vs allowed %.1f us (%s)\n", b.p99_us,
                 allowed_p99, p99_held ? "ok" : "VIOLATION");
+    std::printf(
+        "  scraped p99 %.1f us vs allowed %.1f us (%s), %zu scrapes, "
+        "%zu failed (%s)\n",
+        c.p99_us, allowed_scraped_p99,
+        scrape_overhead_held ? "ok" : "VIOLATION", c.scrapes,
+        c.scrape_failures, scrapes_ok ? "ok" : "VIOLATION");
     const net::ServerStats stats = server.stats();
 
     std::string path = "BENCH_ingest.json";
@@ -319,7 +372,7 @@ int main(int argc, char** argv) {
       w.key("healthy_clients").value(n_healthy);
       w.key("chaos_threads").value(n_chaos);
       w.key("trace_s").value(trace_s);
-      for (const PhaseResult* p : {&a, &b}) {
+      for (const PhaseResult* p : {&a, &b, &c}) {
         w.key(p->name + "_frame_p50_us").value(p->p50_us);
         w.key(p->name + "_frame_p90_us").value(p->p90_us);
         w.key(p->name + "_frame_p99_us").value(p->p99_us);
@@ -329,7 +382,10 @@ int main(int argc, char** argv) {
         w.key(p->name + "_chaos_runs").value(p->chaos_runs);
         w.key(p->name + "_wall_s").value(p->wall_s);
       }
+      w.key("scrapes").value(c.scrapes);
+      w.key("scrape_failures").value(c.scrape_failures);
       w.key("p99_degradation_held").value(p99_held);
+      w.key("scrape_overhead_held").value(scrape_overhead_held);
       w.key("all_healthy_completed").value(all_ok);
       w.key("server_accepted").value(stats.accepted);
       w.key("server_frames_rejected").value(stats.frames_rejected);
@@ -342,7 +398,8 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", path.c_str());
 
-    if (gate && !(p99_held && all_ok)) {
+    if (gate && !(p99_held && scrape_overhead_held && scrapes_ok &&
+                  all_ok)) {
       std::printf("INGEST GATE VIOLATION\n");
       return 1;
     }

@@ -1,0 +1,69 @@
+// Fuzz target: the admin plane's HTTP request parser and router.
+//
+// net::HttpRequestParser is the trust boundary of the telemetry listener —
+// any local process (or anything that can reach the admin TCP port) can
+// write arbitrary bytes at it. The parser must stay strictly bounded
+// (request and target caps), terminal states must be sticky (more bytes
+// after kDone/kError change nothing), and the router must total-function
+// over any target string. None of it may crash, loop or allocate without
+// bound regardless of input.
+//
+// The first input byte seeds the feed chunk size so the corpus exercises
+// incremental parsing (request lines split at arbitrary byte boundaries),
+// not just whole-buffer parsing.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "net/admin.hpp"
+#include "net/http.hpp"
+
+using namespace ptrack;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::size_t chunk = 1 + static_cast<std::size_t>(data[0] % 64) * 29;
+  std::span<const std::uint8_t> rest(data + 1, size - 1);
+
+  net::HttpRequestParser parser;
+  net::HttpParseStatus status = net::HttpParseStatus::kNeedMore;
+  std::size_t fed = 0;
+  while (!rest.empty()) {
+    const std::size_t n = rest.size() < chunk ? rest.size() : chunk;
+    status = parser.feed(rest.subspan(0, n));
+    fed += n;
+    rest = rest.subspan(n);
+    if (status != net::HttpParseStatus::kNeedMore) break;
+  }
+
+  if (status == net::HttpParseStatus::kNeedMore) {
+    // The parser may only keep asking for more while under its cap.
+    if (fed >= net::kMaxHttpRequestBytes) __builtin_trap();
+    if (parser.done() || parser.failed()) __builtin_trap();
+  }
+  if (parser.done()) {
+    const net::HttpRequest& req = parser.request();
+    if (req.method.empty() || req.method.size() > 16) __builtin_trap();
+    if (req.target.empty() || req.target.front() != '/') __builtin_trap();
+    if (req.target.size() > net::kMaxHttpTargetBytes) __builtin_trap();
+    if (req.minor_version != 0 && req.minor_version != 1) __builtin_trap();
+    static_cast<void>(net::admin_route(req.target));
+  }
+  if (parser.failed() && parser.error() == nullptr) __builtin_trap();
+
+  // Terminal states are sticky: feeding more bytes changes nothing.
+  if (status != net::HttpParseStatus::kNeedMore) {
+    const std::uint8_t more = 'x';
+    const net::HttpParseStatus again = parser.feed({&more, 1});
+    if (again != status) __builtin_trap();
+  }
+
+  // The router is a total function over arbitrary target strings.
+  const std::string_view raw(reinterpret_cast<const char*>(data + 1),
+                             size - 1);
+  static_cast<void>(net::admin_route(raw));
+  return 0;
+}

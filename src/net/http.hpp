@@ -1,0 +1,90 @@
+// Minimal HTTP/1.0 support for the read-only admin plane: a strictly
+// bounded request parser (fuzzed by fuzz/fuzz_http_admin), a response
+// builder, and a small blocking GET client shared by ptrack_top, tests
+// and the ingest_storm scraper.
+//
+// Scope is deliberately tiny: one request per connection (the server
+// always answers `Connection: close`), GET-only enforcement lives in the
+// router, request bodies and header *values* are ignored. The parser's
+// job is to never read past its bound, never allocate proportionally to
+// attacker input beyond that bound, and classify bytes as a well-formed
+// request line or an error — not to be a general HTTP implementation.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace ptrack::net {
+
+/// Hard cap on one admin request (request line + headers). More than this
+/// without a blank-line terminator is an error, not a bigger buffer.
+inline constexpr std::size_t kMaxHttpRequestBytes = 4096;
+/// Request-target length cap (path + optional query).
+inline constexpr std::size_t kMaxHttpTargetBytes = 1024;
+
+struct HttpRequest {
+  std::string method;  ///< uppercase token, e.g. "GET"
+  std::string target;  ///< origin-form, e.g. "/metrics.json?x=1"
+  int minor_version = 0;  ///< HTTP/1.<minor>
+};
+
+enum class HttpParseStatus : std::uint8_t {
+  kNeedMore,  ///< terminator not seen yet; feed more bytes
+  kDone,      ///< request() is valid; surplus bytes were ignored
+  kError,     ///< malformed or over budget; error() names the reason
+};
+
+/// Incremental parser for one request. feed() accumulates until the
+/// header-terminating blank line, then parses the request line once.
+/// Tolerates both CRLF and bare LF line endings (curl sends CRLF; hand
+/// clients often do not).
+class HttpRequestParser {
+ public:
+  [[nodiscard]] HttpParseStatus feed(std::span<const std::uint8_t> bytes);
+
+  /// Valid after kDone.
+  [[nodiscard]] const HttpRequest& request() const { return request_; }
+  /// Static reason string after kError.
+  [[nodiscard]] const char* error() const { return error_; }
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool failed() const { return error_ != nullptr; }
+
+ private:
+  [[nodiscard]] HttpParseStatus fail(const char* reason);
+  [[nodiscard]] HttpParseStatus parse_request_line(std::string_view line);
+
+  std::string buf_;
+  HttpRequest request_;
+  const char* error_ = nullptr;
+  bool done_ = false;
+};
+
+/// Builds a complete HTTP/1.0 response with Content-Length and
+/// `Connection: close`.
+[[nodiscard]] std::string http_response(int status,
+                                        std::string_view content_type,
+                                        std::string_view body);
+
+/// Canonical reason phrase ("OK", "Not Found", ...; "Unknown" otherwise).
+[[nodiscard]] const char* http_status_text(int status);
+
+/// Blocking one-shot GET for tools and tests. Connects, sends the
+/// request, reads to EOF, parses the status line. Never throws: transport
+/// and protocol failures come back as ok=false + error text.
+struct HttpGetResult {
+  bool ok = false;     ///< transport + parse succeeded (any status code)
+  int status = 0;
+  std::string body;
+  std::string error;
+};
+[[nodiscard]] HttpGetResult http_get(const Endpoint& ep,
+                                     std::string_view target,
+                                     double timeout_s = 5.0);
+
+}  // namespace ptrack::net

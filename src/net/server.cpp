@@ -12,6 +12,7 @@
 
 #include "common/check.hpp"
 #include "common/error.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace ptrack::net {
@@ -60,6 +61,10 @@ Server::~Server() {
     listeners_[i].close();
     unlink_uds(endpoints_[i]);
   }
+  for (std::size_t i = 0; i < admin_listeners_.size(); ++i) {
+    admin_listeners_[i].close();
+    unlink_uds(admin_endpoints_[i]);
+  }
   if (wake_rd_ >= 0) ::close(wake_rd_);
   if (wake_wr_ >= 0) ::close(wake_wr_);
 }
@@ -73,6 +78,17 @@ void Server::listen(const Endpoint& ep) {
   listeners_.push_back(std::move(s));
   // ptrack-lint: allow(alloc) bind-time setup, before the reactor runs
   endpoints_.push_back(ep);
+}
+
+void Server::listen_admin(const Endpoint& ep) {
+  expects(!running_.load(std::memory_order_acquire),
+          "Server::listen_admin: bind before run()");
+  Socket s = listen_on(ep);
+  if (ep.kind == Endpoint::Kind::kTcp) admin_tcp_port_ = local_port(s);
+  // ptrack-lint: allow(alloc) bind-time setup, before the reactor runs
+  admin_listeners_.push_back(std::move(s));
+  // ptrack-lint: allow(alloc) bind-time setup, before the reactor runs
+  admin_endpoints_.push_back(ep);
 }
 
 void Server::request_stop() {
@@ -104,6 +120,9 @@ ServerStats Server::stats() const {
   s.events_out = counters_.events_out.load(std::memory_order_relaxed);
   s.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
   s.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  s.admin_requests =
+      counters_.admin_requests.load(std::memory_order_relaxed);
+  s.admin_shed = counters_.admin_shed.load(std::memory_order_relaxed);
   s.sessions_active = counters_.active.load(std::memory_order_relaxed);
   s.memory_charged_bytes =
       counters_.memory_charged.load(std::memory_order_relaxed);
@@ -127,14 +146,51 @@ void Server::drain_wakeup_fd(int fd) {
   }
 }
 
+void Server::service_shutdown_fd() {
+  // The self-pipe carries a one-byte command per signal: byte 2 = dump
+  // (SIGUSR1), anything else = drain (SIGTERM/SIGINT). Both may arrive in
+  // one burst; dump first so a drain request cannot outrun the snapshot.
+  std::array<std::uint8_t, 64> buf{};
+  bool drain_requested = false;
+  bool dump_requested = false;
+  ssize_t n = 0;
+  while ((n = ::read(cfg_.shutdown_fd, buf.data(), buf.size())) > 0) {
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[static_cast<std::size_t>(i)] == 2) {
+        dump_requested = true;
+      } else {
+        drain_requested = true;
+      }
+    }
+  }
+  if (dump_requested && cfg_.dump_hook) {
+    PTRACK_LOG_INFO("net", "dump_requested");
+    try {
+      cfg_.dump_hook();
+    } catch (const std::exception&) {
+      PTRACK_LOG_ERROR("net", "dump_hook_failed");
+    }
+  }
+  if (drain_requested) {
+    drain_flag_.store(true, std::memory_order_release);
+  }
+}
+
 void Server::run() {
   expects(!listeners_.empty(), "Server::run: call listen() first");
+  start_time_ = Clock::now();
   running_.store(true, std::memory_order_release);
+  PTRACK_LOG_INFO("net", "server_started",
+                  kv("listeners", listeners_.size()),
+                  kv("admin_listeners", admin_listeners_.size()),
+                  kv("max_sessions", cfg_.max_sessions));
   std::vector<pollfd> pfds;
   // Reactor-setup reservation; the per-iteration rebuilds below stay
-  // within it (sessions are capped by max_sessions).
+  // within it (sessions and admin connections are capped by their
+  // admission budgets).
   // ptrack-lint: allow(alloc) one-time reactor-setup reservation
-  pfds.reserve(cfg_.max_sessions + listeners_.size() + 2);
+  pfds.reserve(cfg_.max_sessions + cfg_.admin_max_sessions +
+               listeners_.size() + admin_listeners_.size() + 2);
 
   while (true) {
     if (stop_flag_.load(std::memory_order_acquire)) break;
@@ -160,6 +216,18 @@ void Server::run() {
         // ptrack-lint: allow(alloc) within the run()-entry reservation
         pfds.push_back({l.fd(), POLLIN, 0});
       }
+    }
+    // The admin plane stays up during drain: operators watch it finish.
+    for (const Socket& l : admin_listeners_) {
+      // ptrack-lint: allow(alloc) within the run()-entry reservation
+      pfds.push_back({l.fd(), POLLIN, 0});
+    }
+    for (const auto& [fd, ac] : admin_conns_) {
+      int events = 0;
+      if (!ac.responded) events |= POLLIN;
+      if (ac.out_pos < ac.out.size()) events |= POLLOUT;
+      // ptrack-lint: allow(alloc) within the run()-entry reservation
+      pfds.push_back({fd, static_cast<short>(events), 0});
     }
     for (const auto& [fd, conn] : conns_) {
       int events = 0;
@@ -189,8 +257,7 @@ void Server::run() {
         continue;
       }
       if (cfg_.shutdown_fd >= 0 && p.fd == cfg_.shutdown_fd) {
-        drain_wakeup_fd(cfg_.shutdown_fd);
-        drain_flag_.store(true, std::memory_order_release);
+        service_shutdown_fd();
         continue;
       }
       bool is_listener = false;
@@ -202,8 +269,32 @@ void Server::run() {
         }
       }
       if (is_listener) continue;
+      for (const Socket& l : admin_listeners_) {
+        if (l.fd() == p.fd) {
+          accept_admin_pending(l);
+          is_listener = true;
+          break;
+        }
+      }
+      if (is_listener) continue;
       const auto it = conns_.find(p.fd);
-      if (it == conns_.end()) continue;
+      if (it == conns_.end()) {
+        const auto ait = admin_conns_.find(p.fd);
+        if (ait == admin_conns_.end()) continue;
+        AdminConn& ac = ait->second;
+        if ((p.revents & (POLLERR | POLLNVAL)) != 0) {
+          // ptrack-lint: allow(alloc) reused close list, bounded by budget
+          admin_to_close_.push_back(p.fd);
+          continue;
+        }
+        if ((p.revents & POLLIN) != 0) handle_admin_readable(ac);
+        if ((p.revents & POLLOUT) != 0) handle_admin_writable(ac);
+        if ((p.revents & POLLHUP) != 0 && (p.revents & POLLIN) == 0) {
+          // ptrack-lint: allow(alloc) reused close list, bounded by budget
+          admin_to_close_.push_back(p.fd);
+        }
+        continue;
+      }
       Conn& conn = it->second;
       if ((p.revents & (POLLERR | POLLNVAL)) != 0) {
         // ptrack-lint: allow(alloc) reused close list, bounded by live fds
@@ -220,8 +311,14 @@ void Server::run() {
       }
     }
 
-    enforce_deadlines(Clock::now());
+    const Clock::time_point tick_end = Clock::now();
+    enforce_deadlines(tick_end);
+    enforce_admin_deadlines(tick_end);
     close_marked();
+    close_marked_admin();
+    // The reactor is the log drainer: every ring flushes to the sink at
+    // tick cadence, so records are at most one poll interval stale.
+    obs::log::drain();
   }
 
   // Teardown: whatever is still open gets closed; drain already flushed
@@ -239,7 +336,14 @@ void Server::run() {
   }
   listeners_.clear();
   endpoints_.clear();
+  teardown_admin();
   publish_gauges();
+  PTRACK_LOG_INFO("net", "server_stopped",
+                  kv("accepted",
+                     counters_.accepted.load(std::memory_order_relaxed)),
+                  kv("closed",
+                     counters_.closed.load(std::memory_order_relaxed)));
+  obs::log::drain();
   running_.store(false, std::memory_order_release);
 }
 
@@ -285,6 +389,9 @@ void Server::shed_connection(Socket sock) {
   }
   counters_.shed.fetch_add(1, std::memory_order_relaxed);
   PTRACK_COUNT("ptrack.net.sessions.shed");
+  PTRACK_LOG_WARN("net", "session_shed",
+                  kv("sessions_active", conns_.size()),
+                  kv("memory_charged_bytes", memory_charged_));
 }
 
 void Server::handle_readable(Conn& conn) {
@@ -316,6 +423,9 @@ void Server::handle_readable(Conn& conn) {
     // neighbor sessions keep streaming; this one is torn down.
     counters_.session_errors.fetch_add(1, std::memory_order_relaxed);
     PTRACK_COUNT("ptrack.net.sessions.errors");
+    PTRACK_LOG_ERROR("net", "session_error",
+                     kv("session_id", conn.session.id()),
+                     kv("fd", conn.sock.fd()));
     // ptrack-lint: allow(alloc) reused close list, bounded by live fds
     to_close_.push_back(conn.sock.fd());
     return;
@@ -422,6 +532,8 @@ void Server::enforce_deadlines(Clock::time_point now) {
                               : "HELLO not completed in time");
       counters_.evicted_stall.fetch_add(1, std::memory_order_relaxed);
       PTRACK_COUNT("ptrack.net.sessions.evicted");
+      PTRACK_LOG_WARN("net", "session_evicted", kv("reason", "stall"),
+                      kv("session_id", conn.session.id()));
       begin_close(conn);
       continue;
     }
@@ -442,6 +554,10 @@ void Server::enforce_deadlines(Clock::time_point now) {
                             "event backlog not being read");
         counters_.evicted_slow.fetch_add(1, std::memory_order_relaxed);
         PTRACK_COUNT("ptrack.net.sessions.evicted");
+        PTRACK_LOG_WARN("net", "session_evicted",
+                        kv("reason", "slow_consumer"),
+                        kv("session_id", conn.session.id()),
+                        kv("out_pending_bytes", pending));
         begin_close(conn);
         continue;
       }
@@ -454,6 +570,8 @@ void Server::enforce_deadlines(Clock::time_point now) {
                           "no complete frame within the idle timeout");
       counters_.evicted_idle.fetch_add(1, std::memory_order_relaxed);
       PTRACK_COUNT("ptrack.net.sessions.evicted");
+      PTRACK_LOG_WARN("net", "session_evicted", kv("reason", "idle"),
+                      kv("session_id", conn.session.id()));
       begin_close(conn);
     }
   }
@@ -461,6 +579,8 @@ void Server::enforce_deadlines(Clock::time_point now) {
 
 void Server::enter_drain(Clock::time_point now) {
   draining_ = true;
+  PTRACK_LOG_INFO("net", "drain_started", kv("sessions", conns_.size()),
+                  kv("deadline_s", cfg_.drain_deadline_s));
   drain_deadline_ =
       now + std::chrono::duration_cast<Clock::duration>(
                 std::chrono::duration<double>(cfg_.drain_deadline_s));

@@ -34,9 +34,12 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "net/http.hpp"
 #include "net/session.hpp"
 #include "net/socket.hpp"
 
@@ -63,10 +66,21 @@ struct ServerConfig {
   /// shrink it to exercise the slow-consumer path without megabytes of
   /// event traffic.
   std::size_t sndbuf_bytes = 0;
-  /// Readable => drain. The async-signal-safe shutdown hook: ptrack_serve
-  /// installs a self-pipe whose write end the SIGTERM handler writes to.
+  /// Readable => act. The async-signal-safe control hook: ptrack_serve
+  /// installs a self-pipe whose write end its signal handlers write to.
+  /// Byte value 2 invokes dump_hook on the reactor thread (SIGUSR1
+  /// snapshot); any other byte requests a drain (SIGTERM/SIGINT).
   /// -1 disables. Not owned by the server.
   int shutdown_fd = -1;
+  /// Invoked on the reactor thread when shutdown_fd receives byte 2 —
+  /// ptrack_serve's on-demand metrics + log dump. May be empty.
+  std::function<void()> dump_hook;
+  /// Admission budget of the read-only HTTP admin plane (listen_admin).
+  /// Separate from max_sessions so scrapers can never crowd out ingest
+  /// and vice versa. Excess admin connections get an immediate 503.
+  std::size_t admin_max_sessions = 8;
+  /// An admin connection must complete request + response within this.
+  double admin_timeout_s = 5.0;
 };
 
 /// Snapshot of the server's lifetime counters (thread-safe to take while
@@ -85,6 +99,8 @@ struct ServerStats {
   std::uint64_t events_out = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t admin_requests = 0;  ///< admin-plane requests answered
+  std::uint64_t admin_shed = 0;      ///< admin connections refused (503)
   std::size_t sessions_active = 0;
   std::size_t memory_charged_bytes = 0;
 };
@@ -100,6 +116,16 @@ class Server {
   void listen(const Endpoint& ep);
   /// Port of the most recent kTcp listener (resolves port 0).
   [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Binds a read-only HTTP admin listener (GET /metrics, /metrics.json,
+  /// /healthz, /readyz, /sessions — see net/admin.hpp). Served inside the
+  /// same reactor with its own admission budget; stays up during drain so
+  /// operators can watch it finish.
+  void listen_admin(const Endpoint& ep);
+  /// Port of the most recent kTcp admin listener (resolves port 0).
+  [[nodiscard]] std::uint16_t admin_tcp_port() const {
+    return admin_tcp_port_;
+  }
 
   /// Runs the reactor until request_stop() or a completed drain. Throws
   /// only on reactor-level failures (socket layer breakage), never on
@@ -124,6 +150,7 @@ class Server {
   struct Conn {
     Socket sock;
     Session session;
+    Clock::time_point established;  ///< accept time (/sessions uptime)
     Clock::time_point last_frame_activity;
     Clock::time_point stall_since;  ///< mid-frame or pre-HELLO onset
     bool stalled = false;
@@ -135,8 +162,22 @@ class Server {
     bool hello_charged = false;     ///< charge upgraded after HELLO
 
     Conn(Socket s, const SessionConfig& cfg, Clock::time_point now)
-        : sock(std::move(s)), session(cfg), last_frame_activity(now),
-          stall_since(now), linger_deadline(now) {}
+        : sock(std::move(s)), session(cfg), established(now),
+          last_frame_activity(now), stall_since(now), linger_deadline(now) {}
+  };
+
+  /// One admin-plane connection: parse one GET, queue one response,
+  /// flush, close. Defined alongside the route logic in net/admin.cpp.
+  struct AdminConn {
+    Socket sock;
+    HttpRequestParser parser;
+    std::string out;            ///< complete response once responded
+    std::size_t out_pos = 0;
+    Clock::time_point since;    ///< accept time (admin_timeout_s clock)
+    bool responded = false;
+
+    AdminConn(Socket s, Clock::time_point now)
+        : sock(std::move(s)), since(now) {}
   };
 
   void accept_pending(const Socket& listener);
@@ -150,6 +191,16 @@ class Server {
   void charge(Conn& conn);
   void publish_gauges();
   void drain_wakeup_fd(int fd);
+  void service_shutdown_fd();
+
+  // Admin plane (net/admin.cpp).
+  void accept_admin_pending(const Socket& listener);
+  void handle_admin_readable(AdminConn& conn);
+  void handle_admin_writable(AdminConn& conn);
+  void build_admin_response(AdminConn& conn, HttpParseStatus status);
+  void enforce_admin_deadlines(Clock::time_point now);
+  void close_marked_admin();
+  void teardown_admin();
 
   ServerConfig cfg_;
   std::vector<Socket> listeners_;
@@ -158,6 +209,13 @@ class Server {
   std::unordered_map<int, Conn> conns_;
   std::vector<int> to_close_;        ///< fds marked dead this iteration
   std::vector<std::uint8_t> read_buf_;
+
+  std::vector<Socket> admin_listeners_;
+  std::vector<Endpoint> admin_endpoints_;
+  std::uint16_t admin_tcp_port_ = 0;
+  std::unordered_map<int, AdminConn> admin_conns_;
+  std::vector<int> admin_to_close_;
+  Clock::time_point start_time_{};   ///< run() entry (uptime reporting)
 
   int wake_rd_ = -1;                 ///< self-pipe (request_stop/drain)
   int wake_wr_ = -1;
@@ -175,7 +233,7 @@ class Server {
     std::atomic<std::uint64_t> accepted{0}, shed{0}, evicted_idle{0},
         evicted_stall{0}, evicted_slow{0}, closed{0}, session_errors{0},
         frames_ok{0}, frames_rejected{0}, samples_in{0}, events_out{0},
-        bytes_in{0}, bytes_out{0};
+        bytes_in{0}, bytes_out{0}, admin_requests{0}, admin_shed{0};
     std::atomic<std::size_t> active{0}, memory_charged{0};
   };
   Counters counters_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
 namespace ptrack::net {
@@ -130,6 +131,9 @@ Session::IoResult Session::on_hello(const Frame& frame) {
   fs_ = hello.fs;
   mem_estimate_ = session_memory_estimate(cfg_, fs_);
   state_ = State::kStreaming;
+  PTRACK_LOG_DEBUG("net", "session_hello", kv("session_id", id_),
+                   kv("fs", fs_),
+                   kv("f32", hello.precision == 1));
   ++counters_.frames_ok;
   PTRACK_COUNT("ptrack.net.frames.ok");
   HelloAck ack;
@@ -214,6 +218,9 @@ void Session::consume_out(std::size_t n) {
 
 Session::IoResult Session::protocol_error(ErrorCode code,
                                           const char* detail) {
+  PTRACK_LOG_WARN("net", "session_protocol_error", kv("session_id", id_),
+                  kv("code", static_cast<unsigned>(code)),
+                  kv("detail", detail));
   compact_out();
   append_error(out_, code, 0, detail);
   state_ = State::kClosing;

@@ -103,6 +103,11 @@ class Session {
   [[nodiscard]] bool hello_done() const { return tracker_.has_value(); }
   [[nodiscard]] double fs() const { return fs_; }
   [[nodiscard]] const SessionCounters& counters() const { return counters_; }
+  /// Pipeline statistics for the admin plane's /sessions quality columns
+  /// (all-zero before HELLO builds the tracker).
+  [[nodiscard]] core::StreamingStats streaming_stats() const {
+    return tracker_.has_value() ? tracker_->stats() : core::StreamingStats{};
+  }
 
   /// Queued output bytes; the server writes from the front.
   [[nodiscard]] std::span<const std::uint8_t> out() const {

@@ -1,0 +1,428 @@
+#include "obs/log.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace ptrack::obs::log {
+
+namespace {
+
+/// One snake_case segment, mirroring a metric-name segment.
+bool valid_subsystem_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double wall_unix_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Lock-free SPSC ring: the owning thread pushes, whichever thread holds
+/// the drain mutex pops. A full ring drops (counted), never blocks.
+class Ring {
+ public:
+  static constexpr std::size_t kCapacity = 128;  // power of two
+
+  bool try_push(const Record& rec) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    if (h - t >= kCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    slots_[h % kCapacity] = rec;
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(Record& out) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    if (t == h) return false;
+    out = slots_[t % kCapacity];
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::uint64_t take_dropped() {
+    return dropped_.exchange(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Record slots_[kCapacity];
+  std::atomic<std::uint64_t> head_{0};  ///< owner-thread writes
+  std::atomic<std::uint64_t> tail_{0};  ///< drainer writes
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct RingRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;  ///< process-lifetime owned
+};
+
+RingRegistry& ring_registry() {
+  static RingRegistry r;
+  return r;
+}
+
+Ring& this_thread_ring() {
+  thread_local Ring* ring = [] {
+    auto owned = std::make_unique<Ring>();
+    Ring* p = owned.get();
+    RingRegistry& rr = ring_registry();
+    std::lock_guard<std::mutex> lk(rr.mu);
+    rr.rings.push_back(std::move(owned));
+    return p;
+  }();
+  return *ring;
+}
+
+std::atomic<std::uint8_t> g_default_level{
+    static_cast<std::uint8_t>(Level::kInfo)};
+
+std::atomic<std::ostream*> g_sink{nullptr};
+
+/// Shortest round-trippable decimal; NaN/Inf degrade to null so every
+/// drained line stays valid JSON.
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  for (const int prec : {6, 15, 17}) {
+    const int n = std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    check(n > 0 && static_cast<std::size_t>(n) < sizeof(buf),
+          "log write_double: buffer");
+    double back = 0.0;
+    if (std::sscanf(buf, "%lf", &back) == 1 && back == v) break;
+  }
+  os << buf;
+}
+
+void write_value(std::ostream& os, const Value& v) {
+  switch (v.tag) {
+    case Value::Tag::kI64: os << v.i; break;
+    case Value::Tag::kU64: os << v.u; break;
+    case Value::Tag::kF64: write_double(os, v.f); break;
+    case Value::Tag::kBool: os << (v.b ? "true" : "false"); break;
+    case Value::Tag::kStr:
+      os << '"' << json::escape(std::string(v.str)) << '"';
+      break;
+  }
+}
+
+}  // namespace
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kTrace: return "trace";
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "invalid";
+}
+
+bool parse_level(std::string_view text, Level& out) {
+  if (text == "trace") out = Level::kTrace;
+  else if (text == "debug") out = Level::kDebug;
+  else if (text == "info") out = Level::kInfo;
+  else if (text == "warn") out = Level::kWarn;
+  else if (text == "error") out = Level::kError;
+  else if (text == "off") out = Level::kOff;
+  else return false;
+  return true;
+}
+
+namespace {
+
+KeyValue make_i64(const char* key, std::int64_t v) {
+  KeyValue p;
+  p.key = key;
+  p.value.tag = Value::Tag::kI64;
+  p.value.i = v;
+  return p;
+}
+
+KeyValue make_u64(const char* key, std::uint64_t v) {
+  KeyValue p;
+  p.key = key;
+  p.value.tag = Value::Tag::kU64;
+  p.value.u = v;
+  return p;
+}
+
+}  // namespace
+
+KeyValue kv(const char* key, int v) { return make_i64(key, v); }
+KeyValue kv(const char* key, long v) { return make_i64(key, v); }
+KeyValue kv(const char* key, long long v) { return make_i64(key, v); }
+KeyValue kv(const char* key, unsigned v) { return make_u64(key, v); }
+KeyValue kv(const char* key, unsigned long v) { return make_u64(key, v); }
+KeyValue kv(const char* key, unsigned long long v) { return make_u64(key, v); }
+
+KeyValue kv(const char* key, double v) {
+  KeyValue p;
+  p.key = key;
+  p.value.tag = Value::Tag::kF64;
+  p.value.f = v;
+  return p;
+}
+
+KeyValue kv(const char* key, bool v) {
+  KeyValue p;
+  p.key = key;
+  p.value.tag = Value::Tag::kBool;
+  p.value.b = v;
+  return p;
+}
+
+KeyValue kv(const char* key, std::string_view v) {
+  KeyValue p;
+  p.key = key;
+  p.value.tag = Value::Tag::kStr;
+  const std::size_t n = std::min(v.size(), sizeof(p.value.str) - 1);
+  std::memcpy(p.value.str, v.data(), n);
+  p.value.str[n] = '\0';
+  return p;
+}
+
+KeyValue kv(const char* key, const char* v) {
+  return kv(key, std::string_view(v == nullptr ? "" : v));
+}
+
+Subsystem::Subsystem(std::string name)
+    : name_(std::move(name)),
+      level_(g_default_level.load(std::memory_order_relaxed)),
+      tokens_(256.0),
+      rate_per_s_(128.0),
+      burst_(256.0) {}
+
+void Subsystem::set_rate_limit(double records_per_s, double burst) {
+  expects(burst >= 0.0, "Subsystem::set_rate_limit: burst >= 0");
+  rate_per_s_.store(records_per_s, std::memory_order_relaxed);
+  burst_.store(burst, std::memory_order_relaxed);
+  tokens_.store(burst, std::memory_order_relaxed);
+  last_refill_ns_.store(0, std::memory_order_relaxed);
+}
+
+bool Subsystem::take_token() {
+  const double rate = rate_per_s_.load(std::memory_order_relaxed);
+  if (rate > 0.0) {
+    const std::int64_t now_ns = steady_now_ns();
+    const std::int64_t last =
+        last_refill_ns_.exchange(now_ns, std::memory_order_relaxed);
+    if (last > 0 && now_ns > last) {
+      const double add =
+          static_cast<double>(now_ns - last) * 1e-9 * rate;
+      const double cap = burst_.load(std::memory_order_relaxed);
+      double cur = tokens_.load(std::memory_order_relaxed);
+      while (!tokens_.compare_exchange_weak(cur, std::min(cap, cur + add),
+                                            std::memory_order_relaxed)) {
+      }
+    }
+  }
+  double cur = tokens_.load(std::memory_order_relaxed);
+  while (cur >= 1.0) {
+    if (tokens_.compare_exchange_weak(cur, cur - 1.0,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Subsystem::should(Level level) {
+  if (level == Level::kOff) return false;
+  if (static_cast<std::uint8_t>(level) <
+      level_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  if (take_token()) return true;
+  PTRACK_COUNT("ptrack.obs.log_suppressed");
+  return false;
+}
+
+void Subsystem::emit(Level level, const char* event,
+                     std::initializer_list<KeyValue> kvs) {
+  Record rec;
+  rec.wall_unix_s = wall_unix_now_s();
+  rec.subsystem = name_.c_str();
+  rec.event = event;
+  rec.level = level;
+  rec.tid = static_cast<std::uint32_t>(obs::detail::this_thread_slot());
+  for (const KeyValue& p : kvs) {
+    if (rec.n_kv == kMaxKvs) break;
+    rec.kvs[rec.n_kv] = p;
+    ++rec.n_kv;
+  }
+  if (!this_thread_ring().try_push(rec)) {
+    PTRACK_COUNT("ptrack.obs.log_dropped");
+  }
+}
+
+/// Grants the free factory functions access to the private constructor.
+class Registrar {
+ public:
+  static std::unique_ptr<Subsystem> make(std::string name) {
+    return std::unique_ptr<Subsystem>(new Subsystem(std::move(name)));
+  }
+};
+
+namespace {
+
+struct SubsystemRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Subsystem>, std::less<>> map;
+};
+
+SubsystemRegistry& subsystem_registry() {
+  static SubsystemRegistry r;
+  return r;
+}
+
+}  // namespace
+
+Subsystem& subsystem(std::string_view name) {
+  expects(valid_subsystem_name(name),
+          "log::subsystem: name must be one snake_case segment");
+  SubsystemRegistry& reg = subsystem_registry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto it = reg.map.find(name);
+  if (it == reg.map.end()) {
+    it = reg.map.emplace(std::string(name), Registrar::make(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+void set_default_level(Level level) {
+  g_default_level.store(static_cast<std::uint8_t>(level),
+                        std::memory_order_relaxed);
+}
+
+void set_level(std::string_view name, Level level) {
+  subsystem(name).set_level(level);
+}
+
+bool apply_level_spec(std::string_view spec) {
+  while (true) {
+    const std::size_t comma = spec.find(',');
+    const std::string_view part =
+        comma == std::string_view::npos ? spec : spec.substr(0, comma);
+    if (part.empty()) return false;
+    const std::size_t eq = part.find('=');
+    Level level = Level::kInfo;
+    if (eq == std::string_view::npos) {
+      if (!parse_level(part, level)) return false;
+      set_default_level(level);
+      SubsystemRegistry& reg = subsystem_registry();
+      std::lock_guard<std::mutex> lk(reg.mu);
+      for (auto& [name, sub] : reg.map) sub->set_level(level);
+    } else {
+      const std::string_view name = part.substr(0, eq);
+      if (!valid_subsystem_name(name) ||
+          !parse_level(part.substr(eq + 1), level)) {
+        return false;
+      }
+      set_level(name, level);
+    }
+    if (comma == std::string_view::npos) return true;
+    spec = spec.substr(comma + 1);
+  }
+}
+
+void format_record(std::ostream& os, const Record& rec) {
+  os << "{\"ts\":";
+  char ts[48];
+  std::snprintf(ts, sizeof(ts), "%.6f", rec.wall_unix_s);
+  os << ts;
+  os << ",\"level\":\"" << to_string(rec.level) << "\",\"subsys\":\""
+     << json::escape(rec.subsystem == nullptr ? "" : rec.subsystem)
+     << "\",\"event\":\""
+     << json::escape(rec.event == nullptr ? "" : rec.event)
+     << "\",\"tid\":" << rec.tid;
+  for (std::size_t i = 0; i < rec.n_kv; ++i) {
+    const KeyValue& p = rec.kvs[i];
+    os << ",\"" << json::escape(p.key == nullptr ? "" : p.key) << "\":";
+    write_value(os, p.value);
+  }
+  os << "}\n";
+}
+
+std::size_t drain(std::ostream& os) {
+  // One drainer at a time keeps the rings strictly SPSC.
+  static std::mutex drain_mu;
+  std::lock_guard<std::mutex> lk(drain_mu);
+  std::vector<Ring*> local;
+  {
+    RingRegistry& rr = ring_registry();
+    std::lock_guard<std::mutex> rlk(rr.mu);
+    local.reserve(rr.rings.size());
+    for (const auto& r : rr.rings) local.push_back(r.get());
+  }
+  std::size_t written = 0;
+  std::uint64_t dropped = 0;
+  Record rec;
+  for (Ring* r : local) {
+    while (r->try_pop(rec)) {
+      format_record(os, rec);
+      ++written;
+    }
+    dropped += r->take_dropped();
+  }
+  if (dropped > 0) {
+    Record note;
+    note.wall_unix_s = wall_unix_now_s();
+    note.subsystem = "log";
+    note.event = "log_records_dropped";
+    note.level = Level::kWarn;
+    note.tid = static_cast<std::uint32_t>(obs::detail::this_thread_slot());
+    note.kvs[0] = kv("dropped", dropped);
+    note.n_kv = 1;
+    format_record(os, note);
+    ++written;
+  }
+  if (written > 0) {
+    os.flush();
+    PTRACK_COUNT_N("ptrack.obs.log_records", written);
+  }
+  return written;
+}
+
+std::size_t drain() {
+  std::ostream* os = g_sink.load(std::memory_order_acquire);
+  return drain(os == nullptr ? std::cerr : *os);
+}
+
+void set_sink(std::ostream* os) {
+  g_sink.store(os, std::memory_order_release);
+}
+
+}  // namespace ptrack::obs::log

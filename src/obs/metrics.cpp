@@ -168,13 +168,45 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second;
 }
 
-void Registry::write_json(json::Writer& w) {
-  // Sample the allocation-hook gauges before taking the lock (gauge()
-  // locks the same mutex on first registration).
+void Registry::sample_builtin_gauges() {
+  // Registration locks the registry mutex, so sample before any caller
+  // takes it for a scrape.
   gauge("ptrack.common.alloc.live_allocations")
       .set(static_cast<double>(alloc::live_allocations()));
   gauge("ptrack.common.alloc.live_bytes")
       .set(static_cast<double>(alloc::live_bytes()));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values()
+    const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauge_values() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+Registry::histogram_values() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+void Registry::write_json(json::Writer& w) {
+  sample_builtin_gauges();
 
   std::lock_guard<std::mutex> lk(mutex_);
   w.begin_object();

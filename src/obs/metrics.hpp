@@ -164,6 +164,23 @@ class Registry {
   /// alloc hooks into the registry.
   void write_json(json::Writer& w);
 
+  /// Enumerates registered metrics under the registry lock — the export
+  /// layer (obs/export.hpp) builds Snapshots from these. Values are read
+  /// with the same relaxed semantics as write_json (approximate while
+  /// writers are active).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counter_values() const;
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauge_values()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, Histogram::Snapshot>>
+  histogram_values() const;
+
+  /// Samples process-level state (the live-allocation gauges
+  /// `ptrack.common.alloc.live_{allocations,bytes}`) into the registry.
+  /// Every exporter calls this before reading so scrapes agree on what a
+  /// snapshot contains.
+  void sample_builtin_gauges();
+
   /// Zeroes every registered metric (tests and benches; not thread-safe
   /// against concurrent writers beyond the per-cell atomicity).
   void reset();

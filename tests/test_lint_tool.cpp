@@ -214,6 +214,42 @@ TEST(PtrackLint, HeaderRuleWantsPragmaOnceAndNoUsingNamespace) {
   EXPECT_EQ(out.find("good.hpp"), std::string::npos) << out;
 }
 
+TEST(PtrackLint, LogKeyRuleWantsLiteralSnakeCase) {
+  const fs::path dir = fixture_dir("logkey");
+  write_text(dir / "logging_user.cpp",
+             "namespace ptrack {\n"
+             "void a() { PTRACK_LOG_INFO(\"net\", \"conn_open\","
+             " kv(\"fd\", fd)); }\n"
+             "void b() { PTRACK_LOG_WARN(\"net\", event_name,"
+             " kv(\"fd\", fd)); }\n"
+             "void c() { PTRACK_LOG_INFO(\"Net\", \"conn_open\"); }\n"
+             "void d() { PTRACK_LOG_ERROR(\"net\", \"oops\","
+             " kv(key_var, 1)); }\n"
+             "void e() { PTRACK_LOG(\"net\", Level::kInfo, \"ok_event\","
+             " kv(\"n\", 1)); }\n"
+             "}\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 1) << out;
+  EXPECT_NE(out.find("[log-key]"), std::string::npos) << out;
+  EXPECT_EQ(out.find("logging_user.cpp:2"), std::string::npos) << out;
+  EXPECT_NE(out.find("logging_user.cpp:3"), std::string::npos) << out;
+  EXPECT_NE(out.find("logging_user.cpp:4"), std::string::npos) << out;
+  EXPECT_NE(out.find("logging_user.cpp:5"), std::string::npos) << out;
+  EXPECT_EQ(out.find("logging_user.cpp:6"), std::string::npos) << out;
+}
+
+TEST(PtrackLint, LogKeyRuleIgnoresKvOutsideLogCalls) {
+  const fs::path dir = fixture_dir("logkey_scope");
+  // kv() used as a plain function (e.g. the overload definitions or a
+  // map helper) is out of the rule's scope — only log call sites count.
+  write_text(dir / "kv_user.cpp",
+             "namespace ptrack {\n"
+             "auto p = kv(dynamic_key, 1);\n"
+             "}\n");
+  std::string out;
+  EXPECT_EQ(run_lint(dir.string(), &out), 0) << out;
+}
+
 TEST(PtrackLint, JsonReportIsMachineReadable) {
   const fs::path dir = fixture_dir("report");
   write_text(dir / "dsp" / "x.cpp",

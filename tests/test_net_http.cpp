@@ -1,0 +1,307 @@
+// Admin-plane tests: the bounded HTTP request parser (incremental feeds,
+// caps, sticky terminal states), the route table, response rendering, and
+// the live telemetry endpoints end-to-end over a real Server reactor —
+// including the 404/405/503 error paths and a ptrack_top --once run
+// driven as a subprocess (PTRACK_TOP_PATH).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/json.hpp"
+#include "net/admin.hpp"
+#include "net/http.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+
+using namespace ptrack;
+using namespace ptrack::net;
+
+namespace {
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+HttpParseStatus feed_all(HttpRequestParser& p, std::string_view s) {
+  return p.feed(as_bytes(s));
+}
+
+template <typename Pred>
+bool wait_for(Pred pred, double timeout_s) {
+  const auto start = std::chrono::steady_clock::now();
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count() < timeout_s) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+/// Server with both an ingest and an admin UDS listener, reactor on its
+/// own thread. Mirrors test_net_server's ServerRunner plus listen_admin.
+struct AdminRunner {
+  Server server;
+  Endpoint ep;
+  Endpoint admin_ep;
+  std::thread thread;
+
+  explicit AdminRunner(ServerConfig cfg, const std::string& name)
+      : server(std::move(cfg)),
+        ep(Endpoint::uds("/tmp/ptadm_" + std::to_string(::getpid()) + "_" +
+                         name + ".sock")),
+        admin_ep(Endpoint::uds("/tmp/ptadm_" + std::to_string(::getpid()) +
+                               "_" + name + ".admin.sock")) {
+    server.listen(ep);
+    server.listen_admin(admin_ep);
+    thread = std::thread([this] { server.run(); });
+    EXPECT_TRUE(wait_for([this] { return server.running(); }, 5.0));
+  }
+
+  ~AdminRunner() {
+    server.request_stop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+}  // namespace
+
+TEST(NetHttp, ParsesSimpleGet) {
+  HttpRequestParser p;
+  EXPECT_EQ(feed_all(p, "GET /metrics HTTP/1.0\r\n\r\n"),
+            HttpParseStatus::kDone);
+  EXPECT_EQ(p.request().method, "GET");
+  EXPECT_EQ(p.request().target, "/metrics");
+  EXPECT_EQ(p.request().minor_version, 0);
+}
+
+TEST(NetHttp, ToleratesBareLfAndHeaders) {
+  HttpRequestParser p;
+  EXPECT_EQ(feed_all(p,
+                     "GET /metrics.json?pretty=1 HTTP/1.1\n"
+                     "Host: localhost\nAccept: */*\n\n"),
+            HttpParseStatus::kDone);
+  EXPECT_EQ(p.request().target, "/metrics.json?pretty=1");
+  EXPECT_EQ(p.request().minor_version, 1);
+}
+
+TEST(NetHttp, IncrementalByteAtATimeFeed) {
+  const std::string_view req = "GET /healthz HTTP/1.0\r\n\r\n";
+  HttpRequestParser p;
+  HttpParseStatus st = HttpParseStatus::kNeedMore;
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    st = feed_all(p, req.substr(i, 1));
+    if (i + 1 < req.size()) {
+      ASSERT_EQ(st, HttpParseStatus::kNeedMore) << "byte " << i;
+    }
+  }
+  EXPECT_EQ(st, HttpParseStatus::kDone);
+  EXPECT_EQ(p.request().target, "/healthz");
+}
+
+TEST(NetHttp, DoneIsStickySurplusIgnored) {
+  HttpRequestParser p;
+  ASSERT_EQ(feed_all(p, "GET /metrics HTTP/1.0\r\n\r\n"),
+            HttpParseStatus::kDone);
+  EXPECT_EQ(feed_all(p, "GET /other HTTP/1.0\r\n\r\n"),
+            HttpParseStatus::kDone);
+  EXPECT_EQ(p.request().target, "/metrics");  // first request wins
+}
+
+TEST(NetHttp, ErrorIsSticky) {
+  HttpRequestParser p;
+  ASSERT_EQ(feed_all(p, "get /metrics HTTP/1.0\r\n\r\n"),
+            HttpParseStatus::kError);
+  ASSERT_TRUE(p.failed());
+  EXPECT_NE(p.error(), nullptr);
+  EXPECT_EQ(feed_all(p, "GET /metrics HTTP/1.0\r\n\r\n"),
+            HttpParseStatus::kError);
+}
+
+TEST(NetHttp, RejectsMalformedRequestLines) {
+  const std::string_view bad[] = {
+      "GET  HTTP/1.0\r\n\r\n",                // empty target
+      "GET metrics HTTP/1.0\r\n\r\n",         // not origin-form
+      "GET /metrics HTTP/2.0\r\n\r\n",        // unsupported version
+      "GET /metrics\r\n\r\n",                 // missing version
+      "\r\nGET /metrics HTTP/1.0\r\n\r\n",    // leading blank line
+      "GET /me\ttrics HTTP/1.0\r\n\r\n",      // control byte in target
+  };
+  for (const std::string_view req : bad) {
+    HttpRequestParser p;
+    EXPECT_EQ(feed_all(p, req), HttpParseStatus::kError) << req;
+  }
+}
+
+TEST(NetHttp, EnforcesTargetAndRequestCaps) {
+  {
+    HttpRequestParser p;
+    const std::string req = "GET /" +
+                            std::string(kMaxHttpTargetBytes, 'a') +
+                            " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(feed_all(p, req), HttpParseStatus::kError);
+  }
+  {
+    HttpRequestParser p;
+    // No terminator within the request cap: error, not a growing buffer.
+    const std::string junk(kMaxHttpRequestBytes + 64, 'A');
+    EXPECT_EQ(feed_all(p, junk), HttpParseStatus::kError);
+  }
+}
+
+TEST(NetHttp, AdminRouteTable) {
+  EXPECT_EQ(admin_route("/metrics"), AdminRoute::kMetrics);
+  EXPECT_EQ(admin_route("/metrics.json"), AdminRoute::kMetricsJson);
+  EXPECT_EQ(admin_route("/healthz"), AdminRoute::kHealthz);
+  EXPECT_EQ(admin_route("/readyz"), AdminRoute::kReadyz);
+  EXPECT_EQ(admin_route("/sessions"), AdminRoute::kSessions);
+  EXPECT_EQ(admin_route("/metrics?window=5"), AdminRoute::kMetrics);
+  EXPECT_EQ(admin_route("/"), AdminRoute::kUnknown);
+  EXPECT_EQ(admin_route(""), AdminRoute::kUnknown);
+  EXPECT_EQ(admin_route("/metrics/extra"), AdminRoute::kUnknown);
+  EXPECT_EQ(admin_route("/METRICS"), AdminRoute::kUnknown);
+}
+
+TEST(NetHttp, ResponseBuilder) {
+  const std::string r = http_response(200, "text/plain", "hi");
+  EXPECT_EQ(r.find("HTTP/1.0 200 OK\r\n"), 0u);
+  EXPECT_NE(r.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 6), "\r\n\r\nhi");
+  EXPECT_EQ(std::string(http_status_text(404)), "Not Found");
+}
+
+TEST(NetHttp, RenderReadyzFlipsOnDrain) {
+  AdminStatusView view;
+  std::string_view ctype;
+  int status = 0;
+  std::string body = render_admin_body(AdminRoute::kReadyz, view, {},
+                                       &ctype, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"ready\""), std::string::npos);
+  view.draining = true;
+  body = render_admin_body(AdminRoute::kReadyz, view, {}, &ctype, &status);
+  EXPECT_EQ(status, 503);
+}
+
+TEST(NetHttp, LiveEndpointsAnswer) {
+  AdminRunner runner(ServerConfig{}, "live");
+
+  const HttpGetResult health = http_get(runner.admin_ep, "/healthz");
+  ASSERT_TRUE(health.ok) << health.error;
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(json::parse(health.body).at("status").as_string(), "ok");
+
+  const HttpGetResult ready = http_get(runner.admin_ep, "/readyz");
+  ASSERT_TRUE(ready.ok) << ready.error;
+  EXPECT_EQ(ready.status, 200);
+
+  const HttpGetResult prom = http_get(runner.admin_ep, "/metrics");
+  ASSERT_TRUE(prom.ok) << prom.error;
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_NE(prom.body.find("# TYPE "), std::string::npos);
+  EXPECT_NE(prom.body.find("ptrack_"), std::string::npos);
+
+  const HttpGetResult mjson = http_get(runner.admin_ep, "/metrics.json");
+  ASSERT_TRUE(mjson.ok) << mjson.error;
+  EXPECT_EQ(mjson.status, 200);
+  const json::Value doc = json::parse(mjson.body);
+  EXPECT_EQ(doc.at("schema").as_string(), "ptrack.metrics.v1");
+
+  const HttpGetResult sess = http_get(runner.admin_ep, "/sessions");
+  ASSERT_TRUE(sess.ok) << sess.error;
+  EXPECT_EQ(sess.status, 200);
+  const json::Value sdoc = json::parse(sess.body);
+  EXPECT_EQ(sdoc.at("schema").as_string(), "ptrack.sessions.v1");
+  EXPECT_EQ(sdoc.at("sessions").items().size(), 0u);
+
+  const HttpGetResult miss = http_get(runner.admin_ep, "/nope");
+  ASSERT_TRUE(miss.ok) << miss.error;
+  EXPECT_EQ(miss.status, 404);
+
+  EXPECT_GE(runner.server.stats().admin_requests, 6u);
+}
+
+TEST(NetHttp, LiveSessionShowsUpInSessions) {
+  AdminRunner runner(ServerConfig{}, "rows");
+  Socket holder = connect_to(runner.ep);
+  ASSERT_TRUE(wait_for(
+      [&] { return runner.server.stats().sessions_active == 1; }, 5.0));
+
+  const HttpGetResult sess = http_get(runner.admin_ep, "/sessions");
+  ASSERT_TRUE(sess.ok) << sess.error;
+  const json::Value sdoc = json::parse(sess.body);
+  const auto& rows = sdoc.at("sessions").items();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("state").as_string(), "await_hello");
+  EXPECT_DOUBLE_EQ(rows[0].at("samples").as_number(), 0.0);
+  holder.close();
+}
+
+TEST(NetHttp, NonGetIs405) {
+  AdminRunner runner(ServerConfig{}, "post");
+  Socket sock = connect_to(runner.admin_ep);
+  const std::string_view req = "POST /metrics HTTP/1.0\r\n\r\n";
+  std::span<const std::uint8_t> rest = as_bytes(req);
+  while (!rest.empty()) {
+    rest = rest.subspan(sock.write_some(rest));
+  }
+  std::string response;
+  std::vector<std::uint8_t> buf(4096);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::ptrdiff_t n = sock.read_some(buf);
+    if (n == 0) break;
+    if (n < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    response.append(reinterpret_cast<const char*>(buf.data()),
+                    static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(response.find("HTTP/1.0 405 "), 0u);
+  EXPECT_NE(response.find("read-only"), std::string::npos);
+}
+
+TEST(NetHttp, BudgetExhaustionGets503) {
+  ServerConfig cfg;
+  cfg.admin_max_sessions = 0;  // every admin connection is over budget
+  AdminRunner runner(std::move(cfg), "shed");
+  const HttpGetResult r = http_get(runner.admin_ep, "/metrics");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.status, 503);
+  EXPECT_TRUE(wait_for(
+      [&] { return runner.server.stats().admin_shed >= 1; }, 5.0));
+}
+
+TEST(NetHttp, PtrackTopOnceAgainstLiveServer) {
+  AdminRunner runner(ServerConfig{}, "top");
+  const std::filesystem::path out_path =
+      std::filesystem::temp_directory_path() /
+      ("ptrack_test_top_" + std::to_string(::getpid()) + ".txt");
+  const std::string cmd = std::string(PTRACK_TOP_PATH) + " --uds " +
+                          runner.admin_ep.path + " --once > " +
+                          out_path.string();
+  const int status = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  std::ifstream in(out_path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("ptrack_top"), std::string::npos);
+  EXPECT_NE(text.find("sessions"), std::string::npos);
+  std::filesystem::remove(out_path);
+}

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <iterator>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "core/streaming.hpp"
 #include "net/chaos.hpp"
+#include "net/http.hpp"
 #include "net/server.hpp"
 #include "net/wire.hpp"
 #include "synth/synthesizer.hpp"
@@ -74,16 +76,23 @@ bool wait_for(Pred pred, double timeout_s) {
 
 /// Server on a private UDS path + its reactor thread, torn down with the
 /// fixture. request_stop in the destructor keeps failures from hanging.
+/// with_admin additionally binds the read-only telemetry listener so soak
+/// tests can scrape the server while it is under fire.
 struct ServerRunner {
   Server server;
   Endpoint ep;
+  Endpoint admin_ep;
   std::thread thread;
 
-  ServerRunner(ServerConfig cfg, const std::string& name)
+  ServerRunner(ServerConfig cfg, const std::string& name,
+               bool with_admin = false)
       : server(std::move(cfg)),
         ep(Endpoint::uds("/tmp/ptsrv_" + std::to_string(::getpid()) + "_" +
-                         name + ".sock")) {
+                         name + ".sock")),
+        admin_ep(Endpoint::uds("/tmp/ptsrv_" + std::to_string(::getpid()) +
+                               "_" + name + ".admin.sock")) {
     server.listen(ep);
+    if (with_admin) server.listen_admin(admin_ep);
     thread = std::thread([this] { server.run(); });
     EXPECT_TRUE(wait_for([this] { return server.running(); }, 5.0));
   }
@@ -127,7 +136,7 @@ TEST(NetServer, SoakChaosCannotHarmHealthyNeighbors) {
   ServerConfig cfg;
   cfg.stall_timeout_s = 1.0;  // reclaim slowloris/truncation quickly
   cfg.idle_timeout_s = 20.0;
-  ServerRunner runner(std::move(cfg), "soak");
+  ServerRunner runner(std::move(cfg), "soak", /*with_admin=*/true);
 
   constexpr std::size_t kHealthy = 8;
   const ChaosMode kModes[] = {
@@ -163,7 +172,38 @@ TEST(NetServer, SoakChaosCannotHarmHealthyNeighbors) {
       chaos[i] = run_chaos_client(runner.ep, ccfg);
     });
   }
+
+  // Meanwhile the telemetry plane must keep answering every endpoint —
+  // scraping a server under chaos fire is exactly its job description.
+  std::atomic<bool> soak_done{false};
+  std::size_t scrapes = 0;
+  std::vector<std::string> scrape_failures;
+  std::thread scraper([&] {
+    const char* kTargets[] = {"/metrics", "/metrics.json", "/healthz",
+                              "/readyz", "/sessions"};
+    std::size_t i = 0;
+    while (!soak_done.load(std::memory_order_acquire)) {
+      const char* target = kTargets[i++ % std::size(kTargets)];
+      const HttpGetResult r = http_get(runner.admin_ep, target, 10.0);
+      ++scrapes;
+      if (!r.ok || r.status != 200 || r.body.empty()) {
+        scrape_failures.push_back(std::string(target) + ": " +
+                                  (r.ok ? "status " + std::to_string(r.status)
+                                        : r.error));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
   for (std::thread& t : threads) t.join();
+  soak_done.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_GE(scrapes, 10u);
+  EXPECT_TRUE(scrape_failures.empty())
+      << scrape_failures.size() << " failed scrapes, first: "
+      << scrape_failures.front();
+  EXPECT_GE(runner.server.stats().admin_requests, scrapes);
 
   // Every healthy client completed and matches its oracle exactly.
   for (std::size_t i = 0; i < kHealthy; ++i) {

@@ -1,11 +1,15 @@
-// obs_check — CI validator for the observability outputs of ptrack_cli.
+// obs_check — CI validator for the observability outputs of ptrack_cli
+// and ptrack_serve.
 //
 //   obs_check --metrics m.json [--trace t.json] [--allow-empty] [--net]
+//   obs_check --prom scrape.txt [--net]
 //
 // Metrics snapshot checks:
 //   - the file parses with common/json and carries schema
 //     "ptrack.metrics.v1" plus the obs_compiled marker;
 //   - every metric name matches the ptrack.<layer>.<name> scheme;
+//   - every histogram's exported bucket boundaries are strictly ascending
+//     and its per-bucket counts (plus overflow) sum to its total count;
 //   - unless --allow-empty (or obs_compiled=false), the counters every
 //     batch run must touch (load, quality, process, projection,
 //     segmentation, critical points, stride, batch bookkeeping) are present
@@ -15,6 +19,16 @@
 //     counters ptrack_serve drives (sessions accepted/closed, bytes in/out,
 //     the active-sessions gauge, the queue-depth histogram) — the serve
 //     smoke job's variant of the same gate.
+//
+// Prometheus exposition checks (--prom, a live /metrics scrape):
+//   - every sample name is ptrack_[a-z0-9_]* and its family carries a
+//     preceding `# TYPE` of counter, gauge or histogram;
+//   - every histogram family: `le` labels parse, ascend strictly and end
+//     at +Inf, the cumulative bucket values are monotone non-decreasing,
+//     `_sum` is present and `_count` equals the `+Inf` bucket — the
+//     self-consistency a live scrape must keep even while writers run;
+//   - with --net, ptrack_net_sessions_accepted and ptrack_net_bytes_in
+//     must be positive (the serve smoke scrapes mid-storm).
 //
 // Chrome trace checks:
 //   - the file parses and has the trace_event envelope;
@@ -27,12 +41,15 @@
 // Exit code 0 when everything holds, 1 with a message on the first
 // violation — cheap enough to run on every CI batch smoke.
 
+#include <cmath>
 #include <cstddef>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -124,6 +141,20 @@ int check_metrics(const std::string& path, bool allow_empty, bool net) {
     }
   }
   for (const auto& [name, h] : histograms) {
+    // Exported boundaries must be strictly ascending — the quantile code
+    // and every scraper assume it.
+    bool first_bound = true;
+    double prev_bound = 0.0;
+    for (const json::Value& b : h.at("buckets").items()) {
+      const double le = b.at("le").as_number();
+      if (!first_bound && le <= prev_bound) {
+        std::cerr << "obs_check: " << path << ": histogram '" << name
+                  << "' bucket boundaries not strictly ascending\n";
+        return 1;
+      }
+      first_bound = false;
+      prev_bound = le;
+    }
     // Internal consistency: bucket counts sum to the total count.
     double bucket_sum = h.at("overflow").as_number();
     for (const json::Value& b : h.at("buckets").items()) {
@@ -205,6 +236,194 @@ int check_metrics(const std::string& path, bool allow_empty, bool net) {
   return 0;
 }
 
+/// Prometheus metric-name charset (after the repo's `.` -> `_` mangling).
+bool valid_prom_name(const std::string& name) {
+  if (name.rfind("ptrack_", 0) != 0) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int check_prom(const std::string& path, bool net) {
+  const std::string text = slurp(path);
+
+  std::map<std::string, std::string> types;  ///< family -> TYPE
+  struct HistSeries {
+    std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative)
+    bool have_sum = false;
+    bool have_count = false;
+    double count = 0.0;
+  };
+  std::map<std::string, HistSeries> hists;
+  std::map<std::string, double> scalars;
+
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineno = 0;
+  const auto fail = [&](const std::string& why) {
+    std::cerr << "obs_check: " << path << ":" << lineno << ": " << why
+              << "\n";
+    return 1;
+  };
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream parts(line);
+      std::string hash, kind, family, type;
+      parts >> hash >> kind >> family >> type;
+      if (kind != "TYPE") continue;  // HELP/comments are legal, ignored
+      if (!valid_prom_name(family)) {
+        return fail("bad family name '" + family + "' in TYPE line");
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail("unexpected TYPE '" + type + "'");
+      }
+      if (!types.emplace(family, type).second) {
+        return fail("duplicate TYPE for '" + family + "'");
+      }
+      continue;
+    }
+
+    // Sample: name[{labels}] value
+    const std::size_t brace = line.find('{');
+    std::string name, le_label;
+    std::string value_text;
+    if (brace != std::string::npos) {
+      name = line.substr(0, brace);
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) return fail("unterminated label set");
+      const std::string labels = line.substr(brace + 1, close - brace - 1);
+      const std::string le_prefix = "le=\"";
+      const std::size_t le_at = labels.find(le_prefix);
+      if (le_at != std::string::npos) {
+        const std::size_t le_end =
+            labels.find('"', le_at + le_prefix.size());
+        if (le_end == std::string::npos) return fail("unterminated le label");
+        le_label = labels.substr(le_at + le_prefix.size(),
+                                 le_end - le_at - le_prefix.size());
+      }
+      value_text = line.substr(close + 1);
+    } else {
+      const std::size_t sp = line.find(' ');
+      if (sp == std::string::npos) return fail("sample line without value");
+      name = line.substr(0, sp);
+      value_text = line.substr(sp);
+    }
+    if (!valid_prom_name(name)) {
+      return fail("bad sample name '" + name + "'");
+    }
+    double value = 0.0;
+    try {
+      value = std::stod(value_text);
+    } catch (const std::exception&) {
+      return fail("unparseable value for '" + name + "'");
+    }
+
+    // Histogram component or scalar? Resolve via the declared TYPEs.
+    bool handled = false;
+    for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+      if (!ends_with(name, suffix)) continue;
+      const std::string family =
+          name.substr(0, name.size() - suffix.size());
+      const auto t = types.find(family);
+      if (t == types.end() || t->second != "histogram") continue;
+      HistSeries& h = hists[family];
+      if (suffix == "_bucket") {
+        if (le_label.empty()) return fail("'" + name + "' without le");
+        const double le = le_label == "+Inf"
+                              ? std::numeric_limits<double>::infinity()
+                              : std::stod(le_label);
+        h.buckets.emplace_back(le, value);
+      } else if (suffix == "_sum") {
+        h.have_sum = true;
+      } else {
+        h.have_count = true;
+        h.count = value;
+      }
+      handled = true;
+      break;
+    }
+    if (handled) continue;
+    const auto t = types.find(name);
+    if (t == types.end()) {
+      return fail("sample '" + name + "' has no preceding TYPE");
+    }
+    if (t->second == "histogram") {
+      return fail("bare sample for histogram family '" + name + "'");
+    }
+    scalars[name] = value;
+  }
+
+  for (const auto& [family, type] : types) {
+    if (type != "histogram") {
+      if (scalars.find(family) == scalars.end()) {
+        std::cerr << "obs_check: " << path << ": TYPE '" << family
+                  << "' declared but no sample followed\n";
+        return 1;
+      }
+      continue;
+    }
+    const auto it = hists.find(family);
+    if (it == hists.end() || it->second.buckets.empty()) {
+      std::cerr << "obs_check: " << path << ": histogram '" << family
+                << "' has no buckets\n";
+      return 1;
+    }
+    const HistSeries& h = it->second;
+    for (std::size_t i = 1; i < h.buckets.size(); ++i) {
+      if (h.buckets[i].first <= h.buckets[i - 1].first) {
+        std::cerr << "obs_check: " << path << ": histogram '" << family
+                  << "' le labels not strictly ascending\n";
+        return 1;
+      }
+      if (h.buckets[i].second < h.buckets[i - 1].second) {
+        std::cerr << "obs_check: " << path << ": histogram '" << family
+                  << "' cumulative buckets decrease\n";
+        return 1;
+      }
+    }
+    if (!std::isinf(h.buckets.back().first)) {
+      std::cerr << "obs_check: " << path << ": histogram '" << family
+                << "' does not end at le=\"+Inf\"\n";
+      return 1;
+    }
+    if (!h.have_sum || !h.have_count) {
+      std::cerr << "obs_check: " << path << ": histogram '" << family
+                << "' missing _sum or _count\n";
+      return 1;
+    }
+    if (h.count != h.buckets.back().second) {
+      std::cerr << "obs_check: " << path << ": histogram '" << family
+                << "' _count != +Inf bucket\n";
+      return 1;
+    }
+  }
+
+  if (net) {
+    for (const char* name :
+         {"ptrack_net_sessions_accepted", "ptrack_net_bytes_in"}) {
+      const auto it = scalars.find(name);
+      if (it == scalars.end() || it->second <= 0.0) {
+        std::cerr << "obs_check: " << path << ": required sample '" << name
+                  << "' missing or zero\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "obs_check: " << path << ": prom OK (" << types.size()
+            << " families, " << hists.size() << " histograms)\n";
+  return 0;
+}
+
 int check_trace(const std::string& path, bool allow_empty) {
   const json::Value doc = json::parse(slurp(path));
   const auto& events = doc.at("traceEvents").items();
@@ -270,6 +489,10 @@ int main(int argc, char** argv) {
         {{"metrics", "metrics snapshot JSON written by --metrics-out", "",
           false},
          {"trace", "Chrome trace JSON written by --trace-out", "", false},
+         {"prom",
+          "Prometheus text exposition scraped from the admin plane's "
+          "/metrics",
+          "", false},
          {"allow-empty",
           "only check structure, not that the pipeline counters are "
           "non-zero (for PTRACK_OBS=OFF builds)",
@@ -283,14 +506,17 @@ int main(int argc, char** argv) {
       return 0;
     }
     const bool allow_empty = args.get_bool("allow-empty");
-    if (!args.has("metrics") && !args.has("trace")) {
-      std::cerr << "obs_check: pass --metrics and/or --trace\n";
+    if (!args.has("metrics") && !args.has("trace") && !args.has("prom")) {
+      std::cerr << "obs_check: pass --metrics, --trace and/or --prom\n";
       return 1;
     }
     int rc = 0;
     if (args.has("metrics")) {
       rc = check_metrics(args.get_string("metrics"), allow_empty,
                          args.get_bool("net"));
+    }
+    if (rc == 0 && args.has("prom")) {
+      rc = check_prom(args.get_string("prom"), args.get_bool("net"));
     }
     if (rc == 0 && args.has("trace")) {
       rc = check_trace(args.get_string("trace"), allow_empty);

@@ -3,11 +3,12 @@
 // no build graph — so it runs in milliseconds as a ctest and a CI job and
 // never needs a compilation database. It tokenizes each translation unit
 // (comments and literals stripped), tracks brace scopes well enough to know
-// the enclosing function of every token, and enforces four rules:
+// the enclosing function of every token, and enforces five rules:
 //
 //   alloc       In hot-path TUs (core/stages.cpp, dsp/*.cpp,
 //               imu/sample_ring.cpp, net/*.cpp except the chaos test
-//               clients) no `new`, `make_unique`/`make_shared`
+//               clients and the http/admin control plane) no `new`,
+//               `make_unique`/`make_shared`
 //               or container-growth call (push_back, emplace_back, resize,
 //               reserve, insert, emplace, assign) may appear outside a
 //               constructor body (reserved setup). Steady-state growth into
@@ -22,6 +23,10 @@
 //               outside anonymous namespaces) must contain a precondition
 //               guard: expects(), PTRACK_CHECK or PTRACK_CHECK_MSG.
 //   header      Every header has #pragma once and no `using namespace`.
+//   log-key     Every PTRACK_LOG / PTRACK_LOG_<LEVEL> call site names its
+//               subsystem and event with literal snake_case strings, and
+//               every kv() inside the call carries a literal snake_case
+//               key — computed names defeat grep and log indexing.
 //
 // Suppression directives (line comments, reviewed in code review like any
 // other line):
@@ -63,7 +68,8 @@ struct Finding {
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {"alloc", "span-name",
-                                             "entry-check", "header"};
+                                             "entry-check", "header",
+                                             "log-key"};
   return rules;
 }
 
@@ -561,10 +567,13 @@ bool is_hot_path_tu(const std::string& generic_path) {
   if (ends_with("imu/sample_ring.cpp")) return true;
   if (!ends_with(".cpp")) return false;
   if (generic_path.find("dsp/") != std::string::npos) return true;
-  // The ingest reactor's steady state must also be allocation-free; the
-  // chaos test clients are deliberately exempt (blocking test support).
+  // The ingest reactor's steady state must also be allocation-free. The
+  // chaos test clients (blocking test support) and the HTTP admin control
+  // plane (one bounded allocation burst per scrape, off the ingest path)
+  // are deliberately exempt.
   return generic_path.find("net/") != std::string::npos &&
-         !ends_with("net/chaos.cpp");
+         !ends_with("net/chaos.cpp") && !ends_with("net/http.cpp") &&
+         !ends_with("net/admin.cpp");
 }
 
 bool is_growth_call(const std::string& name) {
@@ -573,6 +582,18 @@ bool is_growth_call(const std::string& name) {
       "reserve",   "insert",       "emplace",
       "assign"};
   return kGrowth.count(name) != 0;
+}
+
+/// Log subsystems, events and kv keys: non-empty [a-z0-9_]+.
+bool valid_log_key(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool valid_span_name(const std::string& name) {
@@ -715,6 +736,55 @@ void lint_file(const fs::path& path, const std::string& rel,
         raw.push_back({rel, tok.line, "span-name",
                        "span name '" + t[i + 2].text +
                            "' does not match ptrack.<layer>.<name>"});
+      }
+    }
+
+    // log-key rule: scoped to one PTRACK_LOG* argument list so `kv` as an
+    // ordinary identifier elsewhere (the overload definitions in obs/log)
+    // is never confused with a call-site key.
+    if (tok.text == "PTRACK_LOG" || tok.text == "PTRACK_LOG_TRACE" ||
+        tok.text == "PTRACK_LOG_DEBUG" || tok.text == "PTRACK_LOG_INFO" ||
+        tok.text == "PTRACK_LOG_WARN" || tok.text == "PTRACK_LOG_ERROR") {
+      const bool open_paren = i + 1 < t.size() &&
+                              t[i + 1].kind == Tok::kPunct &&
+                              t[i + 1].text == "(";
+      if (!open_paren) continue;  // macro definition itself
+      // Plain PTRACK_LOG carries the level as argument 1, pushing the
+      // event to argument 2; the leveled wrappers bake the level in.
+      const std::size_t event_arg = tok.text == "PTRACK_LOG" ? 2 : 1;
+      std::size_t depth = 1;
+      std::size_t arg_index = 0;
+      bool at_arg_start = true;
+      for (std::size_t j = i + 2; j < t.size() && depth > 0; ++j) {
+        const Token& tj = t[j];
+        if (tj.kind == Tok::kPunct) {
+          if (tj.text == "(") ++depth;
+          if (tj.text == ")") --depth;
+          if (tj.text == "," && depth == 1) {
+            ++arg_index;
+            at_arg_start = true;
+            continue;
+          }
+        }
+        if (at_arg_start && depth == 1 &&
+            (arg_index == 0 || arg_index == event_arg)) {
+          if (tj.kind != Tok::kString || !valid_log_key(tj.text)) {
+            raw.push_back(
+                {rel, tok.line, "log-key",
+                 std::string(arg_index == 0 ? "subsystem" : "event") +
+                     " of " + tok.text +
+                     " must be a literal snake_case string"});
+          }
+        }
+        at_arg_start = false;
+        if (tj.kind == Tok::kIdent && tj.text == "kv" && j + 1 < t.size() &&
+            t[j + 1].kind == Tok::kPunct && t[j + 1].text == "(") {
+          if (j + 2 >= t.size() || t[j + 2].kind != Tok::kString ||
+              !valid_log_key(t[j + 2].text)) {
+            raw.push_back({rel, t[j].line, "log-key",
+                           "kv() key must be a literal snake_case string"});
+          }
+        }
       }
     }
 

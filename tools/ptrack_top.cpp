@@ -1,0 +1,246 @@
+// ptrack_top: live watcher for a running ptrack_serve. Polls the admin
+// plane's /metrics.json and /sessions endpoints, computes windowed rates
+// and histogram percentiles between consecutive polls (obs::delta) and
+// redraws a compact dashboard — top(1) for step-tracking ingest, with no
+// curses dependency (plain ANSI clear + reprint).
+//
+// Usage:
+//   ptrack_top --uds /tmp/ptrack-admin.sock
+//   ptrack_top --host 127.0.0.1 --port 7441 --interval 1
+//   ptrack_top --uds ... --once        # one snapshot, no screen control
+//   ptrack_top --uds ... --raw         # dump /metrics.json verbatim
+//
+// Exit status: 0 after --count polls (or SIGINT in a terminal), 1 when the
+// admin endpoint cannot be reached on a --once/--raw poll or on three
+// consecutive refresh failures (the server is gone, not just busy).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "net/http.hpp"
+#include "net/socket.hpp"
+#include "obs/export.hpp"
+
+using namespace ptrack;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One fetched-and-parsed poll of the admin plane.
+struct Poll {
+  obs::Snapshot snapshot;
+  json::Value sessions;  ///< ptrack.sessions.v1 document (Null if absent)
+};
+
+bool fetch(const net::Endpoint& ep, Poll& out, std::string& error) {
+  const net::HttpGetResult metrics = net::http_get(ep, "/metrics.json");
+  if (!metrics.ok || metrics.status != 200) {
+    error = metrics.ok ? "/metrics.json returned HTTP " +
+                             std::to_string(metrics.status)
+                       : metrics.error;
+    return false;
+  }
+  const net::HttpGetResult sessions = net::http_get(ep, "/sessions");
+  if (!sessions.ok || sessions.status != 200) {
+    error = sessions.ok ? "/sessions returned HTTP " +
+                              std::to_string(sessions.status)
+                        : sessions.error;
+    return false;
+  }
+  try {
+    out.snapshot = obs::Snapshot::from_json(json::parse(metrics.body),
+                                            now_s());
+    out.sessions = json::parse(sessions.body);
+  } catch (const Error& e) {
+    error = e.what();
+    return false;
+  }
+  return true;
+}
+
+double rate_of(const obs::SnapshotDelta& d, const std::string& name) {
+  const auto it = d.counter_rates.find(name);
+  return it == d.counter_rates.end() ? 0.0 : it->second;
+}
+
+std::uint64_t counter_of(const obs::Snapshot& s, const std::string& name) {
+  const auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
+
+double num_or(const json::Value& obj, const std::string& key, double fb) {
+  return obj.is_object() && obj.contains(key) ? obj.at(key).as_number() : fb;
+}
+
+void render(const Poll& poll, const obs::SnapshotDelta& d, bool first) {
+  const json::Value& doc = poll.sessions;
+  std::printf("ptrack_top — up %.0fs%s   interval %.1fs%s\n",
+              num_or(doc, "uptime_s", 0.0),
+              doc.is_object() && doc.contains("draining") &&
+                      doc.at("draining").as_bool()
+                  ? " [DRAINING]"
+                  : "",
+              d.interval_s, first ? " (first poll: totals only)" : "");
+  if (doc.is_object() && doc.contains("server")) {
+    const json::Value& s = doc.at("server");
+    std::printf(
+        "sessions %-5.0f accepted %-8.0f shed %-5.0f evicted %-5.0f "
+        "errors %-5.0f mem %.1f MiB\n",
+        num_or(s, "sessions_active", 0.0), num_or(s, "accepted", 0.0),
+        num_or(s, "shed", 0.0),
+        num_or(s, "evicted_idle", 0.0) + num_or(s, "evicted_stall", 0.0) +
+            num_or(s, "evicted_slow", 0.0),
+        num_or(s, "session_errors", 0.0),
+        num_or(s, "memory_charged_bytes", 0.0) / (1024.0 * 1024.0));
+  }
+  if (first) {
+    std::printf(
+        "totals   samples %llu   events %llu   bytes_in %llu   "
+        "frames_ok %llu\n",
+        static_cast<unsigned long long>(
+            counter_of(poll.snapshot, "ptrack.net.samples.in")),
+        static_cast<unsigned long long>(
+            counter_of(poll.snapshot, "ptrack.net.events.out")),
+        static_cast<unsigned long long>(
+            counter_of(poll.snapshot, "ptrack.net.bytes.in")),
+        static_cast<unsigned long long>(
+            counter_of(poll.snapshot, "ptrack.net.frames.ok")));
+  } else {
+    std::printf(
+        "rates    samples/s %-10.1f events/s %-8.1f bytes_in/s %-10.0f "
+        "frames/s %-8.1f scrapes/s %.1f\n",
+        rate_of(d, "ptrack.net.samples.in"),
+        rate_of(d, "ptrack.net.events.out"),
+        rate_of(d, "ptrack.net.bytes.in"),
+        rate_of(d, "ptrack.net.frames.ok"),
+        rate_of(d, "ptrack.net.admin.requests"));
+    for (const auto& [name, h] : d.histograms) {
+      if (h.count == 0) continue;
+      std::printf(
+          "hist     %-32s n %-7llu p50 %-9.0f p90 %-9.0f p99 %.0f\n",
+          name.c_str(), static_cast<unsigned long long>(h.count), h.p50,
+          h.p90, h.p99);
+    }
+  }
+  if (!doc.is_object() || !doc.contains("sessions")) return;
+  const std::vector<json::Value>& rows = doc.at("sessions").items();
+  std::printf(
+      "\n%6s %-11s %6s %7s %10s %8s %8s %8s %3s %6s %8s\n", "id", "state",
+      "fs", "up_s", "samples", "events", "lag_B", "queue_B", "bp", "degr",
+      "dist_m");
+  for (const json::Value& r : rows) {
+    std::printf(
+        "%6.0f %-11s %6.0f %7.1f %10.0f %8.0f %8.0f %8.0f %3s %6.3f "
+        "%8.2f\n",
+        num_or(r, "id", 0.0), r.at("state").as_string().c_str(),
+        num_or(r, "fs", 0.0), num_or(r, "uptime_s", 0.0),
+        num_or(r, "samples", 0.0), num_or(r, "events", 0.0),
+        num_or(r, "out_pending_bytes", 0.0),
+        num_or(r, "queue_depth_bytes", 0.0),
+        r.contains("backpressured") && r.at("backpressured").as_bool()
+            ? "yes"
+            : "no",
+        num_or(r, "degraded_fraction", 0.0), num_or(r, "distance_m", 0.0));
+  }
+}
+
+int run(const cli::Args& args) {
+  net::Endpoint ep = net::Endpoint::uds("");
+  if (args.has("uds")) {
+    ep = net::Endpoint::uds(args.get_string("uds"));
+  } else if (args.has("port")) {
+    const long port = args.get_int("port");
+    if (port < 0 || port > 65535) {
+      std::cerr << "ptrack_top: --port out of range\n";
+      return 2;
+    }
+    ep = net::Endpoint::tcp(args.get_string("host"),
+                            static_cast<std::uint16_t>(port));
+  } else {
+    std::cerr << "ptrack_top: need --uds or --port\n";
+    return 2;
+  }
+
+  if (args.get_bool("raw")) {
+    const net::HttpGetResult r = net::http_get(ep, "/metrics.json");
+    if (!r.ok || r.status != 200) {
+      std::cerr << "ptrack_top: " << (r.ok ? "HTTP " + std::to_string(r.status)
+                                           : r.error)
+                << "\n";
+      return 1;
+    }
+    std::cout << r.body;
+    return 0;
+  }
+
+  const bool once = args.get_bool("once");
+  const double interval = args.get_double("interval");
+  const long count = once ? 1 : args.get_int("count");
+  if (interval <= 0.0 && !once) {
+    std::cerr << "ptrack_top: --interval must be positive\n";
+    return 2;
+  }
+
+  obs::Snapshot prev;
+  bool have_prev = false;
+  int consecutive_failures = 0;
+  for (long i = 0; count == 0 || i < count; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    }
+    Poll poll;
+    std::string error;
+    if (!fetch(ep, poll, error)) {
+      std::cerr << "ptrack_top: " << error << "\n";
+      if (once || ++consecutive_failures >= 3) return 1;
+      continue;
+    }
+    consecutive_failures = 0;
+    const obs::SnapshotDelta d =
+        have_prev ? obs::delta(prev, poll.snapshot) : obs::SnapshotDelta{};
+    if (!once) std::fputs("\x1b[H\x1b[2J", stdout);
+    render(poll, d, !have_prev);
+    std::fflush(stdout);
+    prev = poll.snapshot;
+    have_prev = true;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<cli::OptionSpec> specs = {
+      {"uds", "admin-plane Unix domain socket path", "", false},
+      {"host", "admin-plane TCP host", "127.0.0.1", false},
+      {"port", "admin-plane TCP port", "", false},
+      {"interval", "seconds between polls", "2", false},
+      {"count", "number of polls (0 = until interrupted)", "0", false},
+      {"once", "poll once, print without screen control, exit", "", true},
+      {"raw", "dump the /metrics.json document verbatim and exit", "", true},
+  };
+  try {
+    const cli::Args args(argc, argv, specs);
+    if (args.help_requested()) {
+      std::cout << args.usage("ptrack_top");
+      return 0;
+    }
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "ptrack_top: " << e.what() << "\n";
+    return 1;
+  }
+}
