@@ -9,6 +9,7 @@
 #include "imu/trace_io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ptrack::runtime {
 
@@ -22,8 +23,25 @@ std::string_view to_string(TraceError::Stage s) {
   return "unknown";
 }
 
+namespace {
+
+std::unique_ptr<Scheduler> make_owned_scheduler(const BatchOptions& opt) {
+  if (opt.scheduler != nullptr) return nullptr;
+  SchedulerOptions so;
+  // Pool convention carried over from the fork-join era: `threads` counts
+  // the calling thread, the scheduler counts only spawned workers.
+  so.workers = ThreadPool::resolve_threads(opt.threads) - 1;
+  // ptrack-lint: allow(alloc) runner construction, amortized over every batch it runs
+  return std::make_unique<Scheduler>(so);
+}
+
+}  // namespace
+
 BatchRunner::BatchRunner(core::PTrackConfig cfg, BatchOptions opt)
-    : cfg_(cfg), pool_(ThreadPool::resolve_threads(opt.threads)) {}
+    : cfg_(cfg),
+      owned_(make_owned_scheduler(opt)),
+      borrowed_(opt.scheduler),
+      caller_participates_(opt.caller_participates) {}
 
 std::vector<TraceResult> BatchRunner::run(
     const std::vector<imu::Trace>& traces) {
@@ -37,47 +55,57 @@ std::vector<TraceResult> BatchRunner::run(
   const bool obs_on = obs::enabled();
   const std::uint64_t batch_start_ns = obs_on ? obs::now_ns() : 0;
 
-  /// Per-worker busy-time accumulator, padded so workers on adjacent
+  const std::size_t executors = threads();
+
+  /// Per-executor busy-time accumulator, padded so executors on adjacent
   /// entries do not share a cache line.
   struct alignas(64) WorkerBusy {
     std::uint64_t ns = 0;
   };
-  std::vector<WorkerBusy> busy(pool_.size());
+  std::vector<WorkerBusy> busy(executors);
 
-  // One pipeline (and thus one scratch workspace) per worker: no sharing,
-  // no locks, and buffer capacities amortize across that worker's traces.
-  std::vector<core::PTrack> trackers(pool_.size(), core::PTrack(cfg_));
-  pool_.run(traces.size(), [&](std::size_t task, std::size_t worker) {
-    PTRACK_CHECK_MSG(task < results.size() && worker < trackers.size(),
-                     "BatchRunner: task and worker indices in range");
-    PTRACK_OBS_SPAN("ptrack.runtime.task");
-    const std::uint64_t task_start_ns = obs_on ? obs::now_ns() : 0;
-    // Exceptions are converted to values here, inside the task, so one bad
-    // trace cannot poison the pool (ThreadPool rethrows escaped exceptions
-    // after the drain, which would abort the whole batch).
-    try {
-      results[task] = trackers[worker].process(traces[task]);
-    } catch (const std::exception& e) {
-      results[task] = make_unexpected(TraceError{
-          TraceError::Stage::Process, "#" + std::to_string(task), e.what()});
-    } catch (...) {
-      results[task] = make_unexpected(
-          TraceError{TraceError::Stage::Process, "#" + std::to_string(task),
-                     "unknown exception"});
-    }
-    if (obs_on) {
-      const std::uint64_t task_end_ns = obs::now_ns();
-      // "Queue wait" for a work-stealing-free fork-join pool: how long the
-      // task sat behind earlier tasks before a worker picked it up.
-      PTRACK_HIST_US("ptrack.runtime.batch.queue_wait_us",
-                     static_cast<double>(task_start_ns - batch_start_ns) /
-                         1000.0);
-      PTRACK_HIST_US("ptrack.runtime.batch.exec_us",
-                     static_cast<double>(task_end_ns - task_start_ns) /
-                         1000.0);
-      busy[worker].ns += task_end_ns - task_start_ns;
-    }
-  });
+  // One pipeline (and thus one scratch workspace) per executor: no sharing,
+  // no locks, and buffer capacities amortize across that executor's traces.
+  // Executor ids are dense — scheduler workers [0, W) plus the calling
+  // thread at W — so they index these vectors directly.
+  std::vector<core::PTrack> trackers(executors, core::PTrack(cfg_));
+  sched().parallel_for(
+      Lane::kThroughput, traces.size(),
+      [&](std::size_t task, std::size_t executor) {
+        PTRACK_CHECK_MSG(task < results.size() && executor < trackers.size(),
+                         "BatchRunner: task and executor indices in range");
+        PTRACK_OBS_SPAN("ptrack.runtime.task");
+        const std::uint64_t task_start_ns = obs_on ? obs::now_ns() : 0;
+        // Exceptions are converted to values here, inside the task, so one
+        // bad trace cannot poison the batch (parallel_for rethrows escaped
+        // exceptions after the drain, which would abort the whole batch).
+        try {
+          results[task] = trackers[executor].process(traces[task]);
+        } catch (const std::exception& e) {
+          results[task] = make_unexpected(
+              TraceError{TraceError::Stage::Process,
+                         "#" + std::to_string(task), e.what()});
+        } catch (...) {
+          results[task] = make_unexpected(
+              TraceError{TraceError::Stage::Process,
+                         "#" + std::to_string(task), "unknown exception"});
+        }
+        if (obs_on) {
+          const std::uint64_t task_end_ns = obs::now_ns();
+          // "Queue wait" at batch granularity: how long the trace sat
+          // behind earlier traces before an executor picked it up. The
+          // scheduler's own per-lane queue_wait histograms time the
+          // individual claimer hops.
+          PTRACK_HIST_US("ptrack.runtime.batch.queue_wait_us",
+                         static_cast<double>(task_start_ns - batch_start_ns) /
+                             1000.0);
+          PTRACK_HIST_US("ptrack.runtime.batch.exec_us",
+                         static_cast<double>(task_end_ns - task_start_ns) /
+                             1000.0);
+          busy[executor].ns += task_end_ns - task_start_ns;
+        }
+      },
+      caller_participates_);
   if (obs_on) {
     const std::uint64_t batch_ns =
         std::max<std::uint64_t>(obs::now_ns() - batch_start_ns, 1);
@@ -87,7 +115,7 @@ std::vector<TraceResult> BatchRunner::run(
     PTRACK_COUNT_N("ptrack.runtime.batch.traces_failed", results.size() - ok);
     auto& reg = obs::Registry::instance();
     reg.gauge("ptrack.runtime.batch.workers")
-        .set(static_cast<double>(pool_.size()));
+        .set(static_cast<double>(executors));
     for (std::size_t w = 0; w < busy.size(); ++w) {
       reg.gauge("ptrack.runtime.worker." + std::to_string(w) + ".utilization")
           .set(static_cast<double>(busy[w].ns) /
@@ -95,12 +123,13 @@ std::vector<TraceResult> BatchRunner::run(
     }
   }
   // Deterministic batch contract: results come back positionally, slot i
-  // holding trace i's result regardless of which worker ran it.
+  // holding trace i's result regardless of which executor ran it.
   PTRACK_CHECK_MSG(results.size() == traces.size(),
                    "BatchRunner: one result per input trace, in input order");
   return results;
 }
 
+// ptrack-lint: push-allow(alloc) directory loading is IO-bound batch setup, not a steady-state path
 TraceDirListing load_trace_dir(const std::string& dir) {
   namespace fs = std::filesystem;
   std::error_code ec;
@@ -137,5 +166,6 @@ TraceDirListing load_trace_dir(const std::string& dir) {
                    "load_trace_dir: traces ordered by filename");
   return out;
 }
+// ptrack-lint: pop-allow(alloc)
 
 }  // namespace ptrack::runtime

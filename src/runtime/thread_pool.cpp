@@ -1,26 +1,24 @@
 #include "runtime/thread_pool.hpp"
 
-#include "common/check.hpp"
+#include <thread>
+
 #include "common/error.hpp"
 
 namespace ptrack::runtime {
 
-ThreadPool::ThreadPool(std::size_t threads) : thread_count_(threads) {
-  expects(threads >= 1, "ThreadPool: threads >= 1");
-  threads_.reserve(threads - 1);
-  for (std::size_t w = 1; w < threads; ++w) {
-    threads_.emplace_back([this, w] { worker_loop(w); });
-  }
+namespace {
+
+SchedulerOptions pool_options(std::size_t threads) {
+  SchedulerOptions o;
+  o.workers = threads - 1;  // the calling thread is worker 0
+  return o;
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lk(mutex_);
-    stop_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : sched_((expects(threads >= 1, "ThreadPool: threads >= 1"),
+              pool_options(threads))) {}
 
 std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
@@ -28,74 +26,15 @@ std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
-void ThreadPool::worker_loop(std::size_t worker) {
-  std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mutex_);
-  for (;;) {
-    work_cv_.wait(lk, [&] { return stop_ || (job_ && generation_ != seen); });
-    if (stop_) return;
-    seen = generation_;
-    // Hold a shared_ptr so the job outlives run() even if this worker is
-    // still draining when the caller returns.
-    const std::shared_ptr<Job> job = job_;
-    lk.unlock();
-    execute(*job, worker);
-    lk.lock();
-  }
-}
-
-void ThreadPool::execute(Job& job, std::size_t worker) {
-  for (;;) {
-    const std::size_t task = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (task >= job.n_tasks) return;
-    try {
-      (*job.fn)(task, worker);
-    } catch (...) {
-      std::lock_guard<std::mutex> lk(job.error_mutex);
-      if (!job.error) job.error = std::current_exception();
-    }
-    const std::size_t completed =
-        job.done.fetch_add(1, std::memory_order_acq_rel) + 1;
-    // Task accounting: each of the n_tasks indices is claimed exactly once
-    // via the next counter, so completions can never exceed the task count.
-    PTRACK_CHECK_MSG(completed <= job.n_tasks,
-                     "ThreadPool: completions never exceed the task count");
-    if (completed == job.n_tasks) {
-      std::lock_guard<std::mutex> lk(mutex_);
-      done_cv_.notify_all();
-    }
-  }
-}
-
 void ThreadPool::run(std::size_t n_tasks, const TaskFn& fn) {
-  if (n_tasks == 0) return;
-  auto job = std::make_shared<Job>();
-  job->fn = &fn;
-  job->n_tasks = n_tasks;
-  {
-    std::lock_guard<std::mutex> lk(mutex_);
-    check(job_ == nullptr, "ThreadPool::run: not reentrant");
-    job_ = job;
-    ++generation_;
-  }
-  work_cv_.notify_all();
-
-  execute(*job, /*worker=*/0);  // the calling thread is worker 0
-
-  {
-    std::unique_lock<std::mutex> lk(mutex_);
-    done_cv_.wait(lk, [&] {
-      return job->done.load(std::memory_order_acquire) == n_tasks;
-    });
-    job_ = nullptr;
-  }
-  // On return every task ran to completion and the claim counter moved past
-  // the last index (each worker overshoots by exactly one failed claim).
-  PTRACK_CHECK_MSG(job->done.load(std::memory_order_acquire) == n_tasks,
-                   "ThreadPool::run: all tasks completed");
-  PTRACK_CHECK_MSG(job->next.load(std::memory_order_acquire) >= n_tasks,
-                   "ThreadPool::run: claim counter consumed every index");
-  if (job->error) std::rethrow_exception(job->error);
+  const std::size_t caller = sched_.caller_executor();
+  sched_.parallel_for(
+      Lane::kThroughput, n_tasks,
+      [&fn, caller](std::size_t task, std::size_t executor) {
+        // Scheduler convention: workers are [0, W), caller is W. Pool
+        // convention: caller is 0, spawned workers are [1, size()).
+        fn(task, executor == caller ? 0 : executor + 1);
+      });
 }
 
 }  // namespace ptrack::runtime

@@ -1,29 +1,25 @@
-// Fixed-size fork-join thread pool.
+// Fork-join compatibility facade over the work-stealing Scheduler.
 //
-// The PTrack batch workloads (cohort-scale trace processing, parameter
-// sweeps) are embarrassingly parallel: many independent tasks, each a pure
-// function of its input. This pool provides exactly that shape — submit a
-// task count and a function, workers pull task indices off a shared atomic
-// counter (dynamic load balancing: trace lengths vary), the call blocks
-// until every task ran. The worker index is passed alongside the task index
-// so callers can maintain per-worker state (pipeline instances, scratch
-// workspaces) without locking.
+// PR-1's ThreadPool was a dedicated fork-join pool; the scheduler refactor
+// (DESIGN.md §18) replaced that machinery with Scheduler::parallel_for on
+// the throughput lane. This type keeps the original fork-join surface —
+// submit a task count and a function, the call blocks until every task
+// ran, worker indices in [0, size()) with the calling thread as worker 0 —
+// for callers and tests written against it, while the actual scheduling
+// (claimer tasks, lane priority, steal-half) lives in the Scheduler.
 //
-// The calling thread participates as worker 0, so a pool of size 1 spawns
-// no threads at all and runs strictly inline — useful both as the baseline
-// in scaling benchmarks and as the zero-overhead path on single-core
-// devices.
+// The index mapping is the only translation: a pool of size T is a
+// Scheduler with T-1 background workers, the caller's executor id
+// (Scheduler convention: workers()) maps to worker 0 here and scheduler
+// worker w maps to w+1. A pool of size 1 therefore spawns no threads and
+// runs strictly inline, exactly as before.
 
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "runtime/scheduler.hpp"
 
 namespace ptrack::runtime {
 
@@ -37,13 +33,10 @@ class ThreadPool {
   /// background threads.
   explicit ThreadPool(std::size_t threads);
 
-  /// Joins all background workers. Must not be called while run() is active.
-  ~ThreadPool();
-
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] std::size_t size() const { return thread_count_; }
+  [[nodiscard]] std::size_t size() const { return sched_.workers() + 1; }
 
   /// Runs fn(task, worker) for every task in [0, n_tasks), dynamically
   /// load-balanced across workers; blocks until all tasks completed.
@@ -55,28 +48,12 @@ class ThreadPool {
   /// Threads to use for `requested` (0 = one per hardware thread).
   static std::size_t resolve_threads(std::size_t requested);
 
+  /// The scheduler backing this pool (e.g. to co-schedule latency work on
+  /// the same cores).
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+
  private:
-  struct Job {
-    const TaskFn* fn = nullptr;
-    std::size_t n_tasks = 0;
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-  };
-
-  void worker_loop(std::size_t worker);
-  void execute(Job& job, std::size_t worker);
-
-  std::size_t thread_count_;
-  std::vector<std::thread> threads_;
-
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< wakes workers on a new job
-  std::condition_variable done_cv_;   ///< wakes run() on job completion
-  std::shared_ptr<Job> job_;          ///< active job; null when idle
-  std::uint64_t generation_ = 0;      ///< bumped per job (spurious-wake guard)
-  bool stop_ = false;
+  Scheduler sched_;
 };
 
 }  // namespace ptrack::runtime

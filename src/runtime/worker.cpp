@@ -1,0 +1,80 @@
+#include "runtime/worker.hpp"
+
+#include "common/error.hpp"
+
+namespace ptrack::runtime {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TaskQueue::TaskQueue(std::size_t capacity) {
+  expects(capacity >= 1, "TaskQueue: capacity must be positive");
+  const std::size_t cap = round_up_pow2(capacity);
+  // The one allocation this queue ever performs; steady-state push/pop
+  // only touch the cells.
+  cells_ = std::make_unique<Cell[]>(cap);
+  mask_ = cap - 1;
+  for (std::size_t i = 0; i < cap; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool TaskQueue::push(const Task& task) {
+  std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff =
+        static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+    if (diff == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.task = task;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failure reloaded `pos`; retry with the fresh value.
+    } else if (diff < 0) {
+      return false;  // ring full: the cell still holds an unpopped task
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool TaskQueue::pop(Task& out) {
+  std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::intptr_t>(seq) -
+                      static_cast<std::intptr_t>(pos + 1);
+    if (diff == 0) {
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        out = cell.task;
+        cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (diff < 0) {
+      return false;  // empty (or producer mid-write; caller treats as empty)
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t TaskQueue::size_approx() const {
+  const std::size_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+  const std::size_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+  return enq >= deq ? enq - deq : 0;
+}
+
+}  // namespace ptrack::runtime

@@ -1,0 +1,122 @@
+// Per-worker state of the work-stealing scheduler: the bounded lock-free
+// task rings (one per priority lane), the futex-style park slot, and the
+// victim-selection cursor. The scheduling policy itself (lane priority,
+// steal-half, spin/park) lives in runtime/scheduler.{hpp,cpp}; this header
+// only defines the data structures it runs on.
+//
+// TaskQueue is a bounded MPMC ring (Vyukov's per-cell sequence algorithm):
+// any thread may push (external submission with an affinity hint lands
+// directly in the preferred worker's ring) and any thread may pop (the
+// owner drains its own ring front-to-back; thieves pop the very same way,
+// so "steal half" is just a batched pop). Both operations are a CAS plus
+// two cache-line touches, allocation-free by construction — the cell array
+// is sized once in the constructor and never grows. FIFO order per ring
+// gives the latency lane a bounded-unfairness property a LIFO deque cannot:
+// the oldest queued hop is always the next one taken.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace ptrack::runtime {
+
+/// The two priority lanes of the scheduler. Latency work (streaming hops)
+/// always drains before throughput work (batch traces) — see
+/// Scheduler's class comment for the exact policy.
+enum class Lane : std::uint8_t {
+  kLatency = 0,
+  kThroughput = 1,
+};
+
+inline constexpr std::size_t kLaneCount = 2;
+
+[[nodiscard]] constexpr std::size_t lane_index(Lane lane) noexcept {
+  return static_cast<std::size_t>(lane);
+}
+
+/// One unit of scheduled work: a plain function pointer plus context, so a
+/// queue slot is POD and submission never allocates. `arg` is a free
+/// payload word (parallel-for passes nothing, stream jobs could pass a
+/// sequence number); `submit_ns` carries the submission timestamp for the
+/// queue-wait histograms (0 when telemetry is off — the pop side skips the
+/// clock read too).
+struct Task {
+  void (*fn)(void* ctx, std::size_t executor, std::uint64_t arg) = nullptr;
+  void* ctx = nullptr;
+  std::uint64_t arg = 0;
+  std::uint64_t submit_ns = 0;
+};
+
+/// Bounded lock-free MPMC ring of Tasks. Capacity is fixed at construction
+/// (rounded up to a power of two); push returns false when full — the
+/// scheduler then falls back to its mutex-protected spill queue and counts
+/// the event, so the lock-free path never blocks and never grows.
+class TaskQueue {
+ public:
+  /// `capacity` is rounded up to the next power of two, minimum 2.
+  explicit TaskQueue(std::size_t capacity);
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueues a task. Any thread. False when the ring is full.
+  bool push(const Task& task);
+
+  /// Dequeues the oldest task. Any thread. False when empty (or when every
+  /// present cell is still being written by a racing producer — callers
+  /// treat that transient as empty).
+  bool pop(Task& out);
+
+  /// Approximate occupancy (racy by nature; used for steal-half sizing and
+  /// the depth gauges only).
+  [[nodiscard]] std::size_t size_approx() const;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::size_t> seq{0};
+    Task task;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+/// Per-worker scheduler state. The park slot is the portable condvar
+/// equivalent of a futex wait: `epoch` (guarded by `mutex`) is bumped on
+/// every targeted wake so a notify that fires between the worker's last
+/// queue scan and its cv wait is never lost, and `parked` is the cheap
+/// seq_cst flag submitters read to decide whether a wake syscall is needed
+/// at all.
+struct Worker {
+  Worker(std::size_t queue_capacity)
+      : latency_q(queue_capacity), throughput_q(queue_capacity) {}
+
+  TaskQueue& lane(Lane l) {
+    return l == Lane::kLatency ? latency_q : throughput_q;
+  }
+
+  TaskQueue latency_q;
+  TaskQueue throughput_q;
+
+  // --- Park slot ---------------------------------------------------------
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::uint64_t epoch = 0;           ///< guarded by mutex
+  std::atomic<bool> parked{false};   ///< true only while inside park()
+
+  // --- Worker-loop locals that survive parking ---------------------------
+  std::uint64_t steal_seed = 0;      ///< xorshift state for victim selection
+  std::thread thread;                ///< joined by the Scheduler destructor
+};
+
+}  // namespace ptrack::runtime

@@ -1,7 +1,7 @@
 // obs_check — CI validator for the observability outputs of ptrack_cli
 // and ptrack_serve.
 //
-//   obs_check --metrics m.json [--trace t.json] [--allow-empty] [--net]
+//   obs_check --metrics m.json [--trace t.json] [--allow-empty] [--net|--sched]
 //   obs_check --prom scrape.txt [--net]
 //
 // Metrics snapshot checks:
@@ -18,7 +18,12 @@
 //   - with --net the required set switches to the ptrack.net.* ingest
 //     counters ptrack_serve drives (sessions accepted/closed, bytes in/out,
 //     the active-sessions gauge, the queue-depth histogram) — the serve
-//     smoke job's variant of the same gate.
+//     smoke job's variant of the same gate;
+//   - with --sched it switches to the ptrack.runtime.sched.* set the
+//     scheduler drives (per-lane submission counters, parks/wakeups/steals,
+//     the worker and queue-depth gauges, non-empty per-lane queue-wait and
+//     exec histograms) — the sched smoke job's variant, fed by
+//     bench/sched_latency --metrics-out.
 //
 // Prometheus exposition checks (--prom, a live /metrics scrape):
 //   - every sample name is ptrack_[a-z0-9_]* and its family carries a
@@ -118,7 +123,62 @@ const std::vector<std::string>& required_net_counters() {
   return k;
 }
 
-int check_metrics(const std::string& path, bool allow_empty, bool net) {
+/// Counters a sched_latency bench run always drives: hops on the latency
+/// lane, batch claimers on the throughput lane, park/wake cycles between
+/// measurement rounds, and the steal-probe phase's migrations (spills and
+/// task_exceptions legitimately stay zero).
+const std::vector<std::string>& required_sched_counters() {
+  static const std::vector<std::string> k = {
+      "ptrack.runtime.sched.submitted.latency",
+      "ptrack.runtime.sched.submitted.throughput",
+      "ptrack.runtime.sched.parks",
+      "ptrack.runtime.sched.wakeups",
+      "ptrack.runtime.sched.steals",
+  };
+  return k;
+}
+
+int check_sched_metrics(const std::string& path,
+                        const std::map<std::string, json::Value>& counters,
+                        const std::map<std::string, json::Value>& gauges,
+                        const std::map<std::string, json::Value>& histograms) {
+  for (const std::string& name : required_sched_counters()) {
+    const auto it = counters.find(name);
+    if (it == counters.end() || it->second.as_number() <= 0.0) {
+      std::cerr << "obs_check: " << path << ": required counter '" << name
+                << "' missing or zero\n";
+      return 1;
+    }
+  }
+  for (const char* name : {"ptrack.runtime.sched.workers",
+                           "ptrack.runtime.sched.depth.latency",
+                           "ptrack.runtime.sched.depth.throughput"}) {
+    if (gauges.find(name) == gauges.end()) {
+      std::cerr << "obs_check: " << path << ": gauge '" << name
+                << "' missing\n";
+      return 1;
+    }
+  }
+  for (const char* name : {"ptrack.runtime.sched.latency.queue_wait_us",
+                           "ptrack.runtime.sched.latency.exec_us",
+                           "ptrack.runtime.sched.throughput.queue_wait_us",
+                           "ptrack.runtime.sched.throughput.exec_us"}) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end() ||
+        it->second.at("count").as_number() <= 0.0) {
+      std::cerr << "obs_check: " << path << ": histogram '" << name
+                << "' missing or empty\n";
+      return 1;
+    }
+  }
+  std::cout << "obs_check: " << path << ": sched OK (" << counters.size()
+            << " counters, " << gauges.size() << " gauges, "
+            << histograms.size() << " histograms)\n";
+  return 0;
+}
+
+int check_metrics(const std::string& path, bool allow_empty, bool net,
+                  bool sched) {
   const json::Value doc = json::parse(slurp(path));
   if (doc.at("schema").as_string() != "ptrack.metrics.v1") {
     std::cerr << "obs_check: " << path << ": unexpected schema\n";
@@ -172,6 +232,8 @@ int check_metrics(const std::string& path, bool allow_empty, bool net) {
               << counters.size() << " counters)\n";
     return 0;
   }
+
+  if (sched) return check_sched_metrics(path, counters, gauges, histograms);
 
   if (net) {
     for (const std::string& name : required_net_counters()) {
@@ -500,6 +562,11 @@ int main(int argc, char** argv) {
          {"net",
           "the metrics file comes from ptrack_serve: require the "
           "ptrack.net.* ingest counters instead of the batch pipeline set",
+          "", true},
+         {"sched",
+          "the metrics file comes from bench/sched_latency: require the "
+          "ptrack.runtime.sched.* scheduler counters, depth gauges and "
+          "per-lane latency histograms instead of the batch pipeline set",
           "", true}});
     if (args.help_requested()) {
       std::cout << args.usage("obs_check");
@@ -513,7 +580,7 @@ int main(int argc, char** argv) {
     int rc = 0;
     if (args.has("metrics")) {
       rc = check_metrics(args.get_string("metrics"), allow_empty,
-                         args.get_bool("net"));
+                         args.get_bool("net"), args.get_bool("sched"));
     }
     if (rc == 0 && args.has("prom")) {
       rc = check_prom(args.get_string("prom"), args.get_bool("net"));

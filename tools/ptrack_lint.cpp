@@ -6,9 +6,9 @@
 // the enclosing function of every token, and enforces five rules:
 //
 //   alloc       In hot-path TUs (core/stages.cpp, dsp/*.cpp,
-//               imu/sample_ring.cpp, net/*.cpp except the chaos test
-//               clients and the http/admin control plane) no `new`,
-//               `make_unique`/`make_shared`
+//               imu/sample_ring.cpp, runtime/*.cpp, net/*.cpp except the
+//               chaos test clients and the http/admin control plane) no
+//               `new`, `make_unique`/`make_shared`
 //               or container-growth call (push_back, emplace_back, resize,
 //               reserve, insert, emplace, assign) may appear outside a
 //               constructor body (reserved setup). Steady-state growth into
@@ -567,6 +567,10 @@ bool is_hot_path_tu(const std::string& generic_path) {
   if (ends_with("imu/sample_ring.cpp")) return true;
   if (!ends_with(".cpp")) return false;
   if (generic_path.find("dsp/") != std::string::npos) return true;
+  // The scheduler's steady state (submission, claiming, stealing) must be
+  // allocation-free after warm-up: rings are pre-sized in constructors and
+  // the only allocating paths are counted, annotated fallbacks.
+  if (generic_path.find("runtime/") != std::string::npos) return true;
   // The ingest reactor's steady state must also be allocation-free. The
   // chaos test clients (blocking test support) and the HTTP admin control
   // plane (one bounded allocation burst per scrape, off the ingest path)
